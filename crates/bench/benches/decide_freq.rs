@@ -1,0 +1,70 @@
+//! Cost of the Algorithm 2 DVS analysis (`decideFreq()`) as the task
+//! count grows — O(n log n) from the reverse-EDF sort.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eua_core::LookAheadDvs;
+use eua_platform::{Cycles, EnergySetting, SimTime, TimeDelta};
+use eua_sim::{
+    JobId, JobView, Platform, SchedContext, SchedEvent, Task, TaskSet,
+};
+use eua_tuf::Tuf;
+use eua_uam::demand::DemandModel;
+use eua_uam::{Assurance, UamSpec};
+
+fn setup(n: usize) -> (TaskSet, Vec<JobView>) {
+    let tasks: Vec<Task> = (0..n)
+        .map(|i| {
+            let p = TimeDelta::from_millis(10 + 3 * i as u64);
+            Task::new(
+                format!("t{i}"),
+                Tuf::linear(50.0, p).unwrap(),
+                UamSpec::new(3, p).unwrap(),
+                DemandModel::normal(200_000.0, 200_000.0).unwrap(),
+                Assurance::new(0.3, 0.9).unwrap(),
+            )
+            .unwrap()
+        })
+        .collect();
+    let tasks = TaskSet::new(tasks).unwrap();
+    let jobs = tasks
+        .iter()
+        .enumerate()
+        .map(|(i, (tid, task))| JobView {
+            id: JobId(i as u64),
+            task: tid,
+            arrival: SimTime::ZERO,
+            critical_time: SimTime::ZERO + task.critical_offset(),
+            termination: SimTime::ZERO + task.termination_offset(),
+            remaining: task.allocation(),
+            executed: Cycles::ZERO,
+        })
+        .collect();
+    (tasks, jobs)
+}
+
+fn bench_analyze(c: &mut Criterion) {
+    let platform = Platform::powernow(EnergySetting::e1());
+    let mut group = c.benchmark_group("decide_freq");
+    for &n in &[8usize, 32, 128, 512] {
+        let (tasks, jobs) = setup(n);
+        let mut dvs = LookAheadDvs::new();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let ctx = SchedContext {
+                    now: SimTime::from_micros(5),
+                    event: SchedEvent::Arrival,
+                    jobs: &jobs,
+                    tasks: &tasks,
+                    platform: &platform,
+                    running: None,
+                    energy_used: 0.0,
+                };
+                std::hint::black_box(dvs.analyze(&ctx))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_analyze);
+criterion_main!(benches);

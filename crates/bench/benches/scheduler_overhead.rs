@@ -1,0 +1,85 @@
+//! Per-event scheduling cost versus live-job count — the paper's claim
+//! that EUA\* "heuristically computes schedules … in polynomial time".
+//!
+//! Each benchmark measures one `decide()` call with `n` live jobs across
+//! `n` tasks; the growth across the size sweep exposes the per-event
+//! complexity (EUA\*: O(n log n) sort + O(n²) feasibility insertions).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eua_core::make_policy;
+use eua_platform::{Cycles, EnergySetting, SimTime, TimeDelta};
+use eua_sim::{
+    JobId, JobView, Platform, SchedContext, SchedEvent, Task, TaskSet,
+};
+use eua_tuf::Tuf;
+use eua_uam::demand::DemandModel;
+use eua_uam::{Assurance, UamSpec};
+
+fn task_set(n: usize) -> TaskSet {
+    let tasks = (0..n)
+        .map(|i| {
+            let p = TimeDelta::from_millis(10 + 5 * i as u64);
+            Task::new(
+                format!("t{i}"),
+                Tuf::step(10.0 + i as f64, p).unwrap(),
+                UamSpec::new(2, p).unwrap(),
+                DemandModel::normal(100_000.0, 100_000.0).unwrap(),
+                Assurance::new(1.0, 0.96).unwrap(),
+            )
+            .unwrap()
+        })
+        .collect();
+    TaskSet::new(tasks).unwrap()
+}
+
+fn job_views(tasks: &TaskSet) -> Vec<JobView> {
+    tasks
+        .iter()
+        .enumerate()
+        .map(|(i, (tid, task))| JobView {
+            id: JobId(i as u64),
+            task: tid,
+            arrival: SimTime::from_micros(13 * i as u64),
+            critical_time: SimTime::from_micros(13 * i as u64)
+                + task.critical_offset(),
+            termination: SimTime::from_micros(13 * i as u64)
+                + task.termination_offset(),
+            remaining: Cycles::new(50_000 + 1_000 * i as u64),
+            executed: Cycles::ZERO,
+        })
+        .collect()
+}
+
+fn bench_decide(c: &mut Criterion) {
+    let platform = Platform::powernow(EnergySetting::e1());
+    let mut group = c.benchmark_group("decide_per_event");
+    for &n in &[4usize, 8, 16, 32, 64] {
+        let tasks = task_set(n);
+        let jobs = job_views(&tasks);
+        for policy_name in ["eua", "edf", "laedf", "dasa"] {
+            let mut policy = make_policy(policy_name).unwrap();
+            group.bench_with_input(
+                BenchmarkId::new(policy_name, n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        let ctx = SchedContext {
+                            now: SimTime::from_micros(1),
+                            event: SchedEvent::Arrival,
+                            jobs: &jobs,
+                            tasks: &tasks,
+                            platform: &platform,
+                            running: None,
+                            energy_used: 0.0,
+                        };
+                        std::hint::black_box(policy.decide(&ctx))
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decide);
+criterion_main!(benches);

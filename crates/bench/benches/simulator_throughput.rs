@@ -1,0 +1,40 @@
+//! End-to-end simulator throughput: one full Figure 2 point (Table 1
+//! task set, one simulated second) per policy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eua_core::make_policy;
+use eua_platform::{EnergySetting, TimeDelta};
+use eua_sim::{Engine, Platform, SimConfig};
+use eua_workload::fig2_workload;
+
+fn bench_run(c: &mut Criterion) {
+    let platform = Platform::powernow(EnergySetting::e1());
+    let workload = fig2_workload(0.6, 42, platform.f_max()).unwrap();
+    let config = SimConfig::new(TimeDelta::from_secs(1));
+    let mut group = c.benchmark_group("simulate_1s");
+    group.sample_size(20);
+    for policy_name in ["eua", "edf", "ccedf", "laedf"] {
+        let mut policy = make_policy(policy_name).unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(policy_name),
+            &policy_name,
+            |b, _| {
+                b.iter(|| {
+                    Engine::run(
+                        &workload.tasks,
+                        &workload.patterns,
+                        &platform,
+                        &mut policy,
+                        &config,
+                        9,
+                    )
+                    .unwrap()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_run);
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! Finite-energy-budget scheduling — the paper's first named future-work
+//! item, explored: sweep the energy budget from 10% to 120% of what
+//! unconstrained EUA\* would spend, and record the utility the budgeted
+//! policy still accrues.
+//!
+//! Expected shape: utility rises steeply at small budgets (the policy
+//! spends on the cheapest, highest-UER work first) and saturates at the
+//! unconstrained level once the budget covers the full run.
+//!
+//! Usage: `cargo run -p eua-bench --bin budget [--quick] [--csv-dir DIR]`
+
+use std::path::PathBuf;
+
+use eua_bench::{write_csv, ExperimentConfig, Table};
+use eua_core::{BudgetedEua, Eua};
+use eua_platform::EnergySetting;
+use eua_sim::{Engine, Platform, SimConfig};
+use eua_workload::fig2_workload;
+
+const WORKLOAD_SEED: u64 = 42;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let csv_dir: Option<PathBuf> = args
+        .iter()
+        .position(|a| a == "--csv-dir")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from);
+    let config = if quick { ExperimentConfig::quick() } else { ExperimentConfig::standard() };
+    let platform = Platform::powernow(EnergySetting::e1());
+    let sim_config = SimConfig::new(config.horizon);
+
+    let mut table = Table::new(vec![
+        "budget-frac".into(),
+        "utility-frac".into(),
+        "energy-frac".into(),
+        "completed-frac".into(),
+    ]);
+    for load in [0.5, 0.8] {
+        let workload =
+            fig2_workload(load, WORKLOAD_SEED, platform.f_max()).expect("workload");
+        // Baseline: unconstrained EUA* on the same seeds.
+        let mut base_utility = 0.0;
+        let mut base_energy = 0.0;
+        let mut base_completed = 0.0;
+        for &seed in &config.seeds {
+            let m = Engine::run(
+                &workload.tasks,
+                &workload.patterns,
+                &platform,
+                &mut Eua::new(),
+                &sim_config,
+                seed,
+            )
+            .expect("run")
+            .metrics;
+            base_utility += m.total_utility;
+            base_energy += m.energy;
+            base_completed += m.jobs_completed() as f64;
+        }
+
+        table.push(vec![format!("load={load}"), String::new(), String::new(), String::new()]);
+        for frac in [0.1, 0.25, 0.5, 0.75, 1.0, 1.2] {
+            let mut utility = 0.0;
+            let mut energy = 0.0;
+            let mut completed = 0.0;
+            for &seed in &config.seeds {
+                let budget = frac * base_energy / config.seeds.len() as f64;
+                let m = Engine::run(
+                    &workload.tasks,
+                    &workload.patterns,
+                    &platform,
+                    &mut BudgetedEua::new(budget),
+                    &sim_config,
+                    seed,
+                )
+                .expect("run")
+                .metrics;
+                utility += m.total_utility;
+                energy += m.energy;
+                completed += m.jobs_completed() as f64;
+            }
+            table.push(vec![
+                format!("{frac:.2}"),
+                format!("{:.3}", utility / base_utility),
+                format!("{:.3}", energy / base_energy),
+                format!("{:.3}", completed / base_completed),
+            ]);
+        }
+    }
+
+    println!(
+        "Energy-budget extension — budgeted EUA* vs unconstrained EUA* \
+         (fractions of the unconstrained run):"
+    );
+    print!("{}", table.render());
+    if let Some(dir) = &csv_dir {
+        let path = dir.join("budget.csv");
+        write_csv(&table, &path).expect("csv write");
+        println!("wrote {}", path.display());
+    }
+}

@@ -1,0 +1,318 @@
+//! Minimal ASCII line charts so the figure binaries can *draw* the
+//! figures they regenerate, not just tabulate them.
+
+use std::fmt::Write as _;
+
+/// One named series of `(x, y)` points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// The points, in increasing `x` order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series.
+    #[must_use]
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series { label: label.into(), points }
+    }
+}
+
+/// Renders series as a fixed-size ASCII chart with one marker character
+/// per series, y increasing upward, plus a legend and axis ranges.
+///
+/// # Example
+///
+/// ```
+/// use eua_bench::chart::{render_chart, Series};
+///
+/// let s = Series::new("demo", vec![(0.0, 0.0), (1.0, 1.0)]);
+/// let art = render_chart(&[s], 20, 8);
+/// assert!(art.contains("demo"));
+/// assert!(art.contains('a'));
+/// ```
+#[must_use]
+pub fn render_chart(series: &[Series], width: usize, height: usize) -> String {
+    const MARKERS: &[u8] = b"abcdefghij";
+    let width = width.max(8);
+    let height = height.max(4);
+    let all: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .filter(|(x, y)| x.is_finite() && y.is_finite())
+        .collect();
+    if all.is_empty() {
+        return String::from("(no data)\n");
+    }
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for (x, y) in &all {
+        x_min = x_min.min(*x);
+        x_max = x_max.max(*x);
+        y_min = y_min.min(*y);
+        y_max = y_max.max(*y);
+    }
+    if (x_max - x_min).abs() < f64::EPSILON {
+        x_max = x_min + 1.0;
+    }
+    if (y_max - y_min).abs() < f64::EPSILON {
+        y_max = y_min + 1.0;
+    }
+    let mut grid = vec![vec![b' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let marker = MARKERS[si % MARKERS.len()];
+        for &(x, y) in &s.points {
+            if !x.is_finite() || !y.is_finite() {
+                continue;
+            }
+            let col = (((x - x_min) / (x_max - x_min)) * (width - 1) as f64).round() as usize;
+            let row_from_bottom =
+                (((y - y_min) / (y_max - y_min)) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - row_from_bottom.min(height - 1);
+            let cell = &mut grid[row][col.min(width - 1)];
+            // Overlapping series show a '*'.
+            *cell = if *cell == b' ' || *cell == marker { marker } else { b'*' };
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "{y_max:>10.3} ┐");
+    for row in &grid {
+        let _ = writeln!(out, "{:>10} │{}", "", String::from_utf8_lossy(row));
+    }
+    let _ = writeln!(out, "{y_min:>10.3} ┴{}", "─".repeat(width));
+    let _ = writeln!(out, "{:>11}{x_min:<.2}{:>pad$}{x_max:.2}", "", "", pad = width.saturating_sub(8));
+    for (si, s) in series.iter().enumerate() {
+        let _ = writeln!(out, "{:>12} = {}", MARKERS[si % MARKERS.len()] as char, s.label);
+    }
+    out
+}
+
+/// Colors assigned to series in SVG output, cycling.
+const SVG_COLORS: &[&str] =
+    &["#1f77b4", "#d62728", "#2ca02c", "#ff7f0e", "#9467bd", "#8c564b", "#17becf"];
+
+/// Renders series as a standalone SVG line chart (600×360, with axes,
+/// ticks, and a legend) — the file-output twin of [`render_chart`].
+///
+/// # Example
+///
+/// ```
+/// use eua_bench::chart::{render_svg, Series};
+///
+/// let s = Series::new("demo", vec![(0.0, 0.0), (1.0, 1.0)]);
+/// let svg = render_svg(&[s], "Demo", "x", "y");
+/// assert!(svg.starts_with("<svg"));
+/// assert!(svg.contains("Demo"));
+/// ```
+#[must_use]
+pub fn render_svg(series: &[Series], title: &str, x_label: &str, y_label: &str) -> String {
+    const W: f64 = 600.0;
+    const H: f64 = 360.0;
+    const ML: f64 = 64.0; // margins
+    const MR: f64 = 140.0;
+    const MT: f64 = 40.0;
+    const MB: f64 = 48.0;
+    let all: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .filter(|(x, y)| x.is_finite() && y.is_finite())
+        .collect();
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{W}" height="{H}" viewBox="0 0 {W} {H}">"#
+    );
+    let _ = write!(out, r#"<rect width="{W}" height="{H}" fill="white"/>"#);
+    let _ = write!(
+        out,
+        r#"<text x="{}" y="24" text-anchor="middle" font-family="sans-serif" font-size="16">{}</text>"#,
+        ML + (W - ML - MR) / 2.0,
+        escape(title)
+    );
+    if all.is_empty() {
+        let _ = write!(out, "</svg>");
+        return out;
+    }
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for (x, y) in &all {
+        x_min = x_min.min(*x);
+        x_max = x_max.max(*x);
+        y_min = y_min.min(*y);
+        y_max = y_max.max(*y);
+    }
+    if (x_max - x_min).abs() < f64::EPSILON {
+        x_max = x_min + 1.0;
+    }
+    if (y_max - y_min).abs() < f64::EPSILON {
+        y_max = y_min + 1.0;
+    }
+    let sx = |x: f64| ML + (x - x_min) / (x_max - x_min) * (W - ML - MR);
+    let sy = |y: f64| H - MB - (y - y_min) / (y_max - y_min) * (H - MT - MB);
+    // Axes.
+    let _ = write!(
+        out,
+        r#"<line x1="{ML}" y1="{}" x2="{}" y2="{}" stroke="black"/>"#,
+        H - MB,
+        W - MR,
+        H - MB
+    );
+    let _ = write!(out, r#"<line x1="{ML}" y1="{MT}" x2="{ML}" y2="{}" stroke="black"/>"#, H - MB);
+    // Ticks (5 per axis).
+    for i in 0..=4 {
+        let fx = x_min + (x_max - x_min) * f64::from(i) / 4.0;
+        let fy = y_min + (y_max - y_min) * f64::from(i) / 4.0;
+        let _ = write!(
+            out,
+            r#"<text x="{:.1}" y="{:.1}" text-anchor="middle" font-family="sans-serif" font-size="10">{fx:.2}</text>"#,
+            sx(fx),
+            H - MB + 16.0
+        );
+        let _ = write!(
+            out,
+            r#"<text x="{:.1}" y="{:.1}" text-anchor="end" font-family="sans-serif" font-size="10">{fy:.2}</text>"#,
+            ML - 6.0,
+            sy(fy) + 3.0
+        );
+        let _ = write!(
+            out,
+            r#"<line x1="{ML}" y1="{:.1}" x2="{}" y2="{:.1}" stroke='#dddddd'/>"#,
+            sy(fy),
+            W - MR,
+            sy(fy)
+        );
+    }
+    // Axis labels.
+    let _ = write!(
+        out,
+        r#"<text x="{}" y="{}" text-anchor="middle" font-family="sans-serif" font-size="12">{}</text>"#,
+        ML + (W - ML - MR) / 2.0,
+        H - 10.0,
+        escape(x_label)
+    );
+    let _ = write!(
+        out,
+        r#"<text x="16" y="{}" text-anchor="middle" font-family="sans-serif" font-size="12" transform="rotate(-90 16 {})">{}</text>"#,
+        MT + (H - MT - MB) / 2.0,
+        MT + (H - MT - MB) / 2.0,
+        escape(y_label)
+    );
+    // Series.
+    for (si, s) in series.iter().enumerate() {
+        let color = SVG_COLORS[si % SVG_COLORS.len()];
+        let pts: Vec<String> = s
+            .points
+            .iter()
+            .filter(|(x, y)| x.is_finite() && y.is_finite())
+            .map(|&(x, y)| format!("{:.1},{:.1}", sx(x), sy(y)))
+            .collect();
+        if pts.len() > 1 {
+            let _ = write!(
+                out,
+                r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="1.5"/>"#,
+                pts.join(" ")
+            );
+        }
+        for p in &pts {
+            let (px, py) = p.split_once(',').expect("formatted above");
+            let _ = write!(out, r#"<circle cx="{px}" cy="{py}" r="2.5" fill="{color}"/>"#);
+        }
+        // Legend entry.
+        let ly = MT + 16.0 * si as f64;
+        let _ = write!(
+            out,
+            r#"<line x1="{}" y1="{ly:.1}" x2="{}" y2="{ly:.1}" stroke="{color}" stroke-width="2"/>"#,
+            W - MR + 10.0,
+            W - MR + 30.0
+        );
+        let _ = write!(
+            out,
+            r#"<text x="{}" y="{:.1}" font-family="sans-serif" font-size="11">{}</text>"#,
+            W - MR + 36.0,
+            ly + 4.0,
+            escape(&s.label)
+        );
+    }
+    let _ = write!(out, "</svg>");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_bounds_and_legend() {
+        let s1 = Series::new("up", vec![(0.0, 0.0), (1.0, 2.0), (2.0, 4.0)]);
+        let s2 = Series::new("flat", vec![(0.0, 1.0), (2.0, 1.0)]);
+        let art = render_chart(&[s1, s2], 30, 10);
+        assert!(art.contains("4.000"));
+        assert!(art.contains("0.000"));
+        assert!(art.contains("a = up"));
+        assert!(art.contains("b = flat"));
+    }
+
+    #[test]
+    fn empty_series_do_not_panic() {
+        assert_eq!(render_chart(&[], 20, 5), "(no data)\n");
+        let s = Series::new("nan", vec![(f64::NAN, f64::NAN)]);
+        assert_eq!(render_chart(&[s], 20, 5), "(no data)\n");
+    }
+
+    #[test]
+    fn degenerate_ranges_are_widened() {
+        let s = Series::new("dot", vec![(1.0, 1.0)]);
+        let art = render_chart(&[s], 12, 4);
+        assert!(art.contains('a'));
+    }
+
+    #[test]
+    fn overlap_is_marked() {
+        let s1 = Series::new("x", vec![(0.0, 0.0), (1.0, 1.0)]);
+        let s2 = Series::new("y", vec![(0.0, 0.0), (1.0, 0.5)]);
+        let art = render_chart(&[s1, s2], 16, 6);
+        assert!(art.contains('*'), "overlapping origin should render '*':\n{art}");
+    }
+
+    #[test]
+    fn svg_contains_axes_series_and_legend() {
+        let s1 = Series::new("alpha", vec![(0.2, 0.1), (1.8, 1.0)]);
+        let s2 = Series::new("beta<>&", vec![(0.2, 0.5), (1.8, 0.5)]);
+        let svg = render_svg(&[s1, s2], "Figure 2", "load", "normalized energy");
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert!(svg.contains("Figure 2"));
+        assert!(svg.contains("polyline"));
+        assert!(svg.contains("alpha"));
+        assert!(svg.contains("beta&lt;&gt;&amp;"), "labels must be escaped");
+        assert!(svg.contains("normalized energy"));
+        // Two series → two polylines.
+        assert_eq!(svg.matches("<polyline").count(), 2);
+    }
+
+    #[test]
+    fn svg_with_no_data_is_still_valid() {
+        let svg = render_svg(&[], "Empty", "x", "y");
+        assert!(svg.starts_with("<svg") && svg.ends_with("</svg>"));
+    }
+
+    #[test]
+    fn monotone_series_is_monotone_on_screen() {
+        let s = Series::new("mono", vec![(0.0, 0.0), (1.0, 1.0), (2.0, 2.0), (3.0, 3.0)]);
+        let art = render_chart(&[s], 24, 8);
+        // The marker column index must increase as the row index decreases.
+        let mut last_col = 0usize;
+        for line in art.lines().rev() {
+            if let Some(pos) = line.find('a') {
+                assert!(pos >= last_col, "chart not monotone:\n{art}");
+                last_col = pos;
+            }
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Shared sweep machinery: run one `(workload, policy)` cell over several
+//! seeds and aggregate.
+
+use eua_core::make_policy;
+use eua_platform::TimeDelta;
+use eua_sim::{replicate, Platform, SimConfig, Summary};
+use eua_workload::Workload;
+
+/// Sweep-wide configuration.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Simulated horizon per run.
+    pub horizon: TimeDelta,
+    /// Seeds (one run per seed; arrival jitter and demand noise vary).
+    pub seeds: Vec<u64>,
+}
+
+impl ExperimentConfig {
+    /// The default evaluation configuration: 20 simulated seconds × 3
+    /// seeds — long enough that every Table 1 window (≤ 3 s) recurs
+    /// several times.
+    #[must_use]
+    pub fn standard() -> Self {
+        ExperimentConfig { horizon: TimeDelta::from_secs(20), seeds: vec![11, 23, 47] }
+    }
+
+    /// A fast configuration for smoke tests.
+    #[must_use]
+    pub fn quick() -> Self {
+        ExperimentConfig { horizon: TimeDelta::from_secs(5), seeds: vec![11] }
+    }
+}
+
+/// The aggregated result of one `(workload, policy)` cell.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// The policy's registry name.
+    pub policy: String,
+    /// Mean accrued utility across seeds.
+    pub utility: f64,
+    /// Mean energy across seeds.
+    pub energy: f64,
+    /// Mean fraction of arrived jobs completed.
+    pub completion_rate: f64,
+    /// Mean fraction of tasks whose `{ν, ρ}` assurance held.
+    pub assurance_ok_rate: f64,
+}
+
+/// Runs `policy_name` (an `eua_core::make_policy` name) on `workload`
+/// under every seed and aggregates.
+///
+/// # Panics
+///
+/// Panics on an unknown policy name or a simulation error — experiment
+/// binaries treat both as fatal configuration mistakes.
+#[must_use]
+pub fn run_cell(
+    policy_name: &str,
+    workload: &Workload,
+    platform: &Platform,
+    config: &ExperimentConfig,
+) -> Cell {
+    let mut policy =
+        make_policy(policy_name).unwrap_or_else(|| panic!("unknown policy {policy_name}"));
+    let sim_config = SimConfig::new(config.horizon);
+    let summary: Summary = replicate(
+        &workload.tasks,
+        &workload.patterns,
+        platform,
+        &mut policy,
+        &sim_config,
+        &config.seeds,
+    )
+    .expect("simulation failed");
+    let completion_rate = summary.mean_by(|m| {
+        let arrived = m.jobs_arrived();
+        if arrived == 0 {
+            0.0
+        } else {
+            m.jobs_completed() as f64 / arrived as f64
+        }
+    });
+    let assurance_ok_rate = summary.mean_by(|m| {
+        let mut ok = 0usize;
+        let mut total = 0usize;
+        for (i, tm) in m.per_task.iter().enumerate() {
+            if let Some(rate) = tm.assurance_rate() {
+                total += 1;
+                let rho = workload.tasks.task(eua_sim::TaskId(i)).assurance().rho();
+                if rate + 1e-12 >= rho {
+                    ok += 1;
+                }
+            }
+        }
+        if total == 0 {
+            1.0
+        } else {
+            ok as f64 / total as f64
+        }
+    });
+    Cell {
+        policy: policy_name.to_string(),
+        utility: summary.mean_utility(),
+        energy: summary.mean_energy(),
+        completion_rate,
+        assurance_ok_rate,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eua_platform::{EnergySetting, Frequency};
+    use eua_workload::fig2_workload;
+
+    #[test]
+    fn run_cell_produces_positive_numbers_underload() {
+        let platform = Platform::powernow(EnergySetting::e1());
+        let w = fig2_workload(0.4, 3, Frequency::from_mhz(100)).unwrap();
+        let cfg = ExperimentConfig::quick();
+        let cell = run_cell("eua", &w, &platform, &cfg);
+        assert!(cell.utility > 0.0);
+        assert!(cell.energy > 0.0);
+        assert!(cell.completion_rate > 0.95, "rate {}", cell.completion_rate);
+        assert!(cell.assurance_ok_rate > 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown policy")]
+    fn unknown_policy_panics() {
+        let platform = Platform::powernow(EnergySetting::e1());
+        let w = fig2_workload(0.4, 3, Frequency::from_mhz(100)).unwrap();
+        let _ = run_cell("nope", &w, &platform, &ExperimentConfig::quick());
+    }
+}

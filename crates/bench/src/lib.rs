@@ -1,0 +1,26 @@
+//! Experiment harness regenerating every table and figure of the EUA\*
+//! paper (see DESIGN.md's experiment index).
+//!
+//! The binaries in `src/bin` drive the sweeps:
+//!
+//! * `fig2` — normalized utility and energy vs load under E1/E2/E3
+//!   (Figures 2(a)–(d) plus the "results under E2 are similar" remark);
+//! * `fig3` — normalized energy vs load for UAM `⟨1..3, P⟩`
+//!   (Figure 3);
+//! * `theorems` — the §4 timeliness-property checks (Theorems 2–5);
+//! * `ablation` — design-choice ablations (UER clamp, abortion,
+//!   insertion mode, Chebyshev ρ).
+//!
+//! The Criterion benches measure the per-event scheduling cost
+//! (the paper's polynomial-time claim) and simulator throughput.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chart;
+pub mod experiment;
+pub mod report;
+
+pub use chart::{render_chart, render_svg, Series};
+pub use experiment::{run_cell, Cell, ExperimentConfig};
+pub use report::{write_csv, Table};

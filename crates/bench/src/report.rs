@@ -1,0 +1,154 @@
+//! Console tables and CSV output for the experiment binaries.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// A simple column-aligned table accumulating one row per sweep point.
+///
+/// # Example
+///
+/// ```
+/// use eua_bench::Table;
+///
+/// let mut t = Table::new(vec!["load".into(), "eua".into()]);
+/// t.push(vec!["0.2".into(), "0.31".into()]);
+/// let text = t.render();
+/// assert!(text.contains("load"));
+/// assert!(text.contains("0.31"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given header.
+    #[must_use]
+    pub fn new(header: Vec<String>) -> Self {
+        Table { header, rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn push(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.header.len(), "row width must match header");
+        self.rows.push(row);
+    }
+
+    /// The rows pushed so far.
+    #[must_use]
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Renders the table with aligned columns.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |cells: &[String], out: &mut String| {
+            for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:>w$}", w = w);
+            }
+            out.push('\n');
+        };
+        line(&self.header, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            line(row, &mut out);
+        }
+        out
+    }
+
+    /// Serializes the table as CSV.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        out.push_str(&self.header.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Writes a table as CSV to `path`, creating parent directories.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_csv(table: &Table, path: &Path) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    fs::write(path, table.to_csv())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new(vec!["a".into(), "long".into()]);
+        t.push(vec!["12345".into(), "x".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains('a') && lines[0].contains("long"));
+        assert!(lines[2].contains("12345"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new(vec!["a".into()]);
+        t.push(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let mut t = Table::new(vec!["x,y".into(), "q\"q".into()]);
+        t.push(vec!["1".into(), "2".into()]);
+        let csv = t.to_csv();
+        assert!(csv.starts_with("\"x,y\",\"q\"\"q\"\n"));
+        assert!(csv.ends_with("1,2\n"));
+    }
+
+    #[test]
+    fn write_csv_round_trips() {
+        let mut t = Table::new(vec!["load".into(), "v".into()]);
+        t.push(vec!["0.2".into(), "1.0".into()]);
+        let dir = std::env::temp_dir().join("eua-bench-test");
+        let path = dir.join("t.csv");
+        write_csv(&t, &path).unwrap();
+        let read = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(read, t.to_csv());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

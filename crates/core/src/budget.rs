@@ -1,0 +1,291 @@
+//! Energy-budgeted EUA\* — the paper's first named future-work item
+//! ("scheduling under finite energy budgets").
+//!
+//! [`BudgetedEua`] wraps EUA\* with a hard bound on total energy: at each
+//! event it plans exactly like EUA\* (feasibility aborts, UER-ordered
+//! schedule, Algorithm 2 frequency), then walks the schedule looking for
+//! the first job it can still **afford**:
+//!
+//! * it prefers the assurance frequency EUA\* would have chosen;
+//! * if that costs more residual energy than remains, it falls back to
+//!   the job's cheapest *timeliness-feasible* frequency (the lowest-cost
+//!   table entry that still beats the termination time);
+//! * jobs that are unaffordable even at their cheapest feasible frequency
+//!   are passed over in favour of the next schedule entry — exactly the
+//!   "maximize utility per unit energy" overload objective, applied to a
+//!   shrinking energy pool;
+//! * once the pool is empty the processor idles and pending jobs expire.
+//!
+//! Affordability uses the job's *believed* remaining cycles (the same
+//! information EUA\* plans with), so an actual-demand overrun can still
+//! overdraw the budget by at most one allocation tail — the bound is
+//! enforced in expectation, not adversarially.
+
+use eua_platform::{select_freq, Frequency};
+use eua_sim::{Decision, JobView, SchedContext, SchedulerPolicy};
+
+use crate::eua::{Eua, EuaOptions};
+
+/// EUA\* under a finite energy budget; see the module documentation.
+///
+/// # Example
+///
+/// ```
+/// use eua_core::BudgetedEua;
+/// use eua_sim::SchedulerPolicy;
+///
+/// let policy = BudgetedEua::new(1e9);
+/// assert_eq!(policy.name(), "eua-budget");
+/// assert_eq!(policy.budget(), 1e9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BudgetedEua {
+    inner: Eua,
+    budget: f64,
+}
+
+impl BudgetedEua {
+    /// EUA\* with a total energy budget (in the platform's Martin-model
+    /// energy units).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget` is negative or NaN.
+    #[must_use]
+    pub fn new(budget: f64) -> Self {
+        BudgetedEua::with_options(budget, EuaOptions::default())
+    }
+
+    /// Budgeted EUA\* with explicit option switches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget` is negative or NaN.
+    #[must_use]
+    pub fn with_options(budget: f64, options: EuaOptions) -> Self {
+        assert!(budget >= 0.0, "energy budget must be non-negative");
+        BudgetedEua { inner: Eua::with_options(options), budget }
+    }
+
+    /// The configured energy budget.
+    #[must_use]
+    pub fn budget(&self) -> f64 {
+        self.budget
+    }
+
+    /// The cheapest frequency at which `job` still meets its termination
+    /// time, with the energy that choice would cost.
+    fn cheapest_feasible(
+        ctx: &SchedContext<'_>,
+        job: &JobView,
+    ) -> Option<(Frequency, f64)> {
+        let mut best: Option<(Frequency, f64)> = None;
+        for f in ctx.platform.table().iter() {
+            let done = ctx.now.saturating_add(f.execution_time(job.remaining));
+            if done > job.termination {
+                continue;
+            }
+            let cost = ctx.platform.energy().energy_for(job.remaining, f);
+            if best.is_none_or(|(_, c)| cost < c) {
+                best = Some((f, cost));
+            }
+        }
+        best
+    }
+}
+
+impl SchedulerPolicy for BudgetedEua {
+    fn name(&self) -> &str {
+        "eua-budget"
+    }
+
+    fn decide(&mut self, ctx: &SchedContext<'_>) -> Decision {
+        let (schedule, aborts, analysis) = self.inner.plan(ctx);
+        let f_m = ctx.platform.f_max();
+        let residual = (self.budget - ctx.energy_used).max(0.0);
+        if residual <= 0.0 {
+            return Decision::idle(f_m).with_aborts(aborts);
+        }
+        let assurance_freq = analysis
+            .map(|a| select_freq(ctx.platform.table(), a.required_speed))
+            .unwrap_or(f_m);
+        for cand in &schedule {
+            let Some(job) = ctx.job(cand.id) else { continue };
+            // Preferred: the assurance frequency, if it is feasible for
+            // this job and affordable.
+            let done = ctx.now.saturating_add(assurance_freq.execution_time(job.remaining));
+            if done <= job.termination {
+                let cost = ctx.platform.energy().energy_for(job.remaining, assurance_freq);
+                if cost <= residual {
+                    return Decision::run(cand.id, assurance_freq).with_aborts(aborts);
+                }
+            }
+            // Fallback: the job's cheapest feasible frequency.
+            if let Some((f, cost)) = Self::cheapest_feasible(ctx, job) {
+                if cost <= residual {
+                    return Decision::run(cand.id, f).with_aborts(aborts);
+                }
+            }
+        }
+        Decision::idle(f_m).with_aborts(aborts)
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eua_platform::{EnergySetting, TimeDelta};
+    use eua_sim::{Engine, Platform, SimConfig, Task, TaskSet};
+    use eua_tuf::Tuf;
+    use eua_uam::demand::DemandModel;
+    use eua_uam::generator::ArrivalPattern;
+    use eua_uam::{Assurance, UamSpec};
+
+    fn ms(v: u64) -> TimeDelta {
+        TimeDelta::from_millis(v)
+    }
+
+    fn setup() -> (TaskSet, Vec<ArrivalPattern>, Platform, SimConfig) {
+        let p = ms(10);
+        let task = Task::new(
+            "t",
+            Tuf::step(10.0, p).unwrap(),
+            UamSpec::periodic(p).unwrap(),
+            DemandModel::deterministic(200_000.0).unwrap(),
+            Assurance::new(1.0, 0.5).unwrap(),
+        )
+        .unwrap();
+        (
+            TaskSet::new(vec![task]).unwrap(),
+            vec![ArrivalPattern::periodic(p).unwrap()],
+            Platform::powernow(EnergySetting::e1()),
+            SimConfig::new(ms(500)),
+        )
+    }
+
+    #[test]
+    fn zero_budget_executes_nothing() {
+        let (tasks, patterns, platform, config) = setup();
+        let out = Engine::run(&tasks, &patterns, &platform, &mut BudgetedEua::new(0.0), &config, 1)
+            .unwrap();
+        assert_eq!(out.metrics.jobs_completed(), 0);
+        assert_eq!(out.metrics.energy, 0.0);
+    }
+
+    #[test]
+    fn huge_budget_behaves_like_plain_eua() {
+        let (tasks, patterns, platform, config) = setup();
+        let bounded =
+            Engine::run(&tasks, &patterns, &platform, &mut BudgetedEua::new(f64::MAX), &config, 1)
+                .unwrap();
+        let plain = Engine::run(&tasks, &patterns, &platform, &mut Eua::new(), &config, 1)
+            .unwrap();
+        assert_eq!(bounded.metrics.jobs_completed(), plain.metrics.jobs_completed());
+        assert!((bounded.metrics.total_utility - plain.metrics.total_utility).abs() < 1e-9);
+    }
+
+    #[test]
+    fn budget_is_respected_within_one_allocation() {
+        let (tasks, patterns, platform, config) = setup();
+        // Enough for roughly half the run at the cheapest frequency.
+        let unconstrained =
+            Engine::run(&tasks, &patterns, &platform, &mut Eua::new(), &config, 1)
+                .unwrap()
+                .metrics
+                .energy;
+        let budget = unconstrained / 2.0;
+        let out = Engine::run(
+            &tasks,
+            &patterns,
+            &platform,
+            &mut BudgetedEua::new(budget),
+            &config,
+            1,
+        )
+        .unwrap();
+        // One believed-allocation of slack is the documented tolerance.
+        let slack = platform
+            .energy()
+            .energy_for(tasks.task(eua_sim::TaskId(0)).allocation(), platform.f_max());
+        assert!(
+            out.metrics.energy <= budget + slack,
+            "spent {} against budget {budget}",
+            out.metrics.energy
+        );
+        // And it should have done *some* work.
+        assert!(out.metrics.jobs_completed() > 0);
+    }
+
+    #[test]
+    fn utility_is_monotone_in_budget() {
+        let (tasks, patterns, platform, config) = setup();
+        let full = Engine::run(&tasks, &patterns, &platform, &mut Eua::new(), &config, 1)
+            .unwrap()
+            .metrics;
+        let mut last_utility = -1.0;
+        for frac in [0.1, 0.3, 0.5, 0.8, 1.0] {
+            let out = Engine::run(
+                &tasks,
+                &patterns,
+                &platform,
+                &mut BudgetedEua::new(full.energy * frac),
+                &config,
+                1,
+            )
+            .unwrap();
+            assert!(
+                out.metrics.total_utility + 1e-9 >= last_utility,
+                "utility decreased when budget grew to {frac}"
+            );
+            last_utility = out.metrics.total_utility;
+        }
+        assert!((last_utility - full.total_utility).abs() < full.total_utility * 0.05);
+    }
+
+    #[test]
+    fn tight_budget_stretches_further_at_cheap_frequencies() {
+        // With the same budget, the budgeted policy (which may drop to the
+        // cheapest feasible frequency) should complete at least as many
+        // jobs as an always-f_m policy cut off at the same energy point.
+        let (tasks, patterns, platform, config) = setup();
+        let full_fmax =
+            Engine::run(&tasks, &patterns, &platform, &mut Eua::without_dvs(), &config, 1)
+                .unwrap()
+                .metrics;
+        let budget = full_fmax.energy * 0.3;
+        let bounded = Engine::run(
+            &tasks,
+            &patterns,
+            &platform,
+            &mut BudgetedEua::new(budget),
+            &config,
+            1,
+        )
+        .unwrap()
+        .metrics;
+        // f_m completes jobs at `energy/job = c·E(f_m)`; the budgeted policy
+        // pays ~c·E(36MHz) ≈ 13% of that per job under E1.
+        let fmax_jobs_at_budget = (budget
+            / (platform.energy().energy_for(
+                tasks.task(eua_sim::TaskId(0)).allocation(),
+                platform.f_max(),
+            )))
+        .floor() as u64;
+        assert!(
+            bounded.jobs_completed() > fmax_jobs_at_budget,
+            "budgeted {} vs fmax-equivalent {}",
+            bounded.jobs_completed(),
+            fmax_jobs_at_budget
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_budget_rejected() {
+        let _ = BudgetedEua::new(-1.0);
+    }
+}

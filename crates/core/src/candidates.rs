@@ -1,0 +1,229 @@
+//! Shared schedule-construction machinery: feasibility at `f_m` and the
+//! greedy key-ordered insertion used by EUA\* (and DASA).
+
+use eua_platform::{Cycles, Frequency, SimTime};
+use eua_sim::{JobId, JobView};
+
+/// One schedulable job plus the ordering key (UER for EUA\*, utility
+/// density for DASA) driving greedy insertion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Candidate {
+    /// The job's id.
+    pub id: JobId,
+    /// Absolute critical time (schedule position key).
+    pub critical: SimTime,
+    /// Absolute termination time (feasibility bound).
+    pub termination: SimTime,
+    /// Believed remaining cycles.
+    pub remaining: Cycles,
+    /// The greedy ordering key; higher is better.
+    pub key: f64,
+}
+
+impl Candidate {
+    /// Builds a candidate from a live-job view with the given key.
+    #[must_use]
+    pub fn from_view(view: &JobView, key: f64) -> Self {
+        Candidate {
+            id: view.id,
+            critical: view.critical_time,
+            termination: view.termination,
+            remaining: view.remaining,
+            key,
+        }
+    }
+}
+
+/// Whether greedy construction stops at the first infeasible insertion
+/// (the paper's Algorithm 1 `break`) or skips it and tries lower-key jobs
+/// (DASA-style).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InsertionMode {
+    /// Stop considering further jobs once one fails to fit (paper
+    /// Algorithm 1 line 18).
+    #[default]
+    BreakOnInfeasible,
+    /// Skip the failing job and keep trying the rest.
+    SkipInfeasible,
+}
+
+/// Is a single job completable by its termination time at `f_m`?
+/// (Algorithm 1 line 10's per-job test.)
+#[must_use]
+pub fn job_feasible(now: SimTime, view: &JobView, f_max: Frequency) -> bool {
+    now.saturating_add(f_max.execution_time(view.remaining)) <= view.termination
+}
+
+/// The paper's `feasible(σ)`: executing the critical-time-ordered
+/// `schedule` back-to-back at `f_max` starting at `now`, does every job
+/// finish by its termination time?
+#[must_use]
+pub fn schedule_feasible(now: SimTime, schedule: &[Candidate], f_max: Frequency) -> bool {
+    let mut t = now;
+    for c in schedule {
+        t = t.saturating_add(f_max.execution_time(c.remaining));
+        if t > c.termination {
+            return false;
+        }
+    }
+    true
+}
+
+/// Greedy construction of a feasible critical-time-ordered schedule
+/// (Algorithm 1 lines 12–18): consider `candidates` in non-increasing key
+/// order (ties broken by earlier critical time, then id, for determinism),
+/// insert each at its critical-time position, and keep the insertion only
+/// if the schedule remains feasible.
+///
+/// Only candidates with a strictly positive key are considered (line 14's
+/// `UER > 0` guard).
+#[must_use]
+pub fn build_schedule(
+    now: SimTime,
+    mut candidates: Vec<Candidate>,
+    f_max: Frequency,
+    mode: InsertionMode,
+) -> Vec<Candidate> {
+    candidates.sort_by(|a, b| {
+        b.key
+            .partial_cmp(&a.key)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.critical.cmp(&b.critical))
+            .then_with(|| a.id.cmp(&b.id))
+    });
+    let mut schedule: Vec<Candidate> = Vec::with_capacity(candidates.len());
+    for cand in candidates {
+        if cand.key <= 0.0 {
+            break;
+        }
+        // Insert after all entries with critical time ≤ the candidate's
+        // (the paper's insert() places equal keys after existing entries).
+        let pos = schedule.partition_point(|c| c.critical <= cand.critical);
+        schedule.insert(pos, cand);
+        if !schedule_feasible(now, &schedule, f_max) {
+            schedule.remove(pos);
+            match mode {
+                InsertionMode::BreakOnInfeasible => break,
+                InsertionMode::SkipInfeasible => continue,
+            }
+        }
+    }
+    schedule
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cand(id: u64, critical: u64, termination: u64, remaining: u64, key: f64) -> Candidate {
+        Candidate {
+            id: JobId(id),
+            critical: SimTime::from_micros(critical),
+            termination: SimTime::from_micros(termination),
+            remaining: Cycles::new(remaining),
+            key,
+        }
+    }
+
+    fn fm() -> Frequency {
+        Frequency::from_mhz(100)
+    }
+
+    #[test]
+    fn single_job_feasibility() {
+        let view = JobView {
+            id: JobId(0),
+            task: eua_sim::TaskId(0),
+            arrival: SimTime::ZERO,
+            critical_time: SimTime::from_micros(50),
+            termination: SimTime::from_micros(100),
+            remaining: Cycles::new(5_000), // 50 µs at 100 MHz
+            executed: Cycles::ZERO,
+        };
+        assert!(job_feasible(SimTime::from_micros(50), &view, fm()));
+        assert!(!job_feasible(SimTime::from_micros(51), &view, fm()));
+    }
+
+    #[test]
+    fn schedule_feasibility_accumulates_backlog() {
+        // Two jobs of 50 µs each; terminations at 60 and 100 µs.
+        let a = cand(0, 60, 60, 5_000, 1.0);
+        let b = cand(1, 100, 100, 5_000, 1.0);
+        assert!(schedule_feasible(SimTime::ZERO, &[a, b], fm()));
+        // Reversed order misses a's termination.
+        assert!(!schedule_feasible(SimTime::ZERO, &[b, a], fm()));
+        // Starting later, even the good order fails.
+        assert!(!schedule_feasible(SimTime::from_micros(20), &[a, b], fm()));
+    }
+
+    #[test]
+    fn build_schedule_orders_by_critical_time() {
+        let jobs = vec![
+            cand(0, 300, 300, 1_000, 5.0),
+            cand(1, 100, 100, 1_000, 1.0),
+            cand(2, 200, 200, 1_000, 3.0),
+        ];
+        let sched = build_schedule(SimTime::ZERO, jobs, fm(), InsertionMode::BreakOnInfeasible);
+        let order: Vec<u64> = sched.iter().map(|c| c.id.get()).collect();
+        assert_eq!(order, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn low_key_job_dropped_when_it_breaks_feasibility() {
+        // High-key job takes the whole window; low-key job cannot fit.
+        let jobs = vec![
+            cand(0, 100, 100, 10_000, 10.0), // 100 µs of work
+            cand(1, 100, 100, 10_000, 1.0),
+        ];
+        let sched =
+            build_schedule(SimTime::ZERO, jobs, fm(), InsertionMode::BreakOnInfeasible);
+        assert_eq!(sched.len(), 1);
+        assert_eq!(sched[0].id, JobId(0));
+    }
+
+    #[test]
+    fn break_mode_stops_at_first_failure_skip_mode_continues() {
+        // key order: j0 (fits), j1 (doesn't fit), j2 (would fit).
+        let jobs = vec![
+            cand(0, 50, 50, 4_000, 10.0),   // 40 µs
+            cand(1, 60, 60, 5_000, 5.0),    // 50 µs — infeasible after j0
+            cand(2, 500, 500, 1_000, 1.0),  // 10 µs — plenty of slack
+        ];
+        let brk = build_schedule(
+            SimTime::ZERO,
+            jobs.clone(),
+            fm(),
+            InsertionMode::BreakOnInfeasible,
+        );
+        assert_eq!(brk.iter().map(|c| c.id.get()).collect::<Vec<_>>(), vec![0]);
+        let skip = build_schedule(SimTime::ZERO, jobs, fm(), InsertionMode::SkipInfeasible);
+        assert_eq!(skip.iter().map(|c| c.id.get()).collect::<Vec<_>>(), vec![0, 2]);
+    }
+
+    #[test]
+    fn non_positive_keys_are_excluded() {
+        let jobs = vec![cand(0, 100, 100, 1_000, 0.0), cand(1, 100, 100, 1_000, -1.0)];
+        assert!(build_schedule(SimTime::ZERO, jobs, fm(), InsertionMode::default()).is_empty());
+    }
+
+    #[test]
+    fn equal_critical_times_keep_insertion_order_stable() {
+        let jobs = vec![
+            cand(7, 100, 200, 1_000, 3.0),
+            cand(3, 100, 200, 1_000, 2.0),
+            cand(5, 100, 200, 1_000, 1.0),
+        ];
+        let sched = build_schedule(SimTime::ZERO, jobs, fm(), InsertionMode::default());
+        // Insert-after-equals ⇒ higher-key jobs settle earlier.
+        assert_eq!(sched.iter().map(|c| c.id.get()).collect::<Vec<_>>(), vec![7, 3, 5]);
+    }
+
+    #[test]
+    fn nan_keys_do_not_panic() {
+        let jobs = vec![cand(0, 100, 100, 1_000, f64::NAN), cand(1, 90, 100, 1_000, 2.0)];
+        let sched = build_schedule(SimTime::ZERO, jobs, fm(), InsertionMode::default());
+        // The NaN-keyed job sorts unspecified but must not crash; the
+        // positive-keyed job survives.
+        assert!(sched.iter().any(|c| c.id == JobId(1)));
+    }
+}

@@ -1,0 +1,123 @@
+//! A DASA-style pure utility-accrual baseline (Locke's best-effort
+//! decision making): greedy insertion by **utility density** `U/c` with no
+//! DVS. Included as the non-energy-aware ancestor of EUA\* — with a
+//! constant energy model, EUA\*'s UER ordering degenerates to exactly this
+//! policy.
+
+use eua_sim::{Decision, SchedContext, SchedulerPolicy};
+
+use crate::candidates::{build_schedule, job_feasible, Candidate, InsertionMode};
+
+/// Dependent Activity Scheduling Algorithm (independent-task form):
+/// utility-density-ordered greedy scheduling at the maximum frequency.
+///
+/// # Example
+///
+/// ```
+/// use eua_core::Dasa;
+/// use eua_sim::SchedulerPolicy;
+///
+/// assert_eq!(Dasa::new().name(), "dasa");
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Dasa {
+    _private: (),
+}
+
+impl Dasa {
+    /// Creates the policy.
+    #[must_use]
+    pub fn new() -> Self {
+        Dasa::default()
+    }
+}
+
+impl SchedulerPolicy for Dasa {
+    fn name(&self) -> &str {
+        "dasa"
+    }
+
+    fn decide(&mut self, ctx: &SchedContext<'_>) -> Decision {
+        let f_m = ctx.platform.f_max();
+        let mut aborts = Vec::new();
+        let mut cands = Vec::with_capacity(ctx.jobs.len());
+        for j in ctx.jobs {
+            if !job_feasible(ctx.now, j, f_m) {
+                aborts.push(j.id);
+                continue;
+            }
+            let predicted = ctx.now.saturating_add(f_m.execution_time(j.remaining));
+            let sojourn = predicted.saturating_since(j.arrival);
+            let utility = ctx.tasks.task(j.task).tuf().utility(sojourn);
+            // Utility density: expected utility per remaining cycle.
+            cands.push(Candidate::from_view(j, utility / j.remaining.as_f64()));
+        }
+        let schedule = build_schedule(ctx.now, cands, f_m, InsertionMode::SkipInfeasible);
+        match schedule.first() {
+            Some(head) => Decision::run(head.id, f_m).with_aborts(aborts),
+            None => Decision::idle(f_m).with_aborts(aborts),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eua_platform::{EnergySetting, TimeDelta};
+    use eua_sim::{Engine, Platform, SimConfig, Task, TaskSet};
+    use eua_tuf::Tuf;
+    use eua_uam::demand::DemandModel;
+    use eua_uam::generator::ArrivalPattern;
+    use eua_uam::{Assurance, UamSpec};
+
+    fn ms(v: u64) -> TimeDelta {
+        TimeDelta::from_millis(v)
+    }
+
+    #[test]
+    fn dasa_favors_high_density_jobs_during_overload() {
+        let p = ms(10);
+        let mk = |name: &str, umax: f64| {
+            Task::new(
+                name,
+                Tuf::step(umax, p).unwrap(),
+                UamSpec::periodic(p).unwrap(),
+                DemandModel::deterministic(700_000.0).unwrap(),
+                Assurance::new(1.0, 0.5).unwrap(),
+            )
+            .unwrap()
+        };
+        let tasks = TaskSet::new(vec![mk("low", 1.0), mk("high", 20.0)]).unwrap();
+        let patterns = vec![
+            ArrivalPattern::periodic(p).unwrap(),
+            ArrivalPattern::periodic(p).unwrap(),
+        ];
+        let config = SimConfig::new(ms(300));
+        let platform = Platform::powernow(EnergySetting::e1());
+        let out =
+            Engine::run(&tasks, &patterns, &platform, &mut Dasa::new(), &config, 1).unwrap();
+        assert!(out.metrics.per_task[1].completed > out.metrics.per_task[0].completed);
+        assert_eq!(out.metrics.per_task[1].completed, 30);
+    }
+
+    #[test]
+    fn dasa_equals_optimal_underload() {
+        let p = ms(20);
+        let task = Task::new(
+            "t",
+            Tuf::step(5.0, p).unwrap(),
+            UamSpec::periodic(p).unwrap(),
+            DemandModel::deterministic(500_000.0).unwrap(),
+            Assurance::new(1.0, 0.5).unwrap(),
+        )
+        .unwrap();
+        let tasks = TaskSet::new(vec![task]).unwrap();
+        let patterns = vec![ArrivalPattern::periodic(p).unwrap()];
+        let config = SimConfig::new(ms(400));
+        let platform = Platform::powernow(EnergySetting::e1());
+        let out =
+            Engine::run(&tasks, &patterns, &platform, &mut Dasa::new(), &config, 1).unwrap();
+        assert_eq!(out.metrics.jobs_completed(), 20);
+        assert!((out.metrics.utility_ratio() - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,295 @@
+//! Deadline-based baselines: EDF at `f_m`, cycle-conserving EDF, and
+//! look-ahead EDF (Pillai & Shin, SOSP'01 — reference [13] of the paper),
+//! each with or without feasibility aborts (the paper's `-NA` variants).
+//!
+//! As in the paper's §5.1, the DVS baselines are driven by the same cycle
+//! allocations EUA\* computes ("the other strategies are based on the worst
+//! case workload; here we use cycles allocated by EUA\* as their inputs"),
+//! so differences in the figures isolate the scheduling and DVS policies
+//! rather than the demand estimates.
+
+use eua_platform::select_freq;
+use eua_sim::{Decision, JobView, SchedContext, SchedulerPolicy};
+
+use crate::candidates::job_feasible;
+use crate::eua::decide_freq::LookAheadDvs;
+
+/// Which DVS technique the EDF baseline applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub enum DvsMode {
+    /// No DVS: always the maximum frequency (the paper's normalization
+    /// baseline).
+    #[default]
+    None,
+    /// Static DVS: the constant sufficient speed of Theorem 1,
+    /// `Σ C_i/D_i`, selected once from the task set.
+    Static,
+    /// Cycle-conserving: frequency tracks the aggregate utilization of
+    /// live work, with idle tasks reserving their expected demand.
+    CycleConserving,
+    /// Look-ahead: the Algorithm 2 deferral analysis (shared with EUA\*),
+    /// without the UER clamp.
+    LookAhead,
+}
+
+/// Critical-time-ordered (EDF) scheduling with optional DVS and optional
+/// feasibility aborts.
+///
+/// # Example
+///
+/// ```
+/// use eua_core::{DvsMode, EdfPolicy};
+/// use eua_sim::SchedulerPolicy;
+///
+/// assert_eq!(EdfPolicy::max_speed().name(), "edf");
+/// assert_eq!(EdfPolicy::look_ahead().name(), "laedf");
+/// assert_eq!(EdfPolicy::new(DvsMode::CycleConserving, false).name(), "ccedf-na");
+/// ```
+#[derive(Debug, Clone)]
+pub struct EdfPolicy {
+    dvs: DvsMode,
+    abort_infeasible: bool,
+    name: String,
+    look_ahead: LookAheadDvs,
+}
+
+impl EdfPolicy {
+    /// An EDF baseline with the given DVS mode and abort behaviour.
+    #[must_use]
+    pub fn new(dvs: DvsMode, abort_infeasible: bool) -> Self {
+        let mut name = String::from(match dvs {
+            DvsMode::None => "edf",
+            DvsMode::Static => "edf-static",
+            DvsMode::CycleConserving => "ccedf",
+            DvsMode::LookAhead => "laedf",
+        });
+        if !abort_infeasible {
+            name.push_str("-na");
+        }
+        EdfPolicy { dvs, abort_infeasible, name, look_ahead: LookAheadDvs::new() }
+    }
+
+    /// EDF at the maximum frequency with feasibility aborts — the
+    /// normalization baseline of Figure 2.
+    #[must_use]
+    pub fn max_speed() -> Self {
+        EdfPolicy::new(DvsMode::None, true)
+    }
+
+    /// Cycle-conserving EDF with aborts.
+    #[must_use]
+    pub fn cycle_conserving() -> Self {
+        EdfPolicy::new(DvsMode::CycleConserving, true)
+    }
+
+    /// Look-ahead EDF with aborts.
+    #[must_use]
+    pub fn look_ahead() -> Self {
+        EdfPolicy::new(DvsMode::LookAhead, true)
+    }
+
+    /// The non-aborting variant of this policy (the paper's `-NA`).
+    #[must_use]
+    pub fn without_abort(&self) -> Self {
+        EdfPolicy::new(self.dvs, false)
+    }
+
+    /// The DVS mode in use.
+    #[must_use]
+    pub fn dvs(&self) -> DvsMode {
+        self.dvs
+    }
+
+    fn cycle_conserving_speed(ctx: &SchedContext<'_>) -> f64 {
+        let mut speed = 0.0;
+        for (tid, task) in ctx.tasks.iter() {
+            let pending = ctx.pending_count(tid);
+            if pending > 0 {
+                let considered = f64::from(pending.min(task.uam().max_arrivals()));
+                speed += considered * task.allocation().as_f64()
+                    / task.critical_offset().as_micros() as f64;
+            } else {
+                // The cycle-conserving reclamation: an idle task reserves
+                // only its expected demand until its next release.
+                speed += task.demand().mean() / task.critical_offset().as_micros() as f64;
+            }
+        }
+        speed
+    }
+}
+
+impl SchedulerPolicy for EdfPolicy {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn decide(&mut self, ctx: &SchedContext<'_>) -> Decision {
+        let f_m = ctx.platform.f_max();
+        // Keep the look-ahead window anchors fresh at every event.
+        let analysis = (self.dvs == DvsMode::LookAhead).then(|| self.look_ahead.analyze(ctx));
+        let mut aborts = Vec::new();
+        let mut best: Option<&JobView> = None;
+        for j in ctx.jobs {
+            if self.abort_infeasible && !job_feasible(ctx.now, j, f_m) {
+                aborts.push(j.id);
+                continue;
+            }
+            if best.is_none_or(|b| (j.critical_time, j.id) < (b.critical_time, b.id)) {
+                best = Some(j);
+            }
+        }
+        let Some(job) = best else {
+            return Decision::idle(f_m).with_aborts(aborts);
+        };
+        let frequency = match self.dvs {
+            DvsMode::None => f_m,
+            DvsMode::Static => {
+                // Theorem 1: speed Σ C_i/D_i suffices for all critical
+                // times under UAM arrivals.
+                let demand: f64 = ctx.tasks.iter().map(|(_, t)| t.demand_rate()).sum();
+                select_freq(ctx.platform.table(), demand)
+            }
+            DvsMode::CycleConserving => {
+                select_freq(ctx.platform.table(), Self::cycle_conserving_speed(ctx))
+            }
+            DvsMode::LookAhead => select_freq(
+                ctx.platform.table(),
+                analysis.expect("computed for LookAhead above").required_speed,
+            ),
+        };
+        Decision::run(job.id, frequency).with_aborts(aborts)
+    }
+
+    fn reset(&mut self) {
+        self.look_ahead.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eua_platform::{EnergySetting, SimTime, TimeDelta};
+    use eua_sim::{Engine, Platform, SimConfig, Task, TaskSet};
+    use eua_tuf::Tuf;
+    use eua_uam::demand::DemandModel;
+    use eua_uam::generator::ArrivalPattern;
+    use eua_uam::{ArrivalTrace, Assurance, UamSpec};
+
+    fn ms(v: u64) -> TimeDelta {
+        TimeDelta::from_millis(v)
+    }
+
+    fn platform() -> Platform {
+        Platform::powernow(EnergySetting::e1())
+    }
+
+    fn step_task(name: &str, p_ms: u64, cycles: f64) -> Task {
+        Task::new(
+            name,
+            Tuf::step(10.0, ms(p_ms)).unwrap(),
+            UamSpec::periodic(ms(p_ms)).unwrap(),
+            DemandModel::deterministic(cycles).unwrap(),
+            Assurance::new(1.0, 0.5).unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn dvs_modes_order_energy_sensibly_underload() {
+        let tasks = TaskSet::new(vec![
+            step_task("a", 10, 100_000.0),
+            step_task("b", 20, 200_000.0),
+        ])
+        .unwrap();
+        let patterns = vec![
+            ArrivalPattern::periodic(ms(10)).unwrap(),
+            ArrivalPattern::periodic(ms(20)).unwrap(),
+        ];
+        let config = SimConfig::new(ms(1_000));
+        let run = |policy: &mut EdfPolicy| {
+            Engine::run(&tasks, &patterns, &platform(), policy, &config, 5)
+                .unwrap()
+                .metrics
+        };
+        let fixed = run(&mut EdfPolicy::max_speed());
+        let cc = run(&mut EdfPolicy::cycle_conserving());
+        let la = run(&mut EdfPolicy::look_ahead());
+        // All complete everything at load 0.2...
+        assert_eq!(fixed.jobs_completed(), 150);
+        assert_eq!(cc.jobs_completed(), 150);
+        assert_eq!(la.jobs_completed(), 150);
+        // ...with DVS strictly saving energy, look-ahead at least as well
+        // as cycle-conserving.
+        assert!(cc.energy < fixed.energy);
+        assert!(la.energy <= cc.energy * 1.05);
+    }
+
+    #[test]
+    fn na_variant_burns_cycles_on_doomed_jobs() {
+        // One hopeless job (2 P of work): the aborting variant drops it at
+        // release; the -NA variant burns the whole window on it.
+        let tasks = TaskSet::new(vec![step_task("doomed", 10, 2_000_000.0)]).unwrap();
+        let traces = vec![ArrivalTrace::from_times([SimTime::ZERO])];
+        let config = SimConfig::new(ms(10));
+        let abort = Engine::run_with_traces(
+            &tasks,
+            &traces,
+            &platform(),
+            &mut EdfPolicy::max_speed(),
+            &config,
+            1,
+        )
+        .unwrap();
+        let na = Engine::run_with_traces(
+            &tasks,
+            &traces,
+            &platform(),
+            &mut EdfPolicy::max_speed().without_abort(),
+            &config,
+            1,
+        )
+        .unwrap();
+        assert_eq!(abort.metrics.energy, 0.0);
+        assert!(na.metrics.energy > 0.0);
+        assert_eq!(na.metrics.per_task[0].aborted_by_termination, 1);
+        assert_eq!(abort.metrics.per_task[0].aborted_by_policy, 1);
+    }
+
+    #[test]
+    fn edf_meets_all_deadlines_underload() {
+        let tasks = TaskSet::new(vec![
+            step_task("a", 10, 300_000.0),
+            step_task("b", 25, 500_000.0),
+            step_task("c", 50, 1_000_000.0),
+        ])
+        .unwrap();
+        let patterns = vec![
+            ArrivalPattern::periodic(ms(10)).unwrap(),
+            ArrivalPattern::periodic(ms(25)).unwrap(),
+            ArrivalPattern::periodic(ms(50)).unwrap(),
+        ];
+        let config = SimConfig::new(ms(2_000));
+        for policy in [
+            &mut EdfPolicy::max_speed(),
+            &mut EdfPolicy::cycle_conserving(),
+            &mut EdfPolicy::look_ahead(),
+        ] {
+            let m = Engine::run(&tasks, &patterns, &platform(), policy, &config, 2)
+                .unwrap()
+                .metrics;
+            assert_eq!(m.jobs_aborted(), 0, "{} aborted jobs", policy.name());
+            for tm in &m.per_task {
+                assert_eq!(tm.critical_met, tm.completed, "{} missed deadlines", policy.name());
+            }
+        }
+    }
+
+    #[test]
+    fn names_and_accessors() {
+        assert_eq!(EdfPolicy::max_speed().name(), "edf");
+        assert_eq!(EdfPolicy::max_speed().without_abort().name(), "edf-na");
+        assert_eq!(EdfPolicy::cycle_conserving().name(), "ccedf");
+        assert_eq!(EdfPolicy::look_ahead().dvs(), DvsMode::LookAhead);
+    }
+}

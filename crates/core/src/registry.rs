@@ -1,0 +1,92 @@
+//! Name-based policy construction for the experiment harness.
+
+use eua_sim::SchedulerPolicy;
+
+use crate::dasa::Dasa;
+use crate::edf::{DvsMode, EdfPolicy};
+use crate::eua::{Eua, EuaOptions};
+use crate::llf::Llf;
+
+/// The names accepted by [`make_policy`], in presentation order.
+#[must_use]
+pub fn available_policies() -> &'static [&'static str] {
+    &[
+        "eua",
+        "eua-nodvs",
+        "eua-na",
+        "eua-noclamp",
+        "eua-skip",
+        "edf",
+        "edf-na",
+        "edf-static",
+        "ccedf",
+        "ccedf-na",
+        "laedf",
+        "laedf-na",
+        "dasa",
+        "llf",
+    ]
+}
+
+/// Builds a policy by name; `None` for an unknown name.
+///
+/// # Example
+///
+/// ```
+/// use eua_core::{available_policies, make_policy};
+///
+/// for name in available_policies() {
+///     let policy = make_policy(name).expect("every listed name constructs");
+///     assert_eq!(policy.name(), *name);
+/// }
+/// assert!(make_policy("fifo").is_none());
+/// ```
+#[must_use]
+pub fn make_policy(name: &str) -> Option<Box<dyn SchedulerPolicy>> {
+    let policy: Box<dyn SchedulerPolicy> = match name {
+        "eua" => Box::new(Eua::new()),
+        "eua-nodvs" => Box::new(Eua::without_dvs()),
+        "eua-na" => Box::new(Eua::with_options(EuaOptions {
+            abort_infeasible: false,
+            ..EuaOptions::default()
+        })),
+        "eua-noclamp" => Box::new(Eua::with_options(EuaOptions {
+            uer_clamp: false,
+            ..EuaOptions::default()
+        })),
+        "eua-skip" => Box::new(Eua::with_options(EuaOptions {
+            insertion: crate::candidates::InsertionMode::SkipInfeasible,
+            ..EuaOptions::default()
+        })),
+        "edf" => Box::new(EdfPolicy::max_speed()),
+        "edf-na" => Box::new(EdfPolicy::new(DvsMode::None, false)),
+        "edf-static" => Box::new(EdfPolicy::new(DvsMode::Static, true)),
+        "ccedf" => Box::new(EdfPolicy::cycle_conserving()),
+        "ccedf-na" => Box::new(EdfPolicy::new(DvsMode::CycleConserving, false)),
+        "laedf" => Box::new(EdfPolicy::look_ahead()),
+        "laedf-na" => Box::new(EdfPolicy::new(DvsMode::LookAhead, false)),
+        "dasa" => Box::new(Dasa::new()),
+        "llf" => Box::new(Llf::new()),
+        _ => return None,
+    };
+    Some(policy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_total_over_listed_names() {
+        for name in available_policies() {
+            let p = make_policy(name).unwrap();
+            assert_eq!(p.name(), *name);
+        }
+    }
+
+    #[test]
+    fn unknown_names_rejected() {
+        assert!(make_policy("").is_none());
+        assert!(make_policy("EUA").is_none(), "names are case-sensitive");
+    }
+}

@@ -1,0 +1,277 @@
+//! Discrete DVS clock frequencies and frequency tables.
+
+use std::fmt;
+
+use crate::error::PlatformError;
+use crate::units::{Cycles, TimeDelta};
+
+/// A processor clock frequency, in cycles per microsecond.
+///
+/// One cycle-per-microsecond equals one MHz, so the AMD K6-2+ frequency
+/// `100 MHz` is represented as `Frequency::from_mhz(100)`. Keeping the unit
+/// at cycles/µs makes `cycles / frequency` an exact integer number of
+/// microseconds (rounded up), which is what the simulator relies on for
+/// determinism.
+///
+/// # Example
+///
+/// ```
+/// use eua_platform::{Cycles, Frequency, TimeDelta};
+///
+/// let f = Frequency::from_mhz(50);
+/// assert_eq!(f.execution_time(Cycles::new(100)), TimeDelta::from_micros(2));
+/// // Partial microseconds round up: 101 cycles still need 3 µs at 50 MHz.
+/// assert_eq!(f.execution_time(Cycles::new(101)), TimeDelta::from_micros(3));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Frequency(u64);
+
+impl Frequency {
+    /// Creates a frequency of `mhz` cycles per microsecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mhz` is zero; a zero clock can execute nothing and would
+    /// make every time conversion divide by zero. Use
+    /// [`FrequencyTable::new`] for fallible validation of user input.
+    #[must_use]
+    pub const fn from_mhz(mhz: u64) -> Self {
+        assert!(mhz > 0, "frequency must be positive");
+        Frequency(mhz)
+    }
+
+    /// The frequency in cycles per microsecond (numerically MHz).
+    #[must_use]
+    pub const fn as_mhz(self) -> u64 {
+        self.0
+    }
+
+    /// The frequency as `f64` cycles/µs, for energy-model arithmetic.
+    #[must_use]
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+
+    /// Time needed to execute `cycles` at this frequency, rounded up to the
+    /// next whole microsecond (a job is only observed complete at integer
+    /// clock ticks).
+    #[must_use]
+    pub const fn execution_time(self, cycles: Cycles) -> TimeDelta {
+        TimeDelta::from_micros(cycles.get().div_ceil(self.0))
+    }
+
+    /// Work performed in `delta` time at this frequency.
+    #[must_use]
+    pub const fn cycles_in(self, delta: TimeDelta) -> Cycles {
+        Cycles::new(delta.as_micros().saturating_mul(self.0))
+    }
+}
+
+impl fmt::Display for Frequency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}MHz", self.0)
+    }
+}
+
+/// An ordered set of discrete frequencies a DVS processor can run at,
+/// `f_1 < f_2 < … < f_m`.
+///
+/// # Example
+///
+/// ```
+/// use eua_platform::FrequencyTable;
+///
+/// # fn main() -> Result<(), eua_platform::PlatformError> {
+/// let table = FrequencyTable::powernow_k6();
+/// assert_eq!(table.len(), 7);
+/// assert_eq!(table.max().as_mhz(), 100);
+/// assert_eq!(table.min().as_mhz(), 36);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FrequencyTable {
+    freqs: Vec<Frequency>,
+}
+
+impl FrequencyTable {
+    /// Creates a table from strictly-increasing positive frequencies in MHz.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::EmptyFrequencyTable`] for an empty list,
+    /// [`PlatformError::ZeroFrequency`] if any entry is zero, and
+    /// [`PlatformError::UnsortedFrequencyTable`] if the list is not strictly
+    /// increasing.
+    pub fn new(mhz: impl IntoIterator<Item = u64>) -> Result<Self, PlatformError> {
+        let raw: Vec<u64> = mhz.into_iter().collect();
+        if raw.is_empty() {
+            return Err(PlatformError::EmptyFrequencyTable);
+        }
+        if raw.contains(&0) {
+            return Err(PlatformError::ZeroFrequency);
+        }
+        for (i, pair) in raw.windows(2).enumerate() {
+            if pair[0] >= pair[1] {
+                return Err(PlatformError::UnsortedFrequencyTable { index: i + 1 });
+            }
+        }
+        Ok(FrequencyTable { freqs: raw.into_iter().map(Frequency::from_mhz).collect() })
+    }
+
+    /// The AMD K6-2+ PowerNow! frequency set used throughout the paper's
+    /// evaluation: {36, 55, 64, 73, 82, 91, 100} MHz.
+    #[must_use]
+    pub fn powernow_k6() -> Self {
+        FrequencyTable::new([36, 55, 64, 73, 82, 91, 100])
+            .expect("PowerNow preset is valid by construction")
+    }
+
+    /// A single-speed table (no DVS), pinned at `mhz`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mhz` is zero.
+    #[must_use]
+    pub fn fixed(mhz: u64) -> Self {
+        FrequencyTable::new([mhz]).expect("a single positive frequency is valid")
+    }
+
+    /// Number of available frequencies `m`.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.freqs.len()
+    }
+
+    /// `false` always — an empty table cannot be constructed — but provided
+    /// for API completeness alongside [`FrequencyTable::len`].
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.freqs.is_empty()
+    }
+
+    /// The highest frequency `f_m`.
+    #[must_use]
+    pub fn max(&self) -> Frequency {
+        *self.freqs.last().expect("table is non-empty by construction")
+    }
+
+    /// The lowest frequency `f_1`.
+    #[must_use]
+    pub fn min(&self) -> Frequency {
+        self.freqs[0]
+    }
+
+    /// Iterates over the frequencies in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = Frequency> + '_ {
+        self.freqs.iter().copied()
+    }
+
+    /// The frequencies as a slice, in increasing order.
+    #[must_use]
+    pub fn as_slice(&self) -> &[Frequency] {
+        &self.freqs
+    }
+
+    /// The lowest table frequency whose speed is at least `demand`
+    /// cycles/µs, i.e. the paper's `selectFreq(x)`.
+    ///
+    /// Returns `None` when `demand` exceeds `f_m` (the paper then clamps
+    /// the demand to `f_m` before retrying; see
+    /// [`crate::select::select_freq`] for the clamping wrapper).
+    #[must_use]
+    pub fn lowest_at_least(&self, demand: f64) -> Option<Frequency> {
+        if !demand.is_finite() {
+            return None;
+        }
+        self.freqs.iter().copied().find(|f| f.as_f64() >= demand)
+    }
+}
+
+impl fmt::Display for FrequencyTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, freq) in self.freqs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{freq}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl<'a> IntoIterator for &'a FrequencyTable {
+    type Item = Frequency;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, Frequency>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.freqs.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn execution_time_rounds_up() {
+        let f = Frequency::from_mhz(73);
+        assert_eq!(f.execution_time(Cycles::new(73)), TimeDelta::from_micros(1));
+        assert_eq!(f.execution_time(Cycles::new(74)), TimeDelta::from_micros(2));
+        assert_eq!(f.execution_time(Cycles::ZERO), TimeDelta::ZERO);
+    }
+
+    #[test]
+    fn cycles_in_is_inverse_of_execution_time_for_exact_multiples() {
+        let f = Frequency::from_mhz(50);
+        let c = Cycles::new(50 * 123);
+        let t = f.execution_time(c);
+        assert_eq!(f.cycles_in(t), c);
+    }
+
+    #[test]
+    fn powernow_preset_matches_paper() {
+        let t = FrequencyTable::powernow_k6();
+        let mhz: Vec<u64> = t.iter().map(Frequency::as_mhz).collect();
+        assert_eq!(mhz, vec![36, 55, 64, 73, 82, 91, 100]);
+    }
+
+    #[test]
+    fn new_rejects_empty_zero_and_unsorted() {
+        assert_eq!(FrequencyTable::new([]), Err(PlatformError::EmptyFrequencyTable));
+        assert_eq!(FrequencyTable::new([0, 10]), Err(PlatformError::ZeroFrequency));
+        assert_eq!(
+            FrequencyTable::new([10, 10]),
+            Err(PlatformError::UnsortedFrequencyTable { index: 1 })
+        );
+        assert_eq!(
+            FrequencyTable::new([10, 20, 15]),
+            Err(PlatformError::UnsortedFrequencyTable { index: 2 })
+        );
+    }
+
+    #[test]
+    fn lowest_at_least_picks_ceiling_frequency() {
+        let t = FrequencyTable::powernow_k6();
+        assert_eq!(t.lowest_at_least(0.0).unwrap().as_mhz(), 36);
+        assert_eq!(t.lowest_at_least(36.0).unwrap().as_mhz(), 36);
+        assert_eq!(t.lowest_at_least(36.1).unwrap().as_mhz(), 55);
+        assert_eq!(t.lowest_at_least(100.0).unwrap().as_mhz(), 100);
+        assert!(t.lowest_at_least(100.1).is_none());
+        assert!(t.lowest_at_least(f64::NAN).is_none());
+        assert!(t.lowest_at_least(f64::INFINITY).is_none());
+    }
+
+    #[test]
+    fn fixed_table_is_single_speed() {
+        let t = FrequencyTable::fixed(100);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.max(), t.min());
+    }
+
+    #[test]
+    fn display_lists_frequencies() {
+        let t = FrequencyTable::new([10, 20]).unwrap();
+        assert_eq!(t.to_string(), "{10MHz, 20MHz}");
+    }
+}

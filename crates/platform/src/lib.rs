@@ -1,0 +1,52 @@
+//! DVS processor platform model for the EUA\* reproduction.
+//!
+//! This crate is the hardware-facing substrate of the workspace. It provides:
+//!
+//! * [`units`] — strongly-typed time ([`SimTime`], [`TimeDelta`]), work
+//!   ([`Cycles`]) and clock-frequency ([`Frequency`]) quantities. All time is
+//!   integer microseconds and frequencies are integer cycles-per-microsecond
+//!   (numerically equal to MHz), so `execution time = cycles / frequency`
+//!   is exact integer arithmetic and simulations are bit-reproducible.
+//! * [`frequency`] — discrete DVS frequency tables, including the AMD
+//!   K6-2+ PowerNow! preset used by the paper's evaluation
+//!   ([`FrequencyTable::powernow_k6`]).
+//! * [`energy`] — Martin's system-level energy model: per-cycle energy
+//!   `E(f) = S3·f² + S2·f + S1 + S0/f`, with the paper's Table 2 settings
+//!   E1/E2/E3 ([`EnergySetting`]).
+//! * [`select`] — frequency-selection helpers: `selectFreq` (lowest
+//!   frequency ≥ a demand) and the per-task UER-optimal frequency search
+//!   used by EUA\*'s `offlineComputing`.
+//!
+//! # Example
+//!
+//! ```
+//! use eua_platform::{Cycles, EnergySetting, FrequencyTable, TimeDelta};
+//!
+//! # fn main() -> Result<(), eua_platform::PlatformError> {
+//! let table = FrequencyTable::powernow_k6();
+//! let energy = EnergySetting::e1().model(table.max());
+//!
+//! // Executing one million cycles at the top frequency (100 cycles/µs)
+//! // takes 10 ms and costs 1e6 · E(100) energy units.
+//! let f = table.max();
+//! assert_eq!(f.execution_time(Cycles::new(1_000_000)), TimeDelta::from_micros(10_000));
+//! let per_cycle = energy.energy_per_cycle(f);
+//! assert!(per_cycle > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod energy;
+pub mod error;
+pub mod frequency;
+pub mod select;
+pub mod units;
+
+pub use energy::{EnergyModel, EnergySetting};
+pub use error::PlatformError;
+pub use frequency::{Frequency, FrequencyTable};
+pub use select::{optimal_uer_frequency, select_freq};
+pub use units::{Cycles, SimTime, TimeDelta};

@@ -1,0 +1,199 @@
+//! Frequency-selection helpers shared by the schedulers.
+
+use crate::energy::EnergyModel;
+use crate::frequency::{Frequency, FrequencyTable};
+use crate::units::{Cycles, TimeDelta};
+
+/// The paper's `selectFreq(x)` with the Algorithm 2 overload clamp.
+///
+/// Returns the lowest table frequency whose speed is at least `demand`
+/// cycles/µs. During overload the required speed can exceed `f_m`, in which
+/// case the bare table lookup fails; Algorithm 2 (line 9) resolves this by
+/// capping the demand at `f_m`, so this helper returns `f_m` for any demand
+/// above it (including non-finite demands, which arise from a zero
+/// time-to-critical-time denominator).
+///
+/// # Example
+///
+/// ```
+/// use eua_platform::{select_freq, FrequencyTable};
+///
+/// let table = FrequencyTable::powernow_k6();
+/// assert_eq!(select_freq(&table, 60.0).as_mhz(), 64);
+/// assert_eq!(select_freq(&table, 250.0).as_mhz(), 100); // overload clamp
+/// ```
+#[must_use]
+pub fn select_freq(table: &FrequencyTable, demand: f64) -> Frequency {
+    if demand.is_nan() {
+        // A 0/0 demand means "due now": be conservative and run flat out.
+        return table.max();
+    }
+    table.lowest_at_least(demand.max(0.0)).unwrap_or_else(|| table.max())
+}
+
+/// The per-task UER-optimal frequency computed by EUA\*'s
+/// `offlineComputing`.
+///
+/// For a task with cycle allocation `c` and TUF `U(·)` (supplied as the
+/// `utility` closure over the job's sojourn time), the **utility and energy
+/// ratio** at frequency `f` is
+///
+/// ```text
+/// UER(f) = U(c / f) / (c · E(f))
+/// ```
+///
+/// This scans the discrete table and returns the frequency maximizing
+/// `UER`, breaking ties toward the lower frequency (less energy for equal
+/// ratio, and equal ratio at lower speed means equal utility for less
+/// power). If every frequency yields non-positive utility, the highest
+/// frequency is returned so the task finishes as early as possible.
+///
+/// # Example
+///
+/// ```
+/// use eua_platform::{optimal_uer_frequency, Cycles, EnergySetting, FrequencyTable, TimeDelta};
+///
+/// let table = FrequencyTable::powernow_k6();
+/// let model = EnergySetting::e3().model(table.max());
+/// // A step TUF with critical time 1 ms and 40k cycles of work.
+/// let step = |t: TimeDelta| if t <= TimeDelta::from_millis(1) { 10.0 } else { 0.0 };
+/// let f = optimal_uer_frequency(&table, &model, Cycles::new(40_000), step);
+/// // Under E3 slower is not always better: the optimum sits at or above
+/// // the feasibility bound of 40 MHz *and* near the E3 energy knee.
+/// assert!(f.as_mhz() >= 55);
+/// ```
+#[must_use]
+pub fn optimal_uer_frequency<U>(
+    table: &FrequencyTable,
+    model: &EnergyModel,
+    cycles: Cycles,
+    utility: U,
+) -> Frequency
+where
+    U: Fn(TimeDelta) -> f64,
+{
+    let mut best: Option<(f64, Frequency)> = None;
+    for f in table.iter() {
+        let sojourn = f.execution_time(cycles);
+        let u = utility(sojourn);
+        if u <= 0.0 {
+            continue;
+        }
+        let denom = cycles.as_f64().max(1.0) * model.energy_per_cycle(f);
+        let uer = u / denom;
+        let better = match best {
+            None => true,
+            Some((best_uer, _)) => uer > best_uer + 1e-15,
+        };
+        if better {
+            best = Some((uer, f));
+        }
+    }
+    best.map_or_else(|| table.max(), |(_, f)| f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::energy::EnergySetting;
+
+    fn table() -> FrequencyTable {
+        FrequencyTable::powernow_k6()
+    }
+
+    #[test]
+    fn select_freq_clamps_overload_to_fmax() {
+        let t = table();
+        assert_eq!(select_freq(&t, 1e9).as_mhz(), 100);
+        assert_eq!(select_freq(&t, f64::INFINITY).as_mhz(), 100);
+        assert_eq!(select_freq(&t, f64::NAN).as_mhz(), 100);
+    }
+
+    #[test]
+    fn select_freq_handles_negative_demand() {
+        assert_eq!(select_freq(&table(), -5.0).as_mhz(), 36);
+    }
+
+    #[test]
+    fn select_freq_exact_boundary() {
+        assert_eq!(select_freq(&table(), 91.0).as_mhz(), 91);
+        assert_eq!(select_freq(&table(), 91.0001).as_mhz(), 100);
+    }
+
+    #[test]
+    fn uer_optimum_under_e1_is_slowest_feasible_for_step_tuf() {
+        // Under E1, E(f) = f², so UER strictly improves as f drops while the
+        // step TUF still pays out; the optimum is the slowest frequency that
+        // meets the critical time.
+        let t = table();
+        let m = EnergySetting::e1().model(t.max());
+        // 64k cycles, critical time 1 ms → need ≥ 64 MHz.
+        let step =
+            |d: TimeDelta| if d <= TimeDelta::from_millis(1) { 5.0 } else { 0.0 };
+        let f = optimal_uer_frequency(&t, &m, Cycles::new(64_000), step);
+        assert_eq!(f.as_mhz(), 64);
+    }
+
+    #[test]
+    fn uer_optimum_under_e3_avoids_too_slow_frequencies() {
+        // Under E3 the energy knee is at ≈63 MHz; dropping to 36 MHz costs
+        // more energy per cycle, so even a generous critical time should not
+        // pull the optimum below the knee.
+        let t = table();
+        let m = EnergySetting::e3().model(t.max());
+        let step = |d: TimeDelta| if d <= TimeDelta::from_secs(10) { 5.0 } else { 0.0 };
+        let f = optimal_uer_frequency(&t, &m, Cycles::new(1_000), step);
+        assert_eq!(f.as_mhz(), 64, "expected the frequency nearest the E3 knee");
+    }
+
+    #[test]
+    fn uer_falls_back_to_fmax_when_nothing_pays() {
+        let t = table();
+        let m = EnergySetting::e1().model(t.max());
+        // TUF already expired: utility 0 everywhere.
+        let f = optimal_uer_frequency(&t, &m, Cycles::new(1_000), |_| 0.0);
+        assert_eq!(f, t.max());
+    }
+
+    #[test]
+    fn uer_tie_breaks_toward_lower_frequency() {
+        // Flat utility and flat per-cycle energy → all frequencies tie; the
+        // scan keeps the first (lowest) one.
+        let t = table();
+        let m = EnergySetting::custom("flat", 0.0, 0.0, 1.0, 0.0).unwrap().model(t.max());
+        let f = optimal_uer_frequency(&t, &m, Cycles::new(1_000), |_| 1.0);
+        assert_eq!(f, t.min());
+    }
+
+    #[test]
+    fn uer_with_decreasing_tuf_balances_speed_and_energy() {
+        // Linear TUF: finishing sooner earns more utility; under E1 slower is
+        // cheaper. The optimum must be interior or boundary but well-defined.
+        let t = table();
+        let m = EnergySetting::e1().model(t.max());
+        let linear = |d: TimeDelta| (1_000.0 - d.as_micros() as f64).max(0.0);
+        let f = optimal_uer_frequency(&t, &m, Cycles::new(30_000), linear);
+        // Exhaustive check against a manual scan.
+        let mut best = (f64::MIN, t.max());
+        for cand in t.iter() {
+            let s = cand.execution_time(Cycles::new(30_000));
+            let u = linear(s);
+            if u <= 0.0 {
+                continue;
+            }
+            let uer = u / (30_000.0 * m.energy_per_cycle(cand));
+            if uer > best.0 {
+                best = (uer, cand);
+            }
+        }
+        assert_eq!(f, best.1);
+    }
+
+    #[test]
+    fn uer_zero_cycles_does_not_divide_by_zero() {
+        let t = table();
+        let m = EnergySetting::e1().model(t.max());
+        let f = optimal_uer_frequency(&t, &m, Cycles::ZERO, |_| 1.0);
+        assert_eq!(f, t.min());
+    }
+}

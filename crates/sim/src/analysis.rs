@@ -1,0 +1,321 @@
+//! Post-hoc analysis of execution traces and job records: response-time
+//! statistics, EDF-order auditing, and utilization timelines.
+//!
+//! These helpers close the loop between the simulator's raw outputs and
+//! the properties the paper argues about — e.g. Theorem 2's "critical
+//! time ordered schedule" is directly checkable with
+//! [`edf_violations`].
+
+use eua_platform::{SimTime, TimeDelta};
+
+use crate::ids::{JobId, TaskId};
+use crate::job::{JobOutcome, JobRecord};
+use crate::task::TaskSet;
+use crate::trace::ExecutionTrace;
+
+/// Summary statistics of completed jobs' response (sojourn) times.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResponseStats {
+    /// Number of completed jobs measured.
+    pub count: u64,
+    /// Mean response time.
+    pub mean: TimeDelta,
+    /// Maximum response time.
+    pub max: TimeDelta,
+    /// 95th-percentile response time (nearest-rank).
+    pub p95: TimeDelta,
+}
+
+/// Response-time statistics over all completed jobs in `records`
+/// (optionally restricted to one task). Returns `None` when nothing
+/// completed.
+#[must_use]
+pub fn response_stats(records: &[JobRecord], task: Option<TaskId>) -> Option<ResponseStats> {
+    let mut sojourns: Vec<u64> = records
+        .iter()
+        .filter(|r| task.is_none_or(|t| r.task == t))
+        .filter_map(|r| match r.outcome {
+            JobOutcome::Completed { at, .. } => Some((at - r.arrival).as_micros()),
+            _ => None,
+        })
+        .collect();
+    if sojourns.is_empty() {
+        return None;
+    }
+    sojourns.sort_unstable();
+    let count = sojourns.len() as u64;
+    let sum: u64 = sojourns.iter().sum();
+    let p95_idx = ((count as f64 * 0.95).ceil() as usize).clamp(1, sojourns.len()) - 1;
+    Some(ResponseStats {
+        count,
+        mean: TimeDelta::from_micros(sum / count),
+        max: TimeDelta::from_micros(*sojourns.last().expect("non-empty")),
+        p95: TimeDelta::from_micros(sojourns[p95_idx]),
+    })
+}
+
+/// One departure from earliest-critical-time-first dispatching: at
+/// `at`, `ran` executed although `preferred` (earlier critical time) was
+/// live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdfViolation {
+    /// Segment start where the inversion was observed.
+    pub at: SimTime,
+    /// The job that ran.
+    pub ran: JobId,
+    /// A live job with a strictly earlier critical time.
+    pub preferred: JobId,
+}
+
+/// Audits a trace for earliest-critical-time-first order.
+///
+/// For every execution segment, every job that was live at the segment's
+/// start (arrived, not yet completed/aborted) is compared against the
+/// running job's critical time. EDF-family policies produce no
+/// violations under-load (Theorem 2); utility-accrual policies *should*
+/// produce violations during overload — that is the point of UA
+/// scheduling — so this doubles as a behavioural fingerprint.
+#[must_use]
+pub fn edf_violations(
+    trace: &ExecutionTrace,
+    records: &[JobRecord],
+    tasks: &TaskSet,
+) -> Vec<EdfViolation> {
+    struct Span {
+        id: JobId,
+        arrival: SimTime,
+        end: SimTime,
+        critical: SimTime,
+    }
+    let spans: Vec<Span> = records
+        .iter()
+        .map(|r| {
+            let end = match r.outcome {
+                JobOutcome::Completed { at, .. } | JobOutcome::Aborted { at, .. } => at,
+                JobOutcome::Unfinished => SimTime::MAX,
+            };
+            Span {
+                id: r.id,
+                arrival: r.arrival,
+                end,
+                critical: r.arrival.saturating_add(tasks.task(r.task).critical_offset()),
+            }
+        })
+        .collect();
+    let mut violations = Vec::new();
+    for seg in trace.segments() {
+        let Some(running) = spans.iter().find(|s| s.id == seg.job) else { continue };
+        for other in &spans {
+            if other.id != running.id
+                && other.arrival <= seg.start
+                && other.end > seg.start
+                && other.critical < running.critical
+            {
+                violations.push(EdfViolation {
+                    at: seg.start,
+                    ran: running.id,
+                    preferred: other.id,
+                });
+            }
+        }
+    }
+    violations
+}
+
+/// The processor's busy fraction over consecutive buckets of `bucket`
+/// length covering `[0, horizon)`.
+///
+/// # Panics
+///
+/// Panics if `bucket` is zero.
+#[must_use]
+pub fn utilization_timeline(
+    trace: &ExecutionTrace,
+    horizon: TimeDelta,
+    bucket: TimeDelta,
+) -> Vec<f64> {
+    assert!(!bucket.is_zero(), "bucket must be positive");
+    let buckets = horizon.as_micros().div_ceil(bucket.as_micros()) as usize;
+    let mut busy = vec![0u64; buckets];
+    for seg in trace.segments() {
+        let mut t = seg.start.as_micros();
+        let end = seg.end.as_micros().min(horizon.as_micros());
+        while t < end {
+            let idx = (t / bucket.as_micros()) as usize;
+            let bucket_end = ((idx as u64 + 1) * bucket.as_micros()).min(end);
+            busy[idx] += bucket_end - t;
+            t = bucket_end;
+        }
+    }
+    busy.iter().map(|&b| b as f64 / bucket.as_micros() as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eua_platform::{Cycles, EnergySetting, Frequency};
+    use eua_tuf::Tuf;
+    use eua_uam::demand::DemandModel;
+    use eua_uam::generator::ArrivalPattern;
+    use eua_uam::{Assurance, UamSpec};
+
+    use crate::engine::{Engine, SimConfig};
+    use crate::platform_view::Platform;
+    use crate::policy::MaxSpeedEdf;
+    use crate::task::Task;
+    use crate::trace::Segment;
+
+    fn ms(v: u64) -> TimeDelta {
+        TimeDelta::from_millis(v)
+    }
+
+    fn record(id: u64, task: usize, arrival: u64, outcome: JobOutcome) -> JobRecord {
+        JobRecord {
+            id: JobId(id),
+            task: TaskId(task),
+            arrival: SimTime::from_micros(arrival),
+            actual_demand: Cycles::new(10),
+            executed: Cycles::new(10),
+            outcome,
+        }
+    }
+
+    #[test]
+    fn response_stats_computes_percentiles() {
+        let records: Vec<JobRecord> = (0..100u64)
+            .map(|i| {
+                record(
+                    i,
+                    0,
+                    0,
+                    JobOutcome::Completed {
+                        at: SimTime::from_micros((i + 1) * 10),
+                        utility: 1.0,
+                    },
+                )
+            })
+            .collect();
+        let stats = response_stats(&records, None).expect("completed jobs");
+        assert_eq!(stats.count, 100);
+        assert_eq!(stats.max, TimeDelta::from_micros(1_000));
+        assert_eq!(stats.p95, TimeDelta::from_micros(950));
+        assert_eq!(stats.mean, TimeDelta::from_micros(505));
+    }
+
+    #[test]
+    fn response_stats_filters_by_task_and_outcome() {
+        let records = vec![
+            record(0, 0, 0, JobOutcome::Completed { at: SimTime::from_micros(5), utility: 1.0 }),
+            record(1, 1, 0, JobOutcome::Completed { at: SimTime::from_micros(50), utility: 1.0 }),
+            record(2, 0, 0, JobOutcome::Aborted { at: SimTime::from_micros(9), by_policy: false }),
+        ];
+        let t0 = response_stats(&records, Some(TaskId(0))).expect("t0 completed");
+        assert_eq!(t0.count, 1);
+        assert_eq!(t0.max, TimeDelta::from_micros(5));
+        assert!(response_stats(&records, Some(TaskId(9))).is_none());
+        assert!(response_stats(&[], None).is_none());
+    }
+
+    #[test]
+    fn edf_policy_produces_no_violations_underload() {
+        let p = ms(10);
+        let task = Task::new(
+            "t",
+            Tuf::step(1.0, p).unwrap(),
+            UamSpec::periodic(p).unwrap(),
+            DemandModel::deterministic(200_000.0).unwrap(),
+            Assurance::new(1.0, 0.5).unwrap(),
+        )
+        .unwrap();
+        let tasks = crate::task::TaskSet::new(vec![task.clone(), task]).unwrap();
+        let patterns = vec![
+            ArrivalPattern::periodic(p).unwrap(),
+            ArrivalPattern::periodic(p).unwrap(),
+        ];
+        let platform = Platform::powernow(EnergySetting::e1());
+        let config = SimConfig::new(ms(200)).with_trace().with_job_records();
+        let out =
+            Engine::run(&tasks, &patterns, &platform, &mut MaxSpeedEdf::new(), &config, 1)
+                .unwrap();
+        let violations =
+            edf_violations(out.trace.as_ref().unwrap(), out.jobs.as_ref().unwrap(), &tasks);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn synthetic_inversion_is_detected() {
+        let p = ms(10);
+        let task = Task::new(
+            "t",
+            Tuf::step(1.0, p).unwrap(),
+            UamSpec::new(2, p).unwrap(),
+            DemandModel::deterministic(100.0).unwrap(),
+            Assurance::new(1.0, 0.5).unwrap(),
+        )
+        .unwrap();
+        let tasks = crate::task::TaskSet::new(vec![task]).unwrap();
+        // Job 1 has the earlier critical time (arrival 0) but job 0
+        // (arrival 100 µs) runs first.
+        let records = vec![
+            record(0, 0, 100, JobOutcome::Completed { at: SimTime::from_micros(300), utility: 1.0 }),
+            record(1, 0, 0, JobOutcome::Completed { at: SimTime::from_micros(500), utility: 1.0 }),
+        ];
+        let mut trace = ExecutionTrace::new();
+        trace.push_segment(Segment {
+            job: JobId(0),
+            task: TaskId(0),
+            start: SimTime::from_micros(100),
+            end: SimTime::from_micros(300),
+            frequency: Frequency::from_mhz(100),
+        });
+        let violations = edf_violations(&trace, &records, &tasks);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].ran, JobId(0));
+        assert_eq!(violations[0].preferred, JobId(1));
+    }
+
+    #[test]
+    fn utilization_timeline_buckets_busy_time() {
+        let mut trace = ExecutionTrace::new();
+        trace.push_segment(Segment {
+            job: JobId(0),
+            task: TaskId(0),
+            start: SimTime::from_micros(0),
+            end: SimTime::from_micros(500),
+            frequency: Frequency::from_mhz(100),
+        });
+        trace.push_segment(Segment {
+            job: JobId(1),
+            task: TaskId(0),
+            start: SimTime::from_micros(1_500),
+            end: SimTime::from_micros(2_000),
+            frequency: Frequency::from_mhz(100),
+        });
+        let tl = utilization_timeline(&trace, TimeDelta::from_micros(2_000), TimeDelta::from_micros(1_000));
+        assert_eq!(tl.len(), 2);
+        assert!((tl[0] - 0.5).abs() < 1e-12);
+        assert!((tl[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_timeline_spans_bucket_boundaries() {
+        let mut trace = ExecutionTrace::new();
+        trace.push_segment(Segment {
+            job: JobId(0),
+            task: TaskId(0),
+            start: SimTime::from_micros(900),
+            end: SimTime::from_micros(1_100),
+            frequency: Frequency::from_mhz(100),
+        });
+        let tl = utilization_timeline(&trace, TimeDelta::from_micros(2_000), TimeDelta::from_micros(1_000));
+        assert!((tl[0] - 0.1).abs() < 1e-12);
+        assert!((tl[1] - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket must be positive")]
+    fn zero_bucket_rejected() {
+        let trace = ExecutionTrace::new();
+        let _ = utilization_timeline(&trace, ms(1), TimeDelta::ZERO);
+    }
+}

@@ -1,0 +1,172 @@
+//! The read-only view a scheduling policy receives at each event.
+
+use eua_platform::{Cycles, SimTime};
+
+use crate::ids::{JobId, TaskId};
+use crate::platform_view::Platform;
+use crate::task::TaskSet;
+
+/// What a policy may know about one live job.
+///
+/// The crucial asymmetry of the paper's model is preserved here: the view
+/// exposes the **believed** remaining work (allocation `c_i` minus executed
+/// cycles, floored at one cycle on overrun) — never the actual sampled
+/// demand, which only the simulator knows.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobView {
+    /// The job's id.
+    pub id: JobId,
+    /// The owning task.
+    pub task: TaskId,
+    /// Arrival instant (= TUF initial time).
+    pub arrival: SimTime,
+    /// Absolute critical time `arrival + D_i`.
+    pub critical_time: SimTime,
+    /// Absolute termination time; reaching it incomplete raises the abort
+    /// exception.
+    pub termination: SimTime,
+    /// Believed remaining cycles (allocation-based).
+    pub remaining: Cycles,
+    /// Cycles executed so far.
+    pub executed: Cycles,
+}
+
+/// What woke the scheduler (paper §3.2: "the scheduling events of EUA\*
+/// include the arrival and completion of a job, and the expiration of a
+/// time constraint").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SchedEvent {
+    /// First invocation at time zero.
+    Start,
+    /// One or more jobs arrived at the current instant.
+    Arrival,
+    /// The given job just completed.
+    Completion(JobId),
+    /// The given job was just aborted at its termination time.
+    Abort(JobId),
+}
+
+/// The full decision context handed to [`crate::SchedulerPolicy::decide`].
+#[derive(Debug)]
+pub struct SchedContext<'a> {
+    /// The current instant.
+    pub now: SimTime,
+    /// What triggered this invocation.
+    pub event: SchedEvent,
+    /// All live jobs, in arrival (= id) order.
+    pub jobs: &'a [JobView],
+    /// The static task definitions.
+    pub tasks: &'a TaskSet,
+    /// The processor and energy model.
+    pub platform: &'a Platform,
+    /// The job that was executing before this event, if still live.
+    pub running: Option<JobId>,
+    /// Total energy consumed so far in this run — lets energy-budgeted
+    /// policies ration the remainder.
+    pub energy_used: f64,
+}
+
+impl<'a> SchedContext<'a> {
+    /// Looks up a live job by id.
+    #[must_use]
+    pub fn job(&self, id: JobId) -> Option<&JobView> {
+        self.jobs.iter().find(|j| j.id == id)
+    }
+
+    /// Iterates over the live jobs of one task, in arrival order.
+    pub fn jobs_of(&self, task: TaskId) -> impl Iterator<Item = &JobView> + '_ {
+        self.jobs.iter().filter(move |j| j.task == task)
+    }
+
+    /// The earliest-arrived live job of each task that has one, in task
+    /// order — the "earliest invocation" EUA\*'s DVS step reasons about.
+    pub fn earliest_per_task(&self) -> impl Iterator<Item = &JobView> + '_ {
+        (0..self.tasks.len()).filter_map(move |i| self.jobs_of(TaskId(i)).next())
+    }
+
+    /// Number of live jobs of `task`.
+    #[must_use]
+    pub fn pending_count(&self, task: TaskId) -> u32 {
+        self.jobs_of(task).count() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eua_platform::{EnergySetting, TimeDelta};
+    use eua_tuf::Tuf;
+    use eua_uam::demand::DemandModel;
+    use eua_uam::{Assurance, UamSpec};
+
+    use crate::task::{Task, TaskSet};
+
+    fn view(id: u64, task: usize) -> JobView {
+        JobView {
+            id: JobId(id),
+            task: TaskId(task),
+            arrival: SimTime::from_micros(id),
+            critical_time: SimTime::from_micros(id + 100),
+            termination: SimTime::from_micros(id + 200),
+            remaining: Cycles::new(10),
+            executed: Cycles::ZERO,
+        }
+    }
+
+    fn two_task_set() -> TaskSet {
+        let p = TimeDelta::from_millis(10);
+        let mk = |name: &str| {
+            Task::new(
+                name,
+                Tuf::step(1.0, p).unwrap(),
+                UamSpec::new(3, p).unwrap(),
+                DemandModel::deterministic(100.0).unwrap(),
+                Assurance::new(1.0, 0.5).unwrap(),
+            )
+            .unwrap()
+        };
+        TaskSet::new(vec![mk("a"), mk("b")]).unwrap()
+    }
+
+    #[test]
+    fn context_lookups() {
+        let tasks = two_task_set();
+        let platform = Platform::powernow(EnergySetting::e1());
+        let jobs = vec![view(0, 0), view(1, 1), view(2, 0)];
+        let ctx = SchedContext {
+            now: SimTime::from_micros(5),
+            event: SchedEvent::Arrival,
+            jobs: &jobs,
+            tasks: &tasks,
+            platform: &platform,
+            running: Some(JobId(0)),
+            energy_used: 0.0,
+        };
+        assert_eq!(ctx.job(JobId(1)).unwrap().task, TaskId(1));
+        assert!(ctx.job(JobId(9)).is_none());
+        assert_eq!(ctx.jobs_of(TaskId(0)).count(), 2);
+        assert_eq!(ctx.pending_count(TaskId(0)), 2);
+        assert_eq!(ctx.pending_count(TaskId(1)), 1);
+        let earliest: Vec<u64> = ctx.earliest_per_task().map(|j| j.id.get()).collect();
+        assert_eq!(earliest, vec![0, 1]);
+    }
+
+    #[test]
+    fn earliest_per_task_skips_idle_tasks() {
+        let tasks = two_task_set();
+        let platform = Platform::powernow(EnergySetting::e1());
+        let jobs = vec![view(7, 1)];
+        let ctx = SchedContext {
+            now: SimTime::ZERO,
+            event: SchedEvent::Start,
+            jobs: &jobs,
+            tasks: &tasks,
+            platform: &platform,
+            running: None,
+            energy_used: 0.0,
+        };
+        let earliest: Vec<u64> = ctx.earliest_per_task().map(|j| j.id.get()).collect();
+        assert_eq!(earliest, vec![7]);
+    }
+}

@@ -1,0 +1,1093 @@
+//! The discrete-event simulation engine.
+
+use eua_platform::{Cycles, Frequency, SimTime, TimeDelta};
+use eua_uam::generator::ArrivalPattern;
+use eua_uam::ArrivalTrace;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::context::{JobView, SchedContext, SchedEvent};
+use crate::error::SimError;
+use crate::ids::{JobId, TaskId};
+use crate::job::{JobOutcome, JobRecord, LiveJob};
+use crate::metrics::Metrics;
+use crate::platform_view::Platform;
+use crate::policy::SchedulerPolicy;
+use crate::task::TaskSet;
+use crate::trace::{ExecutionTrace, Segment, TraceEvent};
+
+/// Configuration of one simulation run.
+///
+/// # Example
+///
+/// ```
+/// use eua_platform::TimeDelta;
+/// use eua_sim::SimConfig;
+///
+/// let config = SimConfig::new(TimeDelta::from_secs(10))
+///     .with_trace()
+///     .with_job_records();
+/// assert!(config.record_trace());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    horizon: TimeDelta,
+    record_trace: bool,
+    record_jobs: bool,
+    context_switch: TimeDelta,
+    frequency_switch: TimeDelta,
+    progress_accrual: bool,
+    idle_power: f64,
+}
+
+impl SimConfig {
+    /// A configuration simulating `[0, horizon)` with no recording and no
+    /// switch overhead.
+    #[must_use]
+    pub fn new(horizon: TimeDelta) -> Self {
+        SimConfig {
+            horizon,
+            record_trace: false,
+            record_jobs: false,
+            context_switch: TimeDelta::ZERO,
+            frequency_switch: TimeDelta::ZERO,
+            progress_accrual: false,
+            idle_power: 0.0,
+        }
+    }
+
+    /// Enables recording of the execution trace (segments and events).
+    #[must_use]
+    pub fn with_trace(mut self) -> Self {
+        self.record_trace = true;
+        self
+    }
+
+    /// Enables recording of per-job outcome records.
+    #[must_use]
+    pub fn with_job_records(mut self) -> Self {
+        self.record_jobs = true;
+        self
+    }
+
+    /// Charges `overhead` of wall time (at the chosen frequency's energy
+    /// rate) whenever the running job changes. An interrupted switch is
+    /// approximated by re-paying the penalty at the next dispatch.
+    #[must_use]
+    pub fn with_context_switch_overhead(mut self, overhead: TimeDelta) -> Self {
+        self.context_switch = overhead;
+        self
+    }
+
+    /// Charges `overhead` of wall time whenever the executing clock
+    /// frequency changes (the PLL relock / voltage ramp of a real DVS
+    /// processor). Same interruption approximation as
+    /// [`SimConfig::with_context_switch_overhead`].
+    #[must_use]
+    pub fn with_frequency_switch_overhead(mut self, overhead: TimeDelta) -> Self {
+        self.frequency_switch = overhead;
+        self
+    }
+
+    /// Enables **progress-based utility accrual** (the paper's second
+    /// named future-work item): a job aborted at time `t` with fraction
+    /// `p` of its actual demand executed accrues `p · U(t − arrival)`
+    /// instead of nothing.
+    #[must_use]
+    pub fn with_progress_accrual(mut self) -> Self {
+        self.progress_accrual = true;
+        self
+    }
+
+    /// The simulated horizon.
+    #[must_use]
+    pub fn horizon(&self) -> TimeDelta {
+        self.horizon
+    }
+
+    /// Whether the execution trace is recorded.
+    #[must_use]
+    pub fn record_trace(&self) -> bool {
+        self.record_trace
+    }
+
+    /// Whether per-job records are kept.
+    #[must_use]
+    pub fn record_jobs(&self) -> bool {
+        self.record_jobs
+    }
+
+    /// The context-switch overhead.
+    #[must_use]
+    pub fn context_switch_overhead(&self) -> TimeDelta {
+        self.context_switch
+    }
+
+    /// The frequency-switch overhead.
+    #[must_use]
+    pub fn frequency_switch_overhead(&self) -> TimeDelta {
+        self.frequency_switch
+    }
+
+    /// Whether aborted jobs accrue progress-proportional utility.
+    #[must_use]
+    pub fn progress_accrual(&self) -> bool {
+        self.progress_accrual
+    }
+
+    /// Charges `power` energy units per idle microsecond — the constant
+    /// `S0`-class draw of non-CPU components that Martin's per-cycle model
+    /// only accounts for while executing. The paper's evaluation uses the
+    /// default of zero; the ablation harness explores non-zero values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `power` is negative or non-finite.
+    #[must_use]
+    pub fn with_idle_power(mut self, power: f64) -> Self {
+        assert!(power.is_finite() && power >= 0.0, "idle power must be non-negative");
+        self.idle_power = power;
+        self
+    }
+
+    /// The idle power draw, in energy units per microsecond.
+    #[must_use]
+    pub fn idle_power(&self) -> f64 {
+        self.idle_power
+    }
+}
+
+/// Everything a run produced: metrics always, plus the optional trace and
+/// job records enabled in [`SimConfig`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Outcome {
+    /// Aggregate metrics.
+    pub metrics: Metrics,
+    /// The execution trace, when [`SimConfig::with_trace`] was set.
+    pub trace: Option<ExecutionTrace>,
+    /// Per-job records, when [`SimConfig::with_job_records`] was set.
+    pub jobs: Option<Vec<JobRecord>>,
+}
+
+/// The simulation engine. See the crate-level documentation for the model
+/// and an end-to-end example.
+#[derive(Debug)]
+pub struct Engine;
+
+impl Engine {
+    /// Runs `policy` against arrivals generated from `patterns` (one per
+    /// task) over `config.horizon()`, with all randomness derived from
+    /// `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::PatternCountMismatch`] if `patterns` and the
+    /// task set disagree in length, [`SimError::ZeroHorizon`] for an empty
+    /// horizon, and policy-contract violations as described in
+    /// [`SimError`].
+    pub fn run<P: SchedulerPolicy + ?Sized>(
+        tasks: &TaskSet,
+        patterns: &[ArrivalPattern],
+        platform: &Platform,
+        policy: &mut P,
+        config: &SimConfig,
+        seed: u64,
+    ) -> Result<Outcome, SimError> {
+        if patterns.len() != tasks.len() {
+            return Err(SimError::PatternCountMismatch {
+                tasks: tasks.len(),
+                patterns: patterns.len(),
+            });
+        }
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let traces: Vec<ArrivalTrace> =
+            patterns.iter().map(|p| p.generate(config.horizon, &mut rng)).collect();
+        Self::run_core(tasks, &traces, platform, policy, config, &mut rng)
+    }
+
+    /// Runs `policy` against explicit arrival traces (one per task).
+    /// Arrivals at or past the horizon are ignored. Demand sampling is
+    /// seeded by `seed`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Engine::run`].
+    pub fn run_with_traces<P: SchedulerPolicy + ?Sized>(
+        tasks: &TaskSet,
+        traces: &[ArrivalTrace],
+        platform: &Platform,
+        policy: &mut P,
+        config: &SimConfig,
+        seed: u64,
+    ) -> Result<Outcome, SimError> {
+        if traces.len() != tasks.len() {
+            return Err(SimError::PatternCountMismatch {
+                tasks: tasks.len(),
+                patterns: traces.len(),
+            });
+        }
+        let mut rng = SmallRng::seed_from_u64(seed);
+        Self::run_core(tasks, traces, platform, policy, config, &mut rng)
+    }
+
+    fn run_core<P: SchedulerPolicy + ?Sized>(
+        tasks: &TaskSet,
+        traces: &[ArrivalTrace],
+        platform: &Platform,
+        policy: &mut P,
+        config: &SimConfig,
+        rng: &mut SmallRng,
+    ) -> Result<Outcome, SimError> {
+        if config.horizon.is_zero() {
+            return Err(SimError::ZeroHorizon);
+        }
+        let horizon_end = SimTime::ZERO + config.horizon;
+
+        // Merge all arrivals into one time-ordered stream (stable in task
+        // order at equal instants) and pre-sample actual demands in that
+        // order so results are reproducible per seed.
+        let mut arrivals: Vec<(SimTime, TaskId)> = Vec::new();
+        for (i, trace) in traces.iter().enumerate() {
+            for t in trace.iter().filter(|&t| t < horizon_end) {
+                arrivals.push((t, TaskId(i)));
+            }
+        }
+        arrivals.sort_by_key(|&(t, tid)| (t, tid));
+        let demands: Vec<Cycles> = arrivals
+            .iter()
+            .map(|&(_, tid)| tasks.task(tid).demand().sample(rng))
+            .collect();
+
+        policy.reset();
+        let mut state = EngineState {
+            tasks,
+            platform,
+            config,
+            horizon_end,
+            arrivals,
+            demands,
+            cursor: 0,
+            next_job_id: 0,
+            now: SimTime::ZERO,
+            live: Vec::new(),
+            running: None,
+            last_freq: None,
+            metrics: Metrics::new(config.horizon, tasks.len()),
+            trace: config.record_trace.then(ExecutionTrace::new),
+            records: config.record_jobs.then(Vec::new),
+        };
+        state.run_loop(policy)?;
+        Ok(Outcome { metrics: state.metrics, trace: state.trace, jobs: state.records })
+    }
+}
+
+struct EngineState<'a> {
+    tasks: &'a TaskSet,
+    platform: &'a Platform,
+    config: &'a SimConfig,
+    horizon_end: SimTime,
+    arrivals: Vec<(SimTime, TaskId)>,
+    demands: Vec<Cycles>,
+    cursor: usize,
+    next_job_id: u64,
+    now: SimTime,
+    live: Vec<LiveJob>,
+    running: Option<JobId>,
+    last_freq: Option<Frequency>,
+    metrics: Metrics,
+    trace: Option<ExecutionTrace>,
+    records: Option<Vec<JobRecord>>,
+}
+
+impl EngineState<'_> {
+    fn run_loop<P: SchedulerPolicy + ?Sized>(&mut self, policy: &mut P) -> Result<(), SimError> {
+        let mut event = SchedEvent::Start;
+        loop {
+            // 1. Admit arrivals due now.
+            if self.admit_arrivals() && !matches!(event, SchedEvent::Completion(_)) {
+                event = SchedEvent::Arrival;
+            }
+            // 2. Raise the termination exception for overdue jobs.
+            if let Some(aborted) = self.abort_overdue() {
+                if !matches!(event, SchedEvent::Completion(_)) {
+                    event = SchedEvent::Abort(aborted);
+                }
+            }
+            // 3. Horizon.
+            if self.now >= self.horizon_end {
+                break;
+            }
+            // 4. Fast-forward through idle gaps.
+            if self.live.is_empty() {
+                match self.arrivals.get(self.cursor) {
+                    Some(&(t, _)) => {
+                        self.advance_idle(t.min(self.horizon_end));
+                        continue;
+                    }
+                    None => {
+                        self.advance_idle(self.horizon_end);
+                        break;
+                    }
+                }
+            }
+            // 5. Ask the policy.
+            let decision = {
+                let views: Vec<JobView> = self.live.iter().map(job_view).collect();
+                let ctx = SchedContext {
+                    now: self.now,
+                    event,
+                    jobs: &views,
+                    tasks: self.tasks,
+                    platform: self.platform,
+                    running: self.running,
+                    energy_used: self.metrics.energy,
+                };
+                policy.decide(&ctx)
+            };
+            event = SchedEvent::Start; // consumed; will be overwritten below
+            self.apply_policy_aborts(&decision)?;
+
+            let Some(run_id) = decision.run else {
+                // Idle until something happens.
+                self.running = None;
+                self.advance_idle(self.next_passive_event());
+                continue;
+            };
+            if !self.platform.table().as_slice().contains(&decision.frequency) {
+                return Err(SimError::UnknownFrequency { mhz: decision.frequency.as_mhz() });
+            }
+            let Some(job_idx) = self.live.iter().position(|j| j.id == run_id) else {
+                return Err(SimError::UnknownJob { job: run_id });
+            };
+            let freq = decision.frequency;
+
+            // 6. Context/frequency switch bookkeeping (and optional
+            // overheads).
+            let switching_job = self.running != Some(run_id);
+            let switching_freq = self.last_freq.is_some() && self.last_freq != Some(freq);
+            if let Some(old) = self.running {
+                if switching_job {
+                    self.metrics.context_switches += 1;
+                    if self.live.iter().any(|j| j.id == old) {
+                        self.metrics.preemptions += 1;
+                    }
+                }
+            }
+            let mut pause = TimeDelta::ZERO;
+            if switching_job {
+                pause += self.config.context_switch;
+            }
+            if switching_freq {
+                pause += self.config.frequency_switch;
+            }
+            if !pause.is_zero() {
+                let target = self.now.saturating_add(pause);
+                let stop = self.next_passive_event().min(target);
+                let delta = stop - self.now;
+                if !delta.is_zero() {
+                    let cycles = freq.cycles_in(delta);
+                    self.metrics.energy += self.platform.energy().energy_for(cycles, freq);
+                    self.metrics.busy_time += delta;
+                    self.metrics.add_residency(freq.as_mhz(), delta);
+                }
+                self.now = stop;
+                if stop < target {
+                    // Switch interrupted by an event; re-decide there.
+                    continue;
+                }
+            }
+            if self.last_freq != Some(freq) {
+                if self.last_freq.is_some() {
+                    self.metrics.frequency_changes += 1;
+                }
+                self.last_freq = Some(freq);
+            }
+            self.running = Some(run_id);
+
+            // 7. Execute until the next event.
+            let completion_at = {
+                let job = &self.live[job_idx];
+                self.now.saturating_add(freq.execution_time(job.actual_remaining()))
+            };
+            let next = self.next_passive_event().min(completion_at);
+            let delta = next - self.now;
+            let job = &mut self.live[job_idx];
+            let cycles = freq.cycles_in(delta).min(job.actual_remaining());
+            job.executed += cycles;
+            self.metrics.energy += self.platform.energy().energy_for(cycles, freq);
+            self.metrics.busy_time += delta;
+            self.metrics.add_residency(freq.as_mhz(), delta);
+            let completed = job.actual_remaining().is_zero();
+            let (job_id, task_id) = (job.id, job.task);
+            if let Some(trace) = self.trace.as_mut() {
+                trace.push_segment(Segment {
+                    job: job_id,
+                    task: task_id,
+                    start: self.now,
+                    end: next,
+                    frequency: freq,
+                });
+            }
+            self.now = next;
+            if completed {
+                self.complete(job_idx);
+                event = SchedEvent::Completion(job_id);
+            }
+        }
+        // Anything still live at the horizon is unfinished.
+        if let Some(records) = self.records.as_mut() {
+            for job in &self.live {
+                records.push(JobRecord {
+                    id: job.id,
+                    task: job.task,
+                    arrival: job.arrival,
+                    actual_demand: job.actual,
+                    executed: job.executed,
+                    outcome: JobOutcome::Unfinished,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Advances the clock through an idle gap, charging the configured
+    /// idle power.
+    fn advance_idle(&mut self, to: SimTime) {
+        let delta = to.saturating_since(self.now);
+        if !delta.is_zero() && self.config.idle_power > 0.0 {
+            self.metrics.energy += self.config.idle_power * delta.as_micros() as f64;
+        }
+        self.now = to;
+    }
+
+    /// The earliest upcoming event the engine controls: an arrival, a
+    /// termination expiry, or the horizon itself.
+    fn next_passive_event(&self) -> SimTime {
+        let next_arrival =
+            self.arrivals.get(self.cursor).map_or(SimTime::MAX, |&(t, _)| t);
+        let next_termination =
+            self.live.iter().map(|j| j.termination).min().unwrap_or(SimTime::MAX);
+        next_arrival.min(next_termination).min(self.horizon_end)
+    }
+
+    fn admit_arrivals(&mut self) -> bool {
+        let mut any = false;
+        while let Some(&(t, tid)) = self.arrivals.get(self.cursor) {
+            if t != self.now {
+                break;
+            }
+            let actual = self.demands[self.cursor];
+            self.cursor += 1;
+            let task = self.tasks.task(tid);
+            let job = LiveJob {
+                id: JobId(self.next_job_id),
+                task: tid,
+                arrival: t,
+                critical: t.saturating_add(task.critical_offset()),
+                termination: t.saturating_add(task.termination_offset()),
+                actual,
+                allocation: task.allocation(),
+                executed: Cycles::ZERO,
+            };
+            self.next_job_id += 1;
+            let tm = &mut self.metrics.per_task[tid.index()];
+            tm.arrived += 1;
+            // Utility accounting is restricted to *observable* jobs —
+            // those whose termination time falls within the horizon — so
+            // slow-but-legal policies are not penalized for jobs still in
+            // flight at the cutoff.
+            if job.termination <= self.horizon_end {
+                tm.observable += 1;
+                tm.max_utility += task.tuf().max_utility();
+                self.metrics.max_possible_utility += task.tuf().max_utility();
+            }
+            if let Some(trace) = self.trace.as_mut() {
+                trace.push_event(TraceEvent::Arrival { at: t, job: job.id });
+            }
+            self.live.push(job);
+            any = true;
+        }
+        any
+    }
+
+    /// Aborts every incomplete job whose termination time has been
+    /// reached. Returns one of the aborted ids for event labelling.
+    fn abort_overdue(&mut self) -> Option<JobId> {
+        let mut witness = None;
+        let mut idx = 0;
+        while idx < self.live.len() {
+            if self.live[idx].termination <= self.now {
+                let id = self.live[idx].id;
+                self.finish_abort(idx, false);
+                witness = Some(id);
+            } else {
+                idx += 1;
+            }
+        }
+        witness
+    }
+
+    fn apply_policy_aborts(&mut self, decision: &crate::policy::Decision) -> Result<(), SimError> {
+        for &id in &decision.abort {
+            if decision.run == Some(id) {
+                return Err(SimError::RunAbortConflict { job: id });
+            }
+            let Some(idx) = self.live.iter().position(|j| j.id == id) else {
+                return Err(SimError::UnknownJob { job: id });
+            };
+            self.finish_abort(idx, true);
+        }
+        Ok(())
+    }
+
+    fn finish_abort(&mut self, idx: usize, by_policy: bool) {
+        let job = self.live.remove(idx);
+        let task = self.tasks.task(job.task);
+        let tm = &mut self.metrics.per_task[job.task.index()];
+        if by_policy {
+            tm.aborted_by_policy += 1;
+        } else {
+            tm.aborted_by_termination += 1;
+        }
+        // An aborted job accrues nothing — unless progress-based accrual
+        // is on, in which case it earns its executed fraction of the
+        // current utility. Either way it can still satisfy its `ν`.
+        let mut accrued = 0.0;
+        if self.config.progress_accrual && !job.actual.is_zero() {
+            let progress =
+                (job.executed.as_f64() / job.actual.as_f64()).clamp(0.0, 1.0);
+            accrued = progress * task.tuf().utility(self.now.saturating_since(job.arrival));
+        }
+        if job.termination <= self.horizon_end {
+            tm.utility += accrued;
+            self.metrics.total_utility += accrued;
+            if accrued + 1e-9 >= task.assurance().nu() * task.tuf().max_utility() {
+                tm.assured += 1;
+            }
+        }
+        if self.running == Some(job.id) {
+            self.running = None;
+        }
+        if let Some(trace) = self.trace.as_mut() {
+            trace.push_event(TraceEvent::Abort { at: self.now, job: job.id, by_policy });
+        }
+        if let Some(records) = self.records.as_mut() {
+            records.push(JobRecord {
+                id: job.id,
+                task: job.task,
+                arrival: job.arrival,
+                actual_demand: job.actual,
+                executed: job.executed,
+                outcome: JobOutcome::Aborted { at: self.now, by_policy },
+            });
+        }
+    }
+
+    fn complete(&mut self, idx: usize) {
+        let job = self.live.remove(idx);
+        let task = self.tasks.task(job.task);
+        let sojourn = self.now - job.arrival;
+        let utility = task.tuf().utility(sojourn);
+        let tm = &mut self.metrics.per_task[job.task.index()];
+        tm.completed += 1;
+        if job.termination <= self.horizon_end {
+            tm.utility += utility;
+            self.metrics.total_utility += utility;
+            let needed = task.assurance().nu() * task.tuf().max_utility();
+            if utility + 1e-9 >= needed {
+                tm.assured += 1;
+            }
+        }
+        if self.now <= job.critical {
+            tm.critical_met += 1;
+        }
+        let lateness = self.now.as_micros() as i64 - job.critical.as_micros() as i64;
+        tm.max_lateness_us = tm.max_lateness_us.max(lateness);
+        if tm.completed == 1 {
+            // First completion defines the initial lateness rather than the
+            // i64 default of 0 (which would hide early completions).
+            tm.max_lateness_us = lateness;
+        }
+        if self.running == Some(job.id) {
+            self.running = None;
+        }
+        if let Some(trace) = self.trace.as_mut() {
+            trace.push_event(TraceEvent::Completion { at: self.now, job: job.id });
+        }
+        if let Some(records) = self.records.as_mut() {
+            records.push(JobRecord {
+                id: job.id,
+                task: job.task,
+                arrival: job.arrival,
+                actual_demand: job.actual,
+                executed: job.executed,
+                outcome: JobOutcome::Completed { at: self.now, utility },
+            });
+        }
+    }
+}
+
+fn job_view(job: &LiveJob) -> JobView {
+    JobView {
+        id: job.id,
+        task: job.task,
+        arrival: job.arrival,
+        critical_time: job.critical,
+        termination: job.termination,
+        remaining: job.believed_remaining(),
+        executed: job.executed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eua_platform::EnergySetting;
+    use eua_tuf::Tuf;
+    use eua_uam::demand::DemandModel;
+    use eua_uam::{Assurance, UamSpec};
+
+    use crate::policy::MaxSpeedEdf;
+    use crate::task::Task;
+
+    fn ms(v: u64) -> TimeDelta {
+        TimeDelta::from_millis(v)
+    }
+
+    fn step_task(name: &str, p_ms: u64, cycles: f64) -> Task {
+        Task::new(
+            name,
+            Tuf::step(10.0, ms(p_ms)).unwrap(),
+            UamSpec::periodic(ms(p_ms)).unwrap(),
+            DemandModel::deterministic(cycles).unwrap(),
+            Assurance::new(1.0, 0.5).unwrap(),
+        )
+        .unwrap()
+    }
+
+    fn platform() -> Platform {
+        Platform::powernow(EnergySetting::e1())
+    }
+
+    #[test]
+    fn single_periodic_task_completes_every_job() {
+        let tasks = TaskSet::new(vec![step_task("t", 10, 100_000.0)]).unwrap();
+        let patterns = vec![ArrivalPattern::periodic(ms(10)).unwrap()];
+        let config = SimConfig::new(ms(100));
+        let out =
+            Engine::run(&tasks, &patterns, &platform(), &mut MaxSpeedEdf::new(), &config, 1)
+                .unwrap();
+        let m = &out.metrics;
+        assert_eq!(m.jobs_arrived(), 10);
+        assert_eq!(m.jobs_completed(), 10);
+        assert_eq!(m.jobs_aborted(), 0);
+        // Each job: 100k cycles at 100 MHz = 1 ms, utility 10.
+        assert!((m.total_utility - 100.0).abs() < 1e-9);
+        assert_eq!(m.busy_time, ms(10));
+        // Energy: 1M cycles at E1(100) = 10^4 per cycle.
+        assert!((m.energy - 1e6 * 1e4).abs() < 1.0);
+        assert!(m.meets_assurances(&tasks));
+    }
+
+    #[test]
+    fn overloaded_task_aborts_at_termination() {
+        // 2M cycles at 100 MHz = 20 ms > 10 ms period: every job expires.
+        let tasks = TaskSet::new(vec![step_task("t", 10, 2_000_000.0)]).unwrap();
+        let patterns = vec![ArrivalPattern::periodic(ms(10)).unwrap()];
+        let config = SimConfig::new(ms(100)).with_job_records();
+        let out =
+            Engine::run(&tasks, &patterns, &platform(), &mut MaxSpeedEdf::new(), &config, 1)
+                .unwrap();
+        let m = &out.metrics;
+        assert_eq!(m.jobs_completed(), 0);
+        assert_eq!(m.jobs_aborted(), 10);
+        assert_eq!(m.total_utility, 0.0);
+        let records = out.jobs.unwrap();
+        assert!(records
+            .iter()
+            .all(|r| matches!(r.outcome, JobOutcome::Aborted { by_policy: false, .. })));
+    }
+
+    #[test]
+    fn trace_records_serial_segments() {
+        let tasks =
+            TaskSet::new(vec![step_task("a", 10, 200_000.0), step_task("b", 20, 400_000.0)])
+                .unwrap();
+        let patterns = vec![
+            ArrivalPattern::periodic(ms(10)).unwrap(),
+            ArrivalPattern::periodic(ms(20)).unwrap(),
+        ];
+        let config = SimConfig::new(ms(60)).with_trace();
+        let out =
+            Engine::run(&tasks, &patterns, &platform(), &mut MaxSpeedEdf::new(), &config, 1)
+                .unwrap();
+        let trace = out.trace.unwrap();
+        assert!(trace.is_serial());
+        assert_eq!(trace.busy_time(), out.metrics.busy_time);
+        // 6 jobs of a (2 ms each) + 3 jobs of b (4 ms each) = 24 ms busy.
+        assert_eq!(out.metrics.busy_time, ms(24));
+    }
+
+    #[test]
+    fn preemption_happens_under_edf() {
+        // Long low-urgency job released at 0 (critical 50 ms), short urgent
+        // job released at 5 ms (critical 10 ms at arrival +5).
+        let long = Task::new(
+            "long",
+            Tuf::step(1.0, ms(50)).unwrap(),
+            UamSpec::periodic(ms(50)).unwrap(),
+            DemandModel::deterministic(3_000_000.0).unwrap(),
+            Assurance::new(1.0, 0.5).unwrap(),
+        )
+        .unwrap();
+        let short = Task::new(
+            "short",
+            Tuf::step(1.0, ms(10)).unwrap(),
+            UamSpec::periodic(ms(50)).unwrap(),
+            DemandModel::deterministic(100_000.0).unwrap(),
+            Assurance::new(1.0, 0.5).unwrap(),
+        )
+        .unwrap();
+        let tasks = TaskSet::new(vec![long, short]).unwrap();
+        let traces = vec![
+            ArrivalTrace::from_times([SimTime::ZERO]),
+            ArrivalTrace::from_times([SimTime::from_millis(5)]),
+        ];
+        let config = SimConfig::new(ms(50)).with_trace();
+        let out = Engine::run_with_traces(
+            &tasks,
+            &traces,
+            &platform(),
+            &mut MaxSpeedEdf::new(),
+            &config,
+            1,
+        )
+        .unwrap();
+        assert_eq!(out.metrics.preemptions, 1);
+        assert_eq!(out.metrics.jobs_completed(), 2);
+        let seq: Vec<u64> =
+            out.trace.unwrap().job_sequence().iter().map(|j| j.get()).collect();
+        assert_eq!(seq, vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn utility_respects_tuf_shape() {
+        // Linear TUF over 10 ms; job takes 4 ms → utility = 0.6·Umax.
+        let task = Task::new(
+            "lin",
+            Tuf::linear(100.0, ms(10)).unwrap(),
+            UamSpec::periodic(ms(10)).unwrap(),
+            DemandModel::deterministic(400_000.0).unwrap(),
+            Assurance::new(0.3, 0.5).unwrap(),
+        )
+        .unwrap();
+        let tasks = TaskSet::new(vec![task]).unwrap();
+        let traces = vec![ArrivalTrace::from_times([SimTime::ZERO])];
+        let config = SimConfig::new(ms(10));
+        let out = Engine::run_with_traces(
+            &tasks,
+            &traces,
+            &platform(),
+            &mut MaxSpeedEdf::new(),
+            &config,
+            1,
+        )
+        .unwrap();
+        assert!((out.metrics.total_utility - 60.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn policy_abort_is_counted_separately() {
+        struct AbortAll;
+        impl SchedulerPolicy for AbortAll {
+            fn name(&self) -> &str {
+                "abort-all"
+            }
+            fn decide(&mut self, ctx: &SchedContext<'_>) -> crate::policy::Decision {
+                crate::policy::Decision::idle(ctx.platform.f_max())
+                    .with_aborts(ctx.jobs.iter().map(|j| j.id))
+            }
+        }
+        let tasks = TaskSet::new(vec![step_task("t", 10, 1_000.0)]).unwrap();
+        let patterns = vec![ArrivalPattern::periodic(ms(10)).unwrap()];
+        let config = SimConfig::new(ms(50));
+        let out =
+            Engine::run(&tasks, &patterns, &platform(), &mut AbortAll, &config, 1).unwrap();
+        assert_eq!(out.metrics.per_task[0].aborted_by_policy, 5);
+        assert_eq!(out.metrics.jobs_completed(), 0);
+    }
+
+    #[test]
+    fn invalid_decisions_are_rejected() {
+        struct BadFreq;
+        impl SchedulerPolicy for BadFreq {
+            fn name(&self) -> &str {
+                "bad"
+            }
+            fn decide(&mut self, ctx: &SchedContext<'_>) -> crate::policy::Decision {
+                crate::policy::Decision::run(ctx.jobs[0].id, Frequency::from_mhz(123))
+            }
+        }
+        let tasks = TaskSet::new(vec![step_task("t", 10, 1_000.0)]).unwrap();
+        let patterns = vec![ArrivalPattern::periodic(ms(10)).unwrap()];
+        let config = SimConfig::new(ms(50));
+        let err =
+            Engine::run(&tasks, &patterns, &platform(), &mut BadFreq, &config, 1).unwrap_err();
+        assert_eq!(err, SimError::UnknownFrequency { mhz: 123 });
+
+        struct Conflict;
+        impl SchedulerPolicy for Conflict {
+            fn name(&self) -> &str {
+                "conflict"
+            }
+            fn decide(&mut self, ctx: &SchedContext<'_>) -> crate::policy::Decision {
+                let id = ctx.jobs[0].id;
+                crate::policy::Decision::run(id, ctx.platform.f_max()).with_aborts([id])
+            }
+        }
+        let err =
+            Engine::run(&tasks, &patterns, &platform(), &mut Conflict, &config, 1).unwrap_err();
+        assert!(matches!(err, SimError::RunAbortConflict { .. }));
+    }
+
+    #[test]
+    fn determinism_same_seed_same_metrics() {
+        let task = Task::new(
+            "n",
+            Tuf::step(5.0, ms(10)).unwrap(),
+            UamSpec::new(2, ms(10)).unwrap(),
+            DemandModel::normal(200_000.0, 200_000.0).unwrap(),
+            Assurance::new(1.0, 0.9).unwrap(),
+        )
+        .unwrap();
+        let tasks = TaskSet::new(vec![task]).unwrap();
+        let patterns =
+            vec![ArrivalPattern::random_burst(UamSpec::new(2, ms(10)).unwrap()).unwrap()];
+        let config = SimConfig::new(ms(500));
+        let a = Engine::run(&tasks, &patterns, &platform(), &mut MaxSpeedEdf::new(), &config, 9)
+            .unwrap();
+        let b = Engine::run(&tasks, &patterns, &platform(), &mut MaxSpeedEdf::new(), &config, 9)
+            .unwrap();
+        assert_eq!(a.metrics, b.metrics);
+        let c = Engine::run(&tasks, &patterns, &platform(), &mut MaxSpeedEdf::new(), &config, 10)
+            .unwrap();
+        assert_ne!(a.metrics, c.metrics);
+    }
+
+    #[test]
+    fn zero_horizon_rejected() {
+        let tasks = TaskSet::new(vec![step_task("t", 10, 1_000.0)]).unwrap();
+        let patterns = vec![ArrivalPattern::periodic(ms(10)).unwrap()];
+        let config = SimConfig::new(TimeDelta::ZERO);
+        let err = Engine::run(&tasks, &patterns, &platform(), &mut MaxSpeedEdf::new(), &config, 1)
+            .unwrap_err();
+        assert_eq!(err, SimError::ZeroHorizon);
+    }
+
+    #[test]
+    fn pattern_count_mismatch_rejected() {
+        let tasks = TaskSet::new(vec![step_task("t", 10, 1_000.0)]).unwrap();
+        let config = SimConfig::new(ms(10));
+        let err = Engine::run(&tasks, &[], &platform(), &mut MaxSpeedEdf::new(), &config, 1)
+            .unwrap_err();
+        assert_eq!(err, SimError::PatternCountMismatch { tasks: 1, patterns: 0 });
+    }
+
+    #[test]
+    fn context_switch_overhead_consumes_time_and_energy() {
+        let tasks =
+            TaskSet::new(vec![step_task("a", 10, 100_000.0), step_task("b", 10, 100_000.0)])
+                .unwrap();
+        let patterns = vec![
+            ArrivalPattern::periodic(ms(10)).unwrap(),
+            ArrivalPattern::periodic(ms(10)).unwrap(),
+        ];
+        let plain = SimConfig::new(ms(100));
+        let costly = SimConfig::new(ms(100))
+            .with_context_switch_overhead(TimeDelta::from_micros(100));
+        let a = Engine::run(&tasks, &patterns, &platform(), &mut MaxSpeedEdf::new(), &plain, 1)
+            .unwrap();
+        let b = Engine::run(&tasks, &patterns, &platform(), &mut MaxSpeedEdf::new(), &costly, 1)
+            .unwrap();
+        assert!(b.metrics.energy > a.metrics.energy);
+        assert!(b.metrics.busy_time > a.metrics.busy_time);
+    }
+
+    #[test]
+    fn progress_accrual_pays_partial_utility_on_abort() {
+        // A job with 2 P of work executes half its demand before the
+        // termination exception: with progress accrual it earns half the
+        // step utility (the step is still "up" at the abort instant only
+        // for TUFs that pay at termination — use a step whose step_at
+        // equals termination so U(X) = height).
+        let tasks = TaskSet::new(vec![step_task("t", 10, 2_000_000.0)]).unwrap();
+        let traces = vec![ArrivalTrace::from_times([SimTime::ZERO])];
+        let plain = SimConfig::new(ms(20));
+        let partial = SimConfig::new(ms(20)).with_progress_accrual();
+        let a = Engine::run_with_traces(
+            &tasks,
+            &traces,
+            &platform(),
+            &mut MaxSpeedEdf::new(),
+            &plain,
+            1,
+        )
+        .unwrap();
+        assert_eq!(a.metrics.total_utility, 0.0);
+        let b = Engine::run_with_traces(
+            &tasks,
+            &traces,
+            &platform(),
+            &mut MaxSpeedEdf::new(),
+            &partial,
+            1,
+        )
+        .unwrap();
+        // Executed 10 ms · 100 MHz = 1M of 2M cycles ⇒ progress 0.5; the
+        // step TUF still pays its height (10) at exactly t = X.
+        assert!((b.metrics.total_utility - 5.0).abs() < 1e-9, "{}", b.metrics.total_utility);
+    }
+
+    #[test]
+    fn progress_accrual_changes_nothing_for_completed_jobs() {
+        let tasks = TaskSet::new(vec![step_task("t", 10, 100_000.0)]).unwrap();
+        let patterns = vec![ArrivalPattern::periodic(ms(10)).unwrap()];
+        let plain = SimConfig::new(ms(100));
+        let partial = SimConfig::new(ms(100)).with_progress_accrual();
+        let a = Engine::run(&tasks, &patterns, &platform(), &mut MaxSpeedEdf::new(), &plain, 1)
+            .unwrap();
+        let b =
+            Engine::run(&tasks, &patterns, &platform(), &mut MaxSpeedEdf::new(), &partial, 1)
+                .unwrap();
+        assert_eq!(a.metrics.total_utility, b.metrics.total_utility);
+    }
+
+    #[test]
+    fn frequency_switch_overhead_consumes_time_and_energy() {
+        // A policy that alternates between two frequencies every decision.
+        struct Flapper(bool);
+        impl SchedulerPolicy for Flapper {
+            fn name(&self) -> &str {
+                "flapper"
+            }
+            fn decide(&mut self, ctx: &SchedContext<'_>) -> crate::policy::Decision {
+                self.0 = !self.0;
+                let f = if self.0 {
+                    ctx.platform.f_max()
+                } else {
+                    ctx.platform.table().min()
+                };
+                match ctx.jobs.first() {
+                    Some(j) => crate::policy::Decision::run(j.id, f),
+                    None => crate::policy::Decision::idle(f),
+                }
+            }
+        }
+        let tasks = TaskSet::new(vec![step_task("t", 10, 100_000.0)]).unwrap();
+        let patterns = vec![ArrivalPattern::periodic(ms(10)).unwrap()];
+        let plain = SimConfig::new(ms(100));
+        let costly =
+            SimConfig::new(ms(100)).with_frequency_switch_overhead(TimeDelta::from_micros(50));
+        let a = Engine::run(&tasks, &patterns, &platform(), &mut Flapper(false), &plain, 1)
+            .unwrap();
+        let b = Engine::run(&tasks, &patterns, &platform(), &mut Flapper(false), &costly, 1)
+            .unwrap();
+        assert!(a.metrics.frequency_changes > 0);
+        assert!(b.metrics.busy_time > a.metrics.busy_time);
+        assert!(b.metrics.energy > a.metrics.energy);
+    }
+
+    #[test]
+    fn frequency_residency_sums_to_busy_time() {
+        let tasks = TaskSet::new(vec![step_task("t", 10, 100_000.0)]).unwrap();
+        let patterns = vec![ArrivalPattern::periodic(ms(10)).unwrap()];
+        let config = SimConfig::new(ms(100));
+        let out =
+            Engine::run(&tasks, &patterns, &platform(), &mut MaxSpeedEdf::new(), &config, 1)
+                .unwrap();
+        let m = &out.metrics;
+        let total: TimeDelta = m.freq_residency.iter().map(|r| r.busy).sum();
+        assert_eq!(total, m.busy_time);
+        // MaxSpeedEdf only ever runs at 100 MHz.
+        assert_eq!(m.freq_residency.len(), 1);
+        assert_eq!(m.freq_residency[0].mhz, 100);
+        assert_eq!(m.mean_frequency_mhz(), Some(100.0));
+    }
+
+    #[test]
+    fn idle_power_charges_idle_gaps() {
+        // 1 ms of work per 10 ms window over 100 ms: 90 ms idle.
+        let tasks = TaskSet::new(vec![step_task("t", 10, 100_000.0)]).unwrap();
+        let patterns = vec![ArrivalPattern::periodic(ms(10)).unwrap()];
+        let plain = SimConfig::new(ms(100));
+        let drawing = SimConfig::new(ms(100)).with_idle_power(2.0);
+        let a = Engine::run(&tasks, &patterns, &platform(), &mut MaxSpeedEdf::new(), &plain, 1)
+            .unwrap();
+        let b =
+            Engine::run(&tasks, &patterns, &platform(), &mut MaxSpeedEdf::new(), &drawing, 1)
+                .unwrap();
+        let idle_us = (ms(100) - a.metrics.busy_time).as_micros() as f64;
+        assert!(
+            (b.metrics.energy - a.metrics.energy - 2.0 * idle_us).abs() < 1e-6,
+            "idle energy mismatch: {} vs {}",
+            b.metrics.energy - a.metrics.energy,
+            2.0 * idle_us
+        );
+    }
+
+    #[test]
+    fn context_exposes_cumulative_energy() {
+        struct EnergyWatcher {
+            last_seen: f64,
+            monotone: bool,
+        }
+        impl SchedulerPolicy for EnergyWatcher {
+            fn name(&self) -> &str {
+                "watcher"
+            }
+            fn decide(&mut self, ctx: &SchedContext<'_>) -> crate::policy::Decision {
+                if ctx.energy_used < self.last_seen {
+                    self.monotone = false;
+                }
+                self.last_seen = ctx.energy_used;
+                match ctx.jobs.first() {
+                    Some(j) => crate::policy::Decision::run(j.id, ctx.platform.f_max()),
+                    None => crate::policy::Decision::idle(ctx.platform.f_max()),
+                }
+            }
+        }
+        let tasks = TaskSet::new(vec![step_task("t", 10, 100_000.0)]).unwrap();
+        let patterns = vec![ArrivalPattern::periodic(ms(10)).unwrap()];
+        let config = SimConfig::new(ms(100));
+        let mut watcher = EnergyWatcher { last_seen: 0.0, monotone: true };
+        let out =
+            Engine::run(&tasks, &patterns, &platform(), &mut watcher, &config, 1).unwrap();
+        assert!(watcher.monotone, "energy_used must be non-decreasing");
+        assert!(
+            watcher.last_seen <= out.metrics.energy,
+            "policy view cannot exceed the final bill"
+        );
+        assert!(watcher.last_seen > 0.0, "policy must observe energy accruing");
+    }
+
+    #[test]
+    fn completion_exactly_at_termination_accrues_step_utility() {
+        // 1M cycles at 100 MHz = exactly 10 ms = the step + termination.
+        let tasks = TaskSet::new(vec![step_task("t", 10, 1_000_000.0)]).unwrap();
+        let traces = vec![ArrivalTrace::from_times([SimTime::ZERO])];
+        let config = SimConfig::new(ms(20));
+        let out = Engine::run_with_traces(
+            &tasks,
+            &traces,
+            &platform(),
+            &mut MaxSpeedEdf::new(),
+            &config,
+            1,
+        )
+        .unwrap();
+        assert_eq!(out.metrics.jobs_completed(), 1);
+        assert!((out.metrics.total_utility - 10.0).abs() < 1e-9);
+        assert_eq!(out.metrics.per_task[0].critical_met, 1);
+        assert_eq!(out.metrics.per_task[0].max_lateness_us, 0);
+    }
+}

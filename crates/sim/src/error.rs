@@ -1,0 +1,101 @@
+//! Error type for simulator configuration and policy-contract violations.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::ids::JobId;
+
+/// Errors produced while building or running a simulation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A task's TUF admits no critical time for its assurance fraction.
+    NoCriticalTime {
+        /// The offending task's name.
+        task: String,
+    },
+    /// A task set was empty.
+    EmptyTaskSet,
+    /// The number of arrival patterns/traces did not match the task count.
+    PatternCountMismatch {
+        /// Number of tasks.
+        tasks: usize,
+        /// Number of patterns supplied.
+        patterns: usize,
+    },
+    /// A policy decision referenced a job that is not live.
+    UnknownJob {
+        /// The unknown id.
+        job: JobId,
+    },
+    /// A policy chose to both run and abort the same job.
+    RunAbortConflict {
+        /// The conflicted id.
+        job: JobId,
+    },
+    /// A policy chose a frequency outside the platform's table.
+    UnknownFrequency {
+        /// The chosen frequency in MHz.
+        mhz: u64,
+    },
+    /// The simulation horizon was zero.
+    ZeroHorizon,
+    /// A replication run was requested with zero replicas.
+    ZeroReplications,
+    /// A task error surfaced during construction.
+    Task(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::NoCriticalTime { task } => {
+                write!(f, "task {task} has no critical time for its assurance fraction")
+            }
+            SimError::EmptyTaskSet => write!(f, "task set must contain at least one task"),
+            SimError::PatternCountMismatch { tasks, patterns } => {
+                write!(f, "{tasks} tasks but {patterns} arrival patterns supplied")
+            }
+            SimError::UnknownJob { job } => write!(f, "policy referenced unknown job {job}"),
+            SimError::RunAbortConflict { job } => {
+                write!(f, "policy both runs and aborts job {job}")
+            }
+            SimError::UnknownFrequency { mhz } => {
+                write!(f, "policy chose frequency {mhz}MHz outside the platform table")
+            }
+            SimError::ZeroHorizon => write!(f, "simulation horizon must be positive"),
+            SimError::ZeroReplications => write!(f, "replication count must be positive"),
+            SimError::Task(msg) => write!(f, "invalid task: {msg}"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_render() {
+        for e in [
+            SimError::NoCriticalTime { task: "a".into() },
+            SimError::EmptyTaskSet,
+            SimError::PatternCountMismatch { tasks: 2, patterns: 1 },
+            SimError::UnknownJob { job: JobId(1) },
+            SimError::RunAbortConflict { job: JobId(2) },
+            SimError::UnknownFrequency { mhz: 1 },
+            SimError::ZeroHorizon,
+            SimError::ZeroReplications,
+            SimError::Task("bad".into()),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn is_send_sync_error() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<SimError>();
+    }
+}

@@ -1,0 +1,58 @@
+//! Identifier newtypes for tasks and jobs.
+
+use std::fmt;
+
+/// Index of a task within its [`crate::TaskSet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TaskId(pub usize);
+
+impl TaskId {
+    /// The underlying index.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// A unique identifier for one job (task instance) within a simulation run.
+///
+/// Ids are assigned in arrival order, so they also serve as a stable
+/// tie-breaker for schedulers that need a deterministic order among equal
+/// keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobId(pub u64);
+
+impl JobId {
+    /// The underlying sequence number.
+    #[must_use]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "J{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_ordered_and_display() {
+        assert!(TaskId(0) < TaskId(1));
+        assert!(JobId(3) < JobId(10));
+        assert_eq!(TaskId(2).to_string(), "T2");
+        assert_eq!(JobId(7).to_string(), "J7");
+        assert_eq!(TaskId(4).index(), 4);
+        assert_eq!(JobId(9).get(), 9);
+    }
+}

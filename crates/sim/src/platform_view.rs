@@ -1,0 +1,96 @@
+//! The platform bundle handed to scheduling policies.
+
+use std::fmt;
+
+use eua_platform::{EnergyModel, EnergySetting, Frequency, FrequencyTable};
+
+/// A DVS processor plus its bound energy model — everything hardware-side
+/// a policy needs to choose frequencies and reason about energy.
+///
+/// # Example
+///
+/// ```
+/// use eua_platform::{EnergySetting, FrequencyTable};
+/// use eua_sim::Platform;
+///
+/// let p = Platform::new(FrequencyTable::powernow_k6(), EnergySetting::e1());
+/// assert_eq!(p.f_max().as_mhz(), 100);
+/// assert!(p.energy().energy_per_cycle(p.f_max()) > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Platform {
+    table: FrequencyTable,
+    setting: EnergySetting,
+    energy: EnergyModel,
+}
+
+impl Platform {
+    /// Binds an energy setting to a frequency table (the model's static
+    /// terms scale with the table's `f_m`; see
+    /// [`EnergySetting::model`]).
+    #[must_use]
+    pub fn new(table: FrequencyTable, setting: EnergySetting) -> Self {
+        let energy = setting.model(table.max());
+        Platform { table, setting, energy }
+    }
+
+    /// The paper's evaluation platform: AMD K6-2+ PowerNow! frequencies
+    /// with the chosen Table 2 energy setting.
+    #[must_use]
+    pub fn powernow(setting: EnergySetting) -> Self {
+        Platform::new(FrequencyTable::powernow_k6(), setting)
+    }
+
+    /// The available frequencies.
+    #[must_use]
+    pub fn table(&self) -> &FrequencyTable {
+        &self.table
+    }
+
+    /// The bound energy model.
+    #[must_use]
+    pub fn energy(&self) -> &EnergyModel {
+        &self.energy
+    }
+
+    /// The energy setting the model was built from.
+    #[must_use]
+    pub fn setting(&self) -> &EnergySetting {
+        &self.setting
+    }
+
+    /// The highest frequency `f_m`.
+    #[must_use]
+    pub fn f_max(&self) -> Frequency {
+        self.table.max()
+    }
+}
+
+impl fmt::Display for Platform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} @ {}", self.table, self.setting)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binds_energy_model_to_table_max() {
+        let p = Platform::powernow(EnergySetting::e3());
+        // E3: S1 = 0.5·100², S0 = 0.5·100³.
+        let (_, _, s1, s0) = p.energy().coefficients();
+        assert!((s1 - 5_000.0).abs() < 1e-9);
+        assert!((s0 - 500_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accessors_expose_parts() {
+        let p = Platform::new(FrequencyTable::fixed(80), EnergySetting::e1());
+        assert_eq!(p.f_max().as_mhz(), 80);
+        assert_eq!(p.table().len(), 1);
+        assert_eq!(p.setting().name(), "E1");
+        assert!(p.to_string().contains("80MHz"));
+    }
+}

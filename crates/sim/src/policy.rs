@@ -1,0 +1,225 @@
+//! The scheduling-policy contract and a minimal reference policy.
+
+use eua_platform::Frequency;
+
+use crate::context::SchedContext;
+use crate::ids::JobId;
+
+/// A policy's answer at one scheduling event: which job to execute next,
+/// at which frequency, and which live jobs to abort first.
+///
+/// Aborted jobs accrue no utility and are removed before execution
+/// resumes; a decision must not both run and abort the same job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Decision {
+    /// The job to execute, or `None` to idle until the next event.
+    pub run: Option<JobId>,
+    /// The clock frequency to execute at (ignored while idling).
+    pub frequency: Frequency,
+    /// Jobs to abort at this instant (e.g. EUA\* dropping infeasible jobs).
+    pub abort: Vec<JobId>,
+}
+
+impl Decision {
+    /// Idle until the next event.
+    #[must_use]
+    pub fn idle(frequency: Frequency) -> Self {
+        Decision { run: None, frequency, abort: Vec::new() }
+    }
+
+    /// Run `job` at `frequency`.
+    #[must_use]
+    pub fn run(job: JobId, frequency: Frequency) -> Self {
+        Decision { run: Some(job), frequency, abort: Vec::new() }
+    }
+
+    /// Adds jobs to abort.
+    #[must_use]
+    pub fn with_aborts(mut self, abort: impl IntoIterator<Item = JobId>) -> Self {
+        self.abort.extend(abort);
+        self
+    }
+}
+
+/// A preemptive uniprocessor scheduling policy driven by the simulator.
+///
+/// The engine invokes [`SchedulerPolicy::decide`] at every scheduling
+/// event — job arrival, job completion, and termination-time expiry — and
+/// executes the returned [`Decision`] until the next event.
+pub trait SchedulerPolicy {
+    /// A short display name (used in experiment tables).
+    fn name(&self) -> &str;
+
+    /// Chooses what to execute next; see [`Decision`].
+    fn decide(&mut self, ctx: &SchedContext<'_>) -> Decision;
+
+    /// Clears any internal state so the policy can be reused for another
+    /// run (called by the replication driver before each seed).
+    fn reset(&mut self) {}
+}
+
+impl<P: SchedulerPolicy + ?Sized> SchedulerPolicy for &mut P {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn decide(&mut self, ctx: &SchedContext<'_>) -> Decision {
+        (**self).decide(ctx)
+    }
+    fn reset(&mut self) {
+        (**self).reset();
+    }
+}
+
+impl SchedulerPolicy for Box<dyn SchedulerPolicy> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn decide(&mut self, ctx: &SchedContext<'_>) -> Decision {
+        (**self).decide(ctx)
+    }
+    fn reset(&mut self) {
+        (**self).reset();
+    }
+}
+
+/// The simplest correct baseline: earliest-critical-time-first at the
+/// maximum frequency, never aborting proactively.
+///
+/// This is the normalization baseline of the paper's Figure 2 ("EDF that
+/// always uses the highest frequency") in its non-aborting form; the
+/// richer deadline-based comparators (with feasibility aborts and DVS)
+/// live in the `eua-core` crate.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MaxSpeedEdf {
+    _private: (),
+}
+
+impl MaxSpeedEdf {
+    /// Creates the policy.
+    #[must_use]
+    pub fn new() -> Self {
+        MaxSpeedEdf::default()
+    }
+}
+
+impl SchedulerPolicy for MaxSpeedEdf {
+    fn name(&self) -> &str {
+        "edf-fmax"
+    }
+
+    fn decide(&mut self, ctx: &SchedContext<'_>) -> Decision {
+        let f = ctx.platform.f_max();
+        let next = ctx
+            .jobs
+            .iter()
+            .min_by_key(|j| (j.critical_time, j.id))
+            .map(|j| j.id);
+        match next {
+            Some(id) => Decision::run(id, f),
+            None => Decision::idle(f),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eua_platform::{Cycles, EnergySetting, SimTime, TimeDelta};
+    use eua_tuf::Tuf;
+    use eua_uam::demand::DemandModel;
+    use eua_uam::{Assurance, UamSpec};
+
+    use crate::context::{JobView, SchedEvent};
+    use crate::ids::TaskId;
+    use crate::platform_view::Platform;
+    use crate::task::{Task, TaskSet};
+
+    fn one_task_set() -> TaskSet {
+        let p = TimeDelta::from_millis(10);
+        TaskSet::new(vec![Task::new(
+            "t",
+            Tuf::step(1.0, p).unwrap(),
+            UamSpec::new(4, p).unwrap(),
+            DemandModel::deterministic(100.0).unwrap(),
+            Assurance::new(1.0, 0.5).unwrap(),
+        )
+        .unwrap()])
+        .unwrap()
+    }
+
+    fn view(id: u64, critical_us: u64) -> JobView {
+        JobView {
+            id: JobId(id),
+            task: TaskId(0),
+            arrival: SimTime::ZERO,
+            critical_time: SimTime::from_micros(critical_us),
+            termination: SimTime::from_micros(critical_us + 10),
+            remaining: Cycles::new(5),
+            executed: Cycles::ZERO,
+        }
+    }
+
+    #[test]
+    fn decision_builders() {
+        let f = Frequency::from_mhz(100);
+        let d = Decision::run(JobId(1), f).with_aborts([JobId(2), JobId(3)]);
+        assert_eq!(d.run, Some(JobId(1)));
+        assert_eq!(d.abort, vec![JobId(2), JobId(3)]);
+        let i = Decision::idle(f);
+        assert_eq!(i.run, None);
+        assert!(i.abort.is_empty());
+    }
+
+    #[test]
+    fn max_speed_edf_picks_earliest_critical_time() {
+        let tasks = one_task_set();
+        let platform = Platform::powernow(EnergySetting::e1());
+        let jobs = vec![view(0, 500), view(1, 100), view(2, 300)];
+        let ctx = SchedContext {
+            now: SimTime::ZERO,
+            event: SchedEvent::Arrival,
+            jobs: &jobs,
+            tasks: &tasks,
+            platform: &platform,
+            running: None,
+            energy_used: 0.0,
+        };
+        let mut p = MaxSpeedEdf::new();
+        let d = p.decide(&ctx);
+        assert_eq!(d.run, Some(JobId(1)));
+        assert_eq!(d.frequency.as_mhz(), 100);
+    }
+
+    #[test]
+    fn max_speed_edf_breaks_ties_by_id() {
+        let tasks = one_task_set();
+        let platform = Platform::powernow(EnergySetting::e1());
+        let jobs = vec![view(5, 100), view(3, 100)];
+        let ctx = SchedContext {
+            now: SimTime::ZERO,
+            event: SchedEvent::Arrival,
+            jobs: &jobs,
+            tasks: &tasks,
+            platform: &platform,
+            running: None,
+            energy_used: 0.0,
+        };
+        assert_eq!(MaxSpeedEdf::new().decide(&ctx).run, Some(JobId(3)));
+    }
+
+    #[test]
+    fn max_speed_edf_idles_without_jobs() {
+        let tasks = one_task_set();
+        let platform = Platform::powernow(EnergySetting::e1());
+        let ctx = SchedContext {
+            now: SimTime::ZERO,
+            event: SchedEvent::Start,
+            jobs: &[],
+            tasks: &tasks,
+            platform: &platform,
+            running: None,
+            energy_used: 0.0,
+        };
+        assert_eq!(MaxSpeedEdf::new().decide(&ctx).run, None);
+    }
+}

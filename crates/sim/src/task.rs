@@ -1,0 +1,459 @@
+//! Task definitions and task sets, with the §3.1 derived quantities.
+
+use std::fmt;
+
+use eua_platform::{Cycles, Frequency, TimeDelta};
+use eua_tuf::Tuf;
+use eua_uam::demand::DemandModel;
+use eua_uam::{Assurance, UamSpec};
+
+use crate::error::SimError;
+use crate::ids::TaskId;
+
+/// One task `T_i` of the paper's model: a TUF time constraint, a UAM
+/// arrival descriptor `⟨a_i, P_i⟩`, a stochastic cycle demand `Y_i`, and a
+/// statistical requirement `{ν_i, ρ_i}`.
+///
+/// Construction performs the paper's `offlineComputing` derivations that
+/// depend only on the task (the UER-optimal frequency also needs the
+/// platform and is computed by the policies):
+///
+/// * the **cycle allocation** `c_i = E(Y_i) + sqrt(ρ_i/(1−ρ_i)·Var(Y_i))`
+///   (Chebyshev/Cantelli, §3.1), and
+/// * the **critical time** `D_i` with `ν_i = U_i(D_i)/U_i^max`.
+///
+/// # Example
+///
+/// ```
+/// use eua_platform::TimeDelta;
+/// use eua_sim::Task;
+/// use eua_tuf::Tuf;
+/// use eua_uam::demand::DemandModel;
+/// use eua_uam::{Assurance, UamSpec};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let p = TimeDelta::from_millis(20);
+/// let task = Task::new(
+///     "track",
+///     Tuf::linear(60.0, p)?,
+///     UamSpec::new(2, p)?,
+///     DemandModel::normal(100_000.0, 100_000.0)?,
+///     Assurance::new(0.3, 0.9)?,
+/// )?;
+/// // ν = 0.3 on a linear TUF ⇒ D = 0.7·P = 14 ms.
+/// assert_eq!(task.critical_offset(), TimeDelta::from_millis(14));
+/// assert!(task.allocation().get() > 100_000);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Task {
+    name: String,
+    tuf: Tuf,
+    uam: UamSpec,
+    demand: DemandModel,
+    assurance: Assurance,
+    allocation: Cycles,
+    critical_offset: TimeDelta,
+}
+
+impl Task {
+    /// Creates a task and derives its cycle allocation and critical time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NoCriticalTime`] if the TUF cannot meet the
+    /// assurance fraction `ν`, and [`SimError::Task`] if the Chebyshev
+    /// allocation is invalid for `ρ` (cannot happen for a validated
+    /// [`Assurance`]).
+    pub fn new(
+        name: impl Into<String>,
+        tuf: Tuf,
+        uam: UamSpec,
+        demand: DemandModel,
+        assurance: Assurance,
+    ) -> Result<Self, SimError> {
+        let name = name.into();
+        let critical_offset = tuf
+            .critical_time(assurance.nu())
+            .ok_or_else(|| SimError::NoCriticalTime { task: name.clone() })?;
+        if critical_offset.is_zero() {
+            return Err(SimError::NoCriticalTime { task: name });
+        }
+        let allocation = demand
+            .chebyshev_allocation(assurance.rho())
+            .map_err(|e| SimError::Task(e.to_string()))?;
+        Ok(Task { name, tuf, uam, demand, assurance, allocation, critical_offset })
+    }
+
+    /// The task's human-readable name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The task's time/utility function (shared by all its jobs).
+    #[must_use]
+    pub fn tuf(&self) -> &Tuf {
+        &self.tuf
+    }
+
+    /// The `⟨a, P⟩` arrival descriptor.
+    #[must_use]
+    pub fn uam(&self) -> &UamSpec {
+        &self.uam
+    }
+
+    /// The stochastic cycle-demand model `Y_i`.
+    #[must_use]
+    pub fn demand(&self) -> &DemandModel {
+        &self.demand
+    }
+
+    /// The statistical requirement `{ν, ρ}`.
+    #[must_use]
+    pub fn assurance(&self) -> &Assurance {
+        &self.assurance
+    }
+
+    /// The Chebyshev cycle allocation `c_i` each job is planned with.
+    #[must_use]
+    pub fn allocation(&self) -> Cycles {
+        self.allocation
+    }
+
+    /// The critical-time offset `D_i` relative to a job's arrival.
+    #[must_use]
+    pub fn critical_offset(&self) -> TimeDelta {
+        self.critical_offset
+    }
+
+    /// The termination offset `X − I` (from the TUF).
+    #[must_use]
+    pub fn termination_offset(&self) -> TimeDelta {
+        self.tuf.termination()
+    }
+
+    /// The per-window worst-case cycle demand `C_i = a_i·c_i` of
+    /// Theorem 1.
+    #[must_use]
+    pub fn window_demand(&self) -> Cycles {
+        self.allocation
+            .checked_mul(u64::from(self.uam.max_arrivals()))
+            .unwrap_or(Cycles::new(u64::MAX))
+    }
+
+    /// The task's contribution `C_i / D_i` to the system load, in
+    /// cycles/µs.
+    #[must_use]
+    pub fn demand_rate(&self) -> f64 {
+        self.window_demand().as_f64() / self.critical_offset.as_micros() as f64
+    }
+
+    /// A copy of this task with its demand scaled by `k` (mean by `k`,
+    /// variance by `k²`), re-deriving the allocation — the inner step of
+    /// the paper's load-scaling procedure.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Task::new`] errors.
+    pub fn with_scaled_demand(&self, k: f64) -> Result<Self, SimError> {
+        Task::new(
+            self.name.clone(),
+            self.tuf.clone(),
+            self.uam,
+            self.demand.scaled(k),
+            self.assurance,
+        )
+    }
+}
+
+impl fmt::Display for Task {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} {} c={} D={}",
+            self.name, self.uam, self.tuf, self.allocation, self.critical_offset
+        )
+    }
+}
+
+/// An immutable set of tasks, indexed by [`TaskId`].
+///
+/// # Example
+///
+/// ```
+/// use eua_platform::{Frequency, TimeDelta};
+/// use eua_sim::TaskSet;
+/// # use eua_sim::Task;
+/// # use eua_tuf::Tuf;
+/// # use eua_uam::demand::DemandModel;
+/// # use eua_uam::{Assurance, UamSpec};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// # let p = TimeDelta::from_millis(10);
+/// # let task = Task::new(
+/// #     "t", Tuf::step(1.0, p)?, UamSpec::periodic(p)?,
+/// #     DemandModel::deterministic(100_000.0)?, Assurance::new(1.0, 0.5)?,
+/// # )?;
+/// let set = TaskSet::new(vec![task])?;
+/// // System load ρ = (1/f_m)·Σ C_i/D_i (paper §5).
+/// let load = set.system_load(Frequency::from_mhz(100));
+/// assert!((load - 0.1).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskSet {
+    tasks: Vec<Task>,
+}
+
+impl TaskSet {
+    /// Creates a task set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::EmptyTaskSet`] if `tasks` is empty.
+    pub fn new(tasks: Vec<Task>) -> Result<Self, SimError> {
+        if tasks.is_empty() {
+            return Err(SimError::EmptyTaskSet);
+        }
+        Ok(TaskSet { tasks })
+    }
+
+    /// Number of tasks `n`.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// `false` — empty sets cannot be constructed — provided alongside
+    /// [`TaskSet::len`] for API completeness.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// The task with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range; ids originate from this set.
+    #[must_use]
+    pub fn task(&self, id: TaskId) -> &Task {
+        &self.tasks[id.index()]
+    }
+
+    /// Iterates over `(TaskId, &Task)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (TaskId, &Task)> + '_ {
+        self.tasks.iter().enumerate().map(|(i, t)| (TaskId(i), t))
+    }
+
+    /// The tasks as a slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    /// The system load `ρ = (1/f_m)·Σ_i C_i/D_i` used throughout §5.
+    #[must_use]
+    pub fn system_load(&self, f_max: Frequency) -> f64 {
+        self.tasks.iter().map(Task::demand_rate).sum::<f64>() / f_max.as_f64()
+    }
+
+    /// Rescales every task's demand by `k`; see
+    /// [`Task::with_scaled_demand`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates task re-derivation errors.
+    pub fn with_scaled_demand(&self, k: f64) -> Result<Self, SimError> {
+        let tasks = self
+            .tasks
+            .iter()
+            .map(|t| t.with_scaled_demand(k))
+            .collect::<Result<Vec<_>, _>>()?;
+        TaskSet::new(tasks)
+    }
+
+    /// Scales demands so that [`TaskSet::system_load`] equals `target`
+    /// (paper §5: "k is chosen such that the system load reaches a desired
+    /// value").
+    ///
+    /// # Errors
+    ///
+    /// Propagates task re-derivation errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is not positive and finite.
+    pub fn scaled_to_load(&self, target: f64, f_max: Frequency) -> Result<Self, SimError> {
+        assert!(target.is_finite() && target > 0.0, "target load must be positive");
+        // c_i(k) is affine-but-not-linear in k only through Chebyshev
+        // rounding, so one proportional step converges to well under the
+        // per-cycle resolution; iterate twice to absorb the rounding.
+        let mut set = self.clone();
+        for _ in 0..3 {
+            let load = set.system_load(f_max);
+            if (load - target).abs() / target < 1e-6 {
+                break;
+            }
+            let k = target / load;
+            set = set.with_scaled_demand(k)?;
+        }
+        // Guard: the two-pass scaling must land close to the target.
+        debug_assert!(
+            (set.system_load(f_max) - target).abs() / target < 1e-2,
+            "load scaling failed to converge: wanted {target}, got {}",
+            set.system_load(f_max)
+        );
+        Ok(set)
+    }
+}
+
+impl<'a> IntoIterator for &'a TaskSet {
+    type Item = (TaskId, &'a Task);
+    type IntoIter = Box<dyn Iterator<Item = (TaskId, &'a Task)> + 'a>;
+    fn into_iter(self) -> Self::IntoIter {
+        Box::new(self.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> TimeDelta {
+        TimeDelta::from_millis(v)
+    }
+
+    fn step_task(name: &str, p_ms: u64, mean: f64) -> Task {
+        Task::new(
+            name,
+            Tuf::step(10.0, ms(p_ms)).unwrap(),
+            UamSpec::periodic(ms(p_ms)).unwrap(),
+            DemandModel::deterministic(mean).unwrap(),
+            Assurance::new(1.0, 0.5).unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn derives_critical_time_from_nu() {
+        let p = ms(10);
+        let t = Task::new(
+            "lin",
+            Tuf::linear(100.0, p).unwrap(),
+            UamSpec::periodic(p).unwrap(),
+            DemandModel::deterministic(1_000.0).unwrap(),
+            Assurance::new(0.4, 0.5).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(t.critical_offset(), TimeDelta::from_micros(6_000));
+        assert_eq!(t.termination_offset(), p);
+    }
+
+    #[test]
+    fn chebyshev_allocation_exceeds_mean_for_positive_rho() {
+        let p = ms(10);
+        let t = Task::new(
+            "n",
+            Tuf::step(1.0, p).unwrap(),
+            UamSpec::periodic(p).unwrap(),
+            DemandModel::normal(10_000.0, 10_000.0).unwrap(),
+            Assurance::new(1.0, 0.96).unwrap(),
+        )
+        .unwrap();
+        // c = 10000 + sqrt(24 · 10000) ≈ 10489.9 → 10490.
+        assert_eq!(t.allocation().get(), 10_490);
+    }
+
+    #[test]
+    fn window_demand_multiplies_by_a() {
+        let p = ms(10);
+        let t = Task::new(
+            "b",
+            Tuf::step(1.0, p).unwrap(),
+            UamSpec::new(3, p).unwrap(),
+            DemandModel::deterministic(5_000.0).unwrap(),
+            Assurance::new(1.0, 0.5).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(t.window_demand().get(), 15_000);
+        assert!((t.demand_rate() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_critical_time_is_rejected() {
+        // ν = 1 on an exponential TUF: only t = 0 attains full utility.
+        let r = Task::new(
+            "exp",
+            Tuf::exponential(1.0, ms(1), ms(10)).unwrap(),
+            UamSpec::periodic(ms(10)).unwrap(),
+            DemandModel::deterministic(1.0).unwrap(),
+            Assurance::new(1.0, 0.5).unwrap(),
+        );
+        assert!(matches!(r, Err(SimError::NoCriticalTime { .. })));
+    }
+
+    #[test]
+    fn system_load_sums_demand_rates() {
+        // Two tasks, each C/D = 100k cycles / 10 ms = 10 cycles/µs.
+        let set =
+            TaskSet::new(vec![step_task("a", 10, 100_000.0), step_task("b", 10, 100_000.0)])
+                .unwrap();
+        let load = set.system_load(Frequency::from_mhz(100));
+        assert!((load - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaled_to_load_hits_target() {
+        let set = TaskSet::new(vec![
+            step_task("a", 10, 100_000.0),
+            step_task("b", 25, 400_000.0),
+            step_task("c", 50, 1_000_000.0),
+        ])
+        .unwrap();
+        for target in [0.2, 0.5, 1.0, 1.5, 1.8] {
+            let scaled = set.scaled_to_load(target, Frequency::from_mhz(100)).unwrap();
+            let got = scaled.system_load(Frequency::from_mhz(100));
+            assert!((got - target).abs() / target < 1e-2, "target {target}, got {got}");
+        }
+    }
+
+    #[test]
+    fn scaling_preserves_cv_for_normal_demands() {
+        let p = ms(10);
+        let t = Task::new(
+            "n",
+            Tuf::step(1.0, p).unwrap(),
+            UamSpec::periodic(p).unwrap(),
+            DemandModel::normal(10_000.0, 10_000.0).unwrap(),
+            Assurance::new(1.0, 0.9).unwrap(),
+        )
+        .unwrap();
+        let scaled = t.with_scaled_demand(4.0).unwrap();
+        assert_eq!(scaled.demand().mean(), 40_000.0);
+        assert_eq!(scaled.demand().variance(), 160_000.0);
+        // CV falls by 1/√k relative scaling of std/mean: std scales by k,
+        // so std/mean is constant.
+        let cv0 = t.demand().variance().sqrt() / t.demand().mean();
+        let cv1 = scaled.demand().variance().sqrt() / scaled.demand().mean();
+        assert!((cv0 - cv1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_task_set_rejected() {
+        assert_eq!(TaskSet::new(vec![]).unwrap_err(), SimError::EmptyTaskSet);
+    }
+
+    #[test]
+    fn iteration_yields_stable_ids() {
+        let set =
+            TaskSet::new(vec![step_task("a", 10, 1_000.0), step_task("b", 20, 1_000.0)]).unwrap();
+        let names: Vec<(usize, String)> =
+            set.iter().map(|(id, t)| (id.index(), t.name().to_string())).collect();
+        assert_eq!(names, vec![(0, "a".to_string()), (1, "b".to_string())]);
+        assert_eq!(set.task(TaskId(1)).name(), "b");
+    }
+}

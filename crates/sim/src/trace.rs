@@ -1,0 +1,217 @@
+//! Optional execution traces for debugging and property checking.
+//!
+//! Traces make schedules *inspectable*: the Theorem 2 test ("a schedule
+//! produced by EDF is also produced by EUA\*") compares two policies'
+//! [`ExecutionTrace::job_sequence`] directly.
+
+use std::fmt;
+
+use eua_platform::{Frequency, SimTime, TimeDelta};
+
+use crate::ids::{JobId, TaskId};
+
+/// A maximal interval during which one job ran at one frequency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segment {
+    /// The executing job.
+    pub job: JobId,
+    /// Its task.
+    pub task: TaskId,
+    /// Interval start.
+    pub start: SimTime,
+    /// Interval end (exclusive).
+    pub end: SimTime,
+    /// The clock frequency during the interval.
+    pub frequency: Frequency,
+}
+
+impl Segment {
+    /// The segment's length.
+    #[must_use]
+    pub fn duration(&self) -> TimeDelta {
+        self.end - self.start
+    }
+}
+
+impl fmt::Display for Segment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}..{}) {} @ {}", self.start, self.end, self.job, self.frequency)
+    }
+}
+
+/// A notable event in the execution history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TraceEvent {
+    /// A job arrived.
+    Arrival {
+        /// When.
+        at: SimTime,
+        /// Which job.
+        job: JobId,
+    },
+    /// A job completed.
+    Completion {
+        /// When.
+        at: SimTime,
+        /// Which job.
+        job: JobId,
+    },
+    /// A job was aborted.
+    Abort {
+        /// When.
+        at: SimTime,
+        /// Which job.
+        job: JobId,
+        /// `true` if the policy (rather than the termination exception)
+        /// requested it.
+        by_policy: bool,
+    },
+}
+
+impl TraceEvent {
+    /// The event's timestamp.
+    #[must_use]
+    pub fn at(&self) -> SimTime {
+        match *self {
+            TraceEvent::Arrival { at, .. }
+            | TraceEvent::Completion { at, .. }
+            | TraceEvent::Abort { at, .. } => at,
+        }
+    }
+}
+
+/// The complete execution history of one run (enabled via
+/// [`crate::SimConfig::record_trace`]).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ExecutionTrace {
+    segments: Vec<Segment>,
+    events: Vec<TraceEvent>,
+}
+
+impl ExecutionTrace {
+    pub(crate) fn new() -> Self {
+        ExecutionTrace::default()
+    }
+
+    pub(crate) fn push_segment(&mut self, seg: Segment) {
+        if seg.start == seg.end {
+            return;
+        }
+        // Merge with the previous segment when the same job continues at
+        // the same frequency.
+        if let Some(last) = self.segments.last_mut() {
+            if last.job == seg.job && last.frequency == seg.frequency && last.end == seg.start {
+                last.end = seg.end;
+                return;
+            }
+        }
+        self.segments.push(seg);
+    }
+
+    pub(crate) fn push_event(&mut self, ev: TraceEvent) {
+        self.events.push(ev);
+    }
+
+    /// The execution segments, in time order.
+    #[must_use]
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// The recorded events, in time order.
+    #[must_use]
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// The sequence of jobs in execution order, adjacent repeats collapsed —
+    /// the schedule's "shape", independent of speed.
+    #[must_use]
+    pub fn job_sequence(&self) -> Vec<JobId> {
+        let mut seq = Vec::new();
+        for s in &self.segments {
+            if seq.last() != Some(&s.job) {
+                seq.push(s.job);
+            }
+        }
+        seq
+    }
+
+    /// Total time covered by execution segments.
+    #[must_use]
+    pub fn busy_time(&self) -> TimeDelta {
+        self.segments.iter().map(Segment::duration).sum()
+    }
+
+    /// `true` if no two segments overlap (a uniprocessor invariant).
+    #[must_use]
+    pub fn is_serial(&self) -> bool {
+        self.segments.windows(2).all(|w| w[0].end <= w[1].start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(job: u64, start: u64, end: u64, mhz: u64) -> Segment {
+        Segment {
+            job: JobId(job),
+            task: TaskId(0),
+            start: SimTime::from_micros(start),
+            end: SimTime::from_micros(end),
+            frequency: Frequency::from_mhz(mhz),
+        }
+    }
+
+    #[test]
+    fn segments_merge_when_contiguous() {
+        let mut t = ExecutionTrace::new();
+        t.push_segment(seg(1, 0, 10, 100));
+        t.push_segment(seg(1, 10, 20, 100));
+        assert_eq!(t.segments().len(), 1);
+        assert_eq!(t.segments()[0].duration(), TimeDelta::from_micros(20));
+    }
+
+    #[test]
+    fn segments_do_not_merge_across_frequency_changes() {
+        let mut t = ExecutionTrace::new();
+        t.push_segment(seg(1, 0, 10, 100));
+        t.push_segment(seg(1, 10, 20, 55));
+        assert_eq!(t.segments().len(), 2);
+    }
+
+    #[test]
+    fn zero_length_segments_dropped() {
+        let mut t = ExecutionTrace::new();
+        t.push_segment(seg(1, 5, 5, 100));
+        assert!(t.segments().is_empty());
+    }
+
+    #[test]
+    fn job_sequence_collapses_repeats() {
+        let mut t = ExecutionTrace::new();
+        t.push_segment(seg(1, 0, 10, 100));
+        t.push_segment(seg(2, 10, 15, 55));
+        t.push_segment(seg(2, 15, 18, 100));
+        t.push_segment(seg(1, 18, 30, 100));
+        assert_eq!(t.job_sequence(), vec![JobId(1), JobId(2), JobId(1)]);
+        assert_eq!(t.busy_time(), TimeDelta::from_micros(30));
+        assert!(t.is_serial());
+    }
+
+    #[test]
+    fn event_timestamps() {
+        let e = TraceEvent::Abort { at: SimTime::from_micros(9), job: JobId(1), by_policy: true };
+        assert_eq!(e.at(), SimTime::from_micros(9));
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let mut t = ExecutionTrace::new();
+        t.push_segment(seg(1, 0, 10, 100));
+        t.push_segment(seg(2, 5, 15, 100));
+        assert!(!t.is_serial());
+    }
+}

@@ -1,0 +1,248 @@
+//! Differential testing: a deliberately naive microsecond-stepped
+//! reference simulator, compared tick-for-tick against the event-driven
+//! engine on randomized (but deterministic-demand) workloads.
+//!
+//! The reference implements the same semantics by brute force — admit
+//! arrivals, raise termination exceptions, re-decide EDF on events, then
+//! execute one microsecond at a time — so any divergence in utility,
+//! energy, busy time, or job counts exposes an engine bug in event
+//! scheduling, rounding, or accounting.
+
+use eua_platform::{EnergySetting, SimTime, TimeDelta};
+use eua_sim::policy::MaxSpeedEdf;
+use eua_sim::{Engine, Platform, SimConfig, Task, TaskSet};
+use eua_tuf::Tuf;
+use eua_uam::demand::DemandModel;
+use eua_uam::{ArrivalTrace, Assurance, UamSpec};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct RefJob {
+    task: usize,
+    arrival: u64,
+    critical: u64,
+    termination: u64,
+    remaining: u64,
+    done: bool,
+}
+
+#[derive(Debug, Default, PartialEq)]
+struct RefOutcome {
+    utility_milli: i64,
+    energy_milli: i64,
+    busy_us: u64,
+    completed: u64,
+    aborted: u64,
+}
+
+/// Microsecond-stepped reference run of earliest-critical-time-first at
+/// `f_m`, mirroring the engine's published semantics.
+fn reference_run(
+    tasks: &TaskSet,
+    traces: &[Vec<u64>],
+    platform: &Platform,
+    horizon_us: u64,
+) -> RefOutcome {
+    let f = platform.f_max();
+    let speed = f.as_mhz();
+    let per_cycle = platform.energy().energy_per_cycle(f);
+    let mut out = RefOutcome::default();
+    let mut live: Vec<RefJob> = Vec::new();
+    let mut cursors = vec![0usize; traces.len()];
+    let mut running: Option<usize> = None; // index into live
+    let mut utility = 0.0f64;
+    let mut energy = 0.0f64;
+
+    for t in 0..horizon_us {
+        let mut event = t == 0;
+        // Admit arrivals at `t` (task order, mirroring the engine's stable
+        // sort by (time, task)).
+        for (task_idx, trace) in traces.iter().enumerate() {
+            while cursors[task_idx] < trace.len() && trace[cursors[task_idx]] == t {
+                let task = tasks.task(eua_sim::TaskId(task_idx));
+                live.push(RefJob {
+                    task: task_idx,
+                    arrival: t,
+                    critical: t + task.critical_offset().as_micros(),
+                    termination: t + task.termination_offset().as_micros(),
+                    remaining: task.demand().mean().round() as u64,
+                    done: false,
+                });
+                cursors[task_idx] += 1;
+                event = true;
+            }
+        }
+        // Termination exceptions.
+        let before = live.len();
+        live.retain(|j| {
+            if !j.done && j.termination <= t {
+                out.aborted += 1;
+                false
+            } else {
+                true
+            }
+        });
+        if live.len() != before {
+            event = true;
+            running = None; // indices shifted; re-decide below anyway
+        }
+        // Re-decide on any event: earliest critical time, ties by arrival
+        // order (which equals id order in the engine).
+        if event || running.is_none() {
+            running = live
+                .iter()
+                .enumerate()
+                .min_by_key(|(i, j)| (j.critical, *i))
+                .map(|(i, _)| i);
+        }
+        // Execute one microsecond.
+        if let Some(idx) = running {
+            let job = &mut live[idx];
+            let exec = job.remaining.min(speed);
+            job.remaining -= exec;
+            energy += exec as f64 * per_cycle;
+            out.busy_us += 1;
+            if job.remaining == 0 {
+                // Completion is observed at the *end* of this microsecond.
+                let sojourn = TimeDelta::from_micros(t + 1 - job.arrival);
+                let task = tasks.task(eua_sim::TaskId(job.task));
+                if job.termination <= horizon_us {
+                    utility += task.tuf().utility(sojourn);
+                }
+                out.completed += 1;
+                live.remove(idx);
+                running = None;
+            }
+        }
+    }
+    out.utility_milli = (utility * 1_000.0).round() as i64;
+    out.energy_milli = (energy * 1_000.0).round() as i64;
+    out
+}
+
+fn engine_outcome(
+    tasks: &TaskSet,
+    traces: &[Vec<u64>],
+    platform: &Platform,
+    horizon_us: u64,
+) -> RefOutcome {
+    let arrival_traces: Vec<ArrivalTrace> = traces
+        .iter()
+        .map(|t| ArrivalTrace::from_times(t.iter().map(|&u| SimTime::from_micros(u))))
+        .collect();
+    let config = SimConfig::new(TimeDelta::from_micros(horizon_us));
+    let m = Engine::run_with_traces(
+        tasks,
+        &arrival_traces,
+        platform,
+        &mut MaxSpeedEdf::new(),
+        &config,
+        1,
+    )
+    .expect("engine run")
+    .metrics;
+    RefOutcome {
+        utility_milli: (m.total_utility * 1_000.0).round() as i64,
+        energy_milli: (m.energy * 1_000.0).round() as i64,
+        busy_us: m.busy_time.as_micros(),
+        completed: m.jobs_completed(),
+        aborted: m.jobs_aborted(),
+    }
+}
+
+#[derive(Debug, Clone)]
+struct RefTaskParams {
+    window_us: u64,
+    cycles: u64,
+    umax: f64,
+    step: bool,
+    arrivals: Vec<u64>,
+}
+
+fn arb_ref_task() -> impl Strategy<Value = RefTaskParams> {
+    (200u64..5_000, 1u64..400_000, 1.0f64..50.0, any::<bool>()).prop_flat_map(
+        |(window_us, cycles, umax, step)| {
+            // Arrivals respecting ⟨1, window⟩: cumulative gaps ≥ window.
+            proptest::collection::vec(0u64..window_us, 0..8).prop_map(
+                move |extras| {
+                    let mut arrivals = Vec::new();
+                    let mut t = extras.first().copied().unwrap_or(0);
+                    for &e in &extras {
+                        arrivals.push(t);
+                        t += window_us + e;
+                    }
+                    RefTaskParams { window_us, cycles, umax, step, arrivals }
+                },
+            )
+        },
+    )
+}
+
+fn build(params: &[RefTaskParams]) -> (TaskSet, Vec<Vec<u64>>) {
+    let mut tasks = Vec::new();
+    let mut traces = Vec::new();
+    for (i, p) in params.iter().enumerate() {
+        let window = TimeDelta::from_micros(p.window_us);
+        let tuf = if p.step {
+            Tuf::step(p.umax, window).expect("valid")
+        } else {
+            Tuf::linear(p.umax, window).expect("valid")
+        };
+        // ν = 0 keeps D = X so the reference's EDF key equals the
+        // engine's for both shapes.
+        tasks.push(
+            Task::new(
+                format!("t{i}"),
+                tuf,
+                UamSpec::periodic(window).expect("valid"),
+                DemandModel::deterministic(p.cycles as f64).expect("valid"),
+                Assurance::new(0.0, 0.5).expect("valid"),
+            )
+            .expect("valid"),
+        );
+        traces.push(p.arrivals.clone());
+    }
+    (TaskSet::new(tasks).expect("non-empty"), traces)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn event_engine_matches_tick_reference(
+        params in proptest::collection::vec(arb_ref_task(), 1..4),
+        horizon_ms in 5u64..40,
+    ) {
+        prop_assume!(params.iter().any(|p| !p.arrivals.is_empty()));
+        let (tasks, traces) = build(&params);
+        let platform = Platform::powernow(EnergySetting::e1());
+        let horizon_us = horizon_ms * 1_000;
+        let reference = reference_run(&tasks, &traces, &platform, horizon_us);
+        let engine = engine_outcome(&tasks, &traces, &platform, horizon_us);
+        prop_assert_eq!(
+            &engine, &reference,
+            "divergence on {:?}", params
+        );
+    }
+}
+
+#[test]
+fn known_scenario_matches_by_hand() {
+    // One task: 250k cycles per job, 10 ms window, arrivals at 0 and 10 ms,
+    // horizon 25 ms. Each job: 2.5 ms at 100 MHz.
+    let params = [RefTaskParams {
+        window_us: 10_000,
+        cycles: 250_000,
+        umax: 8.0,
+        step: true,
+        arrivals: vec![0, 10_000],
+    }];
+    let (tasks, traces) = build(&params);
+    let platform = Platform::powernow(EnergySetting::e1());
+    let reference = reference_run(&tasks, &traces, &platform, 25_000);
+    let engine = engine_outcome(&tasks, &traces, &platform, 25_000);
+    assert_eq!(engine, reference);
+    assert_eq!(engine.completed, 2);
+    assert_eq!(engine.busy_us, 5_000);
+    assert_eq!(engine.utility_milli, 16_000);
+}

@@ -1,0 +1,174 @@
+//! Property-based tests of simulator invariants: whatever the workload,
+//! the engine conserves time, never over-accrues utility, keeps the
+//! uniprocessor serial, and is deterministic per seed.
+
+use eua_platform::{EnergySetting, TimeDelta};
+use eua_sim::policy::MaxSpeedEdf;
+use eua_sim::{Engine, Platform, SimConfig, Task, TaskSet};
+use eua_tuf::Tuf;
+use eua_uam::demand::DemandModel;
+use eua_uam::generator::ArrivalPattern;
+use eua_uam::{Assurance, UamSpec};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct TaskParams {
+    window_us: u64,
+    a: u32,
+    mean_cycles: f64,
+    umax: f64,
+    step: bool,
+    nu_step: bool,
+    rho: f64,
+}
+
+fn arb_task_params() -> impl Strategy<Value = TaskParams> {
+    (
+        1_000u64..200_000,
+        1u32..4,
+        1_000.0f64..2_000_000.0,
+        1.0f64..100.0,
+        any::<bool>(),
+        any::<bool>(),
+        0.0f64..0.99,
+    )
+        .prop_map(|(window_us, a, mean_cycles, umax, step, nu_step, rho)| TaskParams {
+            window_us,
+            a,
+            mean_cycles,
+            umax,
+            step,
+            nu_step,
+            rho,
+        })
+}
+
+fn build(params: &[TaskParams]) -> (TaskSet, Vec<ArrivalPattern>) {
+    let mut tasks = Vec::new();
+    let mut patterns = Vec::new();
+    for (i, p) in params.iter().enumerate() {
+        let window = TimeDelta::from_micros(p.window_us);
+        let tuf = if p.step {
+            Tuf::step(p.umax, window).expect("valid")
+        } else {
+            Tuf::linear(p.umax, window).expect("valid")
+        };
+        let nu = if p.step {
+            if p.nu_step {
+                1.0
+            } else {
+                0.0
+            }
+        } else {
+            0.3
+        };
+        let spec = UamSpec::new(p.a, window).expect("valid");
+        let task = Task::new(
+            format!("t{i}"),
+            tuf,
+            spec,
+            DemandModel::normal(p.mean_cycles, p.mean_cycles).expect("valid"),
+            Assurance::new(nu, p.rho).expect("valid"),
+        );
+        // ν = 0 on a step TUF has D = X which is fine; skip tasks whose
+        // derivation legitimately fails (e.g. ν = 1 would need D > 0 — it
+        // always holds for steps, so this is defensive).
+        let Ok(task) = task else { continue };
+        tasks.push(task);
+        patterns.push(ArrivalPattern::random_burst(spec).expect("valid"));
+    }
+    if tasks.is_empty() {
+        let window = TimeDelta::from_millis(10);
+        let spec = UamSpec::periodic(window).expect("valid");
+        tasks.push(
+            Task::new(
+                "fallback",
+                Tuf::step(1.0, window).expect("valid"),
+                spec,
+                DemandModel::deterministic(1_000.0).expect("valid"),
+                Assurance::new(1.0, 0.5).expect("valid"),
+            )
+            .expect("valid"),
+        );
+        patterns.push(ArrivalPattern::periodic(window).expect("valid"));
+    }
+    (TaskSet::new(tasks).expect("non-empty"), patterns)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn engine_invariants_hold_for_random_workloads(
+        params in proptest::collection::vec(arb_task_params(), 1..6),
+        seed in 0u64..10_000,
+    ) {
+        let (tasks, patterns) = build(&params);
+        let platform = Platform::powernow(EnergySetting::e1());
+        let horizon = TimeDelta::from_millis(500);
+        let config = SimConfig::new(horizon).with_trace().with_job_records();
+        let out = Engine::run(&tasks, &patterns, &platform, &mut MaxSpeedEdf::new(), &config, seed)
+            .expect("engine must not fail on valid input");
+        let m = &out.metrics;
+
+        // Time conservation.
+        prop_assert!(m.busy_time <= horizon);
+        // Utility can never exceed the ceiling.
+        prop_assert!(m.total_utility <= m.max_possible_utility + 1e-6);
+        // Energy is non-negative and zero iff no work ran.
+        prop_assert!(m.energy >= 0.0);
+        prop_assert_eq!(m.energy == 0.0, m.busy_time.is_zero());
+        // Job conservation: completed + aborted + unfinished = arrived.
+        let records = out.jobs.as_ref().expect("records enabled");
+        prop_assert_eq!(records.len() as u64, m.jobs_arrived());
+        let completed = records.iter().filter(|r| r.is_completed()).count() as u64;
+        prop_assert_eq!(completed, m.jobs_completed());
+        // The uniprocessor never overlaps executions.
+        let trace = out.trace.as_ref().expect("trace enabled");
+        prop_assert!(trace.is_serial());
+        prop_assert_eq!(trace.busy_time(), m.busy_time);
+        // Per-task accounting is consistent.
+        for tm in &m.per_task {
+            prop_assert!(tm.completed + tm.aborted_by_termination + tm.aborted_by_policy <= tm.arrived);
+            prop_assert!(tm.assured <= tm.observable);
+            prop_assert!(tm.utility <= tm.max_utility + 1e-6);
+        }
+    }
+
+    #[test]
+    fn engine_is_deterministic(
+        params in proptest::collection::vec(arb_task_params(), 1..4),
+        seed in 0u64..10_000,
+    ) {
+        let (tasks, patterns) = build(&params);
+        let platform = Platform::powernow(EnergySetting::e2());
+        let config = SimConfig::new(TimeDelta::from_millis(200));
+        let a = Engine::run(&tasks, &patterns, &platform, &mut MaxSpeedEdf::new(), &config, seed)
+            .expect("run");
+        let b = Engine::run(&tasks, &patterns, &platform, &mut MaxSpeedEdf::new(), &config, seed)
+            .expect("run");
+        prop_assert_eq!(a.metrics, b.metrics);
+    }
+
+    #[test]
+    fn completed_jobs_always_beat_their_termination(
+        params in proptest::collection::vec(arb_task_params(), 1..4),
+        seed in 0u64..10_000,
+    ) {
+        let (tasks, patterns) = build(&params);
+        let platform = Platform::powernow(EnergySetting::e1());
+        let config = SimConfig::new(TimeDelta::from_millis(300)).with_job_records();
+        let out = Engine::run(&tasks, &patterns, &platform, &mut MaxSpeedEdf::new(), &config, seed)
+            .expect("run");
+        for r in out.jobs.expect("records") {
+            if let eua_sim::JobOutcome::Completed { at, utility } = r.outcome {
+                let task = tasks.task(r.task);
+                let termination = r.arrival.saturating_add(task.termination_offset());
+                prop_assert!(at <= termination, "{} completed after termination", r.id);
+                prop_assert!(utility >= 0.0);
+                // Executed exactly the sampled demand.
+                prop_assert_eq!(r.executed, r.actual_demand);
+            }
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Error type for TUF construction and queries.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing or querying a time/utility function.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TufError {
+    /// A utility value was negative, NaN, or infinite.
+    InvalidUtility {
+        /// The offending value.
+        value: f64,
+    },
+    /// The maximum utility was zero — such a TUF can never accrue anything
+    /// and almost certainly indicates a configuration mistake.
+    ZeroMaxUtility,
+    /// The termination offset was zero; the job would be aborted the moment
+    /// it arrives.
+    ZeroTermination,
+    /// A piecewise definition increased somewhere — the paper restricts
+    /// itself to non-increasing unimodal TUFs.
+    NotNonIncreasing {
+        /// Index of the first breakpoint whose utility exceeds its
+        /// predecessor's.
+        index: usize,
+    },
+    /// Piecewise breakpoints were not strictly increasing in time.
+    UnsortedBreakpoints {
+        /// Index of the first out-of-order breakpoint.
+        index: usize,
+    },
+    /// A piecewise TUF had no breakpoints.
+    EmptyBreakpoints,
+    /// An assurance fraction `ν` outside `[0, 1]` was supplied to
+    /// [`crate::Tuf::critical_time`].
+    InvalidAssuranceFraction {
+        /// The offending value.
+        value: f64,
+    },
+    /// An exponential TUF was given a non-positive decay constant.
+    InvalidDecay {
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for TufError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TufError::InvalidUtility { value } => {
+                write!(f, "utility values must be finite and non-negative, got {value}")
+            }
+            TufError::ZeroMaxUtility => write!(f, "maximum utility must be positive"),
+            TufError::ZeroTermination => write!(f, "termination offset must be positive"),
+            TufError::NotNonIncreasing { index } => {
+                write!(f, "tuf must be non-increasing (violated at breakpoint {index})")
+            }
+            TufError::UnsortedBreakpoints { index } => {
+                write!(f, "breakpoints must be strictly increasing in time (violated at index {index})")
+            }
+            TufError::EmptyBreakpoints => write!(f, "piecewise tuf needs at least one breakpoint"),
+            TufError::InvalidAssuranceFraction { value } => {
+                write!(f, "assurance fraction must lie in [0, 1], got {value}")
+            }
+            TufError::InvalidDecay { value } => {
+                write!(f, "exponential decay constant must be positive and finite, got {value}")
+            }
+        }
+    }
+}
+
+impl Error for TufError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_meaningful() {
+        for e in [
+            TufError::InvalidUtility { value: -1.0 },
+            TufError::ZeroMaxUtility,
+            TufError::ZeroTermination,
+            TufError::NotNonIncreasing { index: 3 },
+            TufError::UnsortedBreakpoints { index: 1 },
+            TufError::EmptyBreakpoints,
+            TufError::InvalidAssuranceFraction { value: 2.0 },
+            TufError::InvalidDecay { value: 0.0 },
+        ] {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn is_send_sync_error() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<TufError>();
+    }
+}

@@ -1,0 +1,121 @@
+//! The example TUF shapes of the paper's Figure 1, drawn from real
+//! applications: the AWACS tracker (Clark et al.) and the coastal air
+//! defense plot-correlation / missile-control activities (Maynard et al.).
+//!
+//! The paper reproduces these only as qualitative sketches; the presets
+//! here parameterize each sketch over a caller-supplied scale so examples
+//! and tests can exercise realistic shapes.
+
+use eua_platform::TimeDelta;
+
+use crate::error::TufError;
+use crate::shape::Tuf;
+
+/// Figure 1(a) — AWACS **track association**: full utility `u1` until the
+/// critical time `tc`, then a steep linear drop to zero by the termination.
+///
+/// # Errors
+///
+/// Returns an error for non-positive utility or a zero `tc`.
+///
+/// # Example
+///
+/// ```
+/// use eua_platform::TimeDelta;
+/// use eua_tuf::presets;
+///
+/// # fn main() -> Result<(), eua_tuf::TufError> {
+/// let tuf = presets::track_association(10.0, TimeDelta::from_millis(25))?;
+/// assert_eq!(tuf.max_utility(), 10.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn track_association(u1: f64, tc: TimeDelta) -> Result<Tuf, TufError> {
+    // The sketch shows the utility collapsing quickly after t_c; give the
+    // drop 20% of the plateau length.
+    let tail = TimeDelta::from_micros((tc.as_micros() / 5).max(1));
+    Tuf::piecewise([(TimeDelta::ZERO, u1), (tc, u1), (tc + tail, 0.0)])
+}
+
+/// Figure 1(b) — coastal-air-defense **plot correlation** (and the
+/// identically shaped sensor *maintenance* function): utility `umax` holds
+/// until `tf`, halves linearly by `2·tf`, and the activity terminates
+/// there.
+///
+/// # Errors
+///
+/// Returns an error for non-positive utility or a zero `tf`.
+pub fn plot_correlation(umax: f64, tf: TimeDelta) -> Result<Tuf, TufError> {
+    Tuf::piecewise([(TimeDelta::ZERO, umax), (tf, umax), (tf * 2, umax * 0.5)])
+}
+
+/// Figure 1(c) — **missile control**: utility decays through the launch /
+/// mid-course / intercept phases; modeled as an exponential decay with the
+/// time constant at one third of the engagement window.
+///
+/// # Errors
+///
+/// Returns an error for non-positive utility or a zero `window`.
+pub fn missile_control(umax: f64, window: TimeDelta) -> Result<Tuf, TufError> {
+    let tau = TimeDelta::from_micros((window.as_micros() / 3).max(1));
+    Tuf::exponential(umax, tau, window)
+}
+
+/// Figure 1(d) — the classical **downward-step** deadline TUF.
+///
+/// # Errors
+///
+/// Returns an error for non-positive utility or a zero `deadline`.
+pub fn step_deadline(umax: f64, deadline: TimeDelta) -> Result<Tuf, TufError> {
+    Tuf::step(umax, deadline)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> TimeDelta {
+        TimeDelta::from_millis(v)
+    }
+
+    #[test]
+    fn track_association_has_plateau_then_cliff() {
+        let t = track_association(10.0, ms(25)).unwrap();
+        assert_eq!(t.utility(ms(25)), 10.0);
+        assert!(t.utility(ms(28)) < 10.0);
+        assert_eq!(t.utility(ms(31)), 0.0);
+        assert_eq!(t.termination(), ms(30));
+    }
+
+    #[test]
+    fn plot_correlation_halves_by_two_tf() {
+        let t = plot_correlation(8.0, ms(10)).unwrap();
+        assert_eq!(t.utility(ms(10)), 8.0);
+        assert!((t.utility(ms(20)) - 4.0).abs() < 1e-9);
+        assert_eq!(t.utility(ms(21)), 0.0);
+    }
+
+    #[test]
+    fn missile_control_decays_smoothly() {
+        let t = missile_control(6.0, ms(30)).unwrap();
+        assert_eq!(t.utility(TimeDelta::ZERO), 6.0);
+        let mid = t.utility(ms(15));
+        assert!(mid > 0.0 && mid < 6.0);
+        assert_eq!(t.utility(ms(31)), 0.0);
+    }
+
+    #[test]
+    fn step_deadline_matches_plain_step() {
+        let t = step_deadline(5.0, ms(3)).unwrap();
+        assert!(t.is_step());
+        assert_eq!(t.critical_time(1.0), Some(ms(3)));
+    }
+
+    #[test]
+    fn presets_propagate_validation_errors() {
+        assert!(track_association(0.0, ms(1)).is_err());
+        assert!(plot_correlation(-1.0, ms(1)).is_err());
+        assert!(missile_control(1.0, TimeDelta::ZERO).is_err());
+        assert!(step_deadline(1.0, TimeDelta::ZERO).is_err());
+    }
+}

@@ -1,0 +1,206 @@
+//! TUF transformations: scaling, delaying, and truncating existing
+//! shapes. All transforms preserve the non-increasing invariant, so the
+//! results remain valid scheduler inputs.
+
+use eua_platform::TimeDelta;
+
+use crate::error::TufError;
+use crate::shape::Tuf;
+
+impl Tuf {
+    /// A copy with all utility values multiplied by `k` — e.g. to derive
+    /// per-mission importance weights from one shape template.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TufError::InvalidUtility`] if `k` is non-positive or
+    /// non-finite (scaling by zero would produce an unusable all-zero
+    /// TUF).
+    pub fn scaled(&self, k: f64) -> Result<Tuf, TufError> {
+        if !k.is_finite() || k <= 0.0 {
+            return Err(TufError::InvalidUtility { value: k });
+        }
+        let out = match self {
+            Tuf::Step(s) => crate::shape::StepTuf::with_termination(
+                s.height() * k,
+                s.step_at(),
+                self.termination(),
+            )
+            .map(Tuf::Step)?,
+            Tuf::Linear(_) => Tuf::linear(self.max_utility() * k, self.termination())?,
+            Tuf::Piecewise(p) => Tuf::piecewise(
+                p.breakpoints().iter().map(|&(t, u)| (t, u * k)).collect::<Vec<_>>(),
+            )?,
+            Tuf::Exponential(e) => {
+                Tuf::exponential(self.max_utility() * k, e.tau(), self.termination())?
+            }
+        };
+        Ok(out)
+    }
+
+    /// A copy whose clock starts `delay` later: full utility holds for an
+    /// extra `delay` of plateau before the original shape begins, and the
+    /// termination moves out by the same amount. Models pipelines where a
+    /// fixed downstream latency is already accounted for.
+    ///
+    /// The result is expressed as a piecewise TUF.
+    ///
+    /// # Errors
+    ///
+    /// Propagates piecewise-construction errors (cannot occur for a valid
+    /// input shape).
+    pub fn delayed(&self, delay: TimeDelta) -> Result<Tuf, TufError> {
+        if delay.is_zero() {
+            return Ok(self.clone());
+        }
+        let mut points: Vec<(TimeDelta, f64)> = vec![
+            (TimeDelta::ZERO, self.max_utility()),
+            (delay, self.max_utility()),
+        ];
+        for (t, u) in self.sample_breakpoints() {
+            points.push((t + delay, u));
+        }
+        Tuf::piecewise(points)
+    }
+
+    /// A copy truncated at `termination`: identical utility before the
+    /// cut, zero (and job abortion) afterwards. Models a tightened mode
+    /// change.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TufError::ZeroTermination`] if `termination` is zero;
+    /// other construction errors cannot occur for a valid input.
+    pub fn truncated(&self, termination: TimeDelta) -> Result<Tuf, TufError> {
+        if termination.is_zero() {
+            return Err(TufError::ZeroTermination);
+        }
+        if termination >= self.termination() {
+            return Ok(self.clone());
+        }
+        let mut points: Vec<(TimeDelta, f64)> =
+            vec![(TimeDelta::ZERO, self.max_utility())];
+        for (t, u) in self.sample_breakpoints() {
+            if t < termination {
+                points.push((t, u));
+            }
+        }
+        points.push((termination, self.utility(termination)));
+        Tuf::piecewise(points)
+    }
+
+    /// Characteristic points of the shape (excluding the origin), in
+    /// increasing time order, suitable for piecewise reconstruction.
+    fn sample_breakpoints(&self) -> Vec<(TimeDelta, f64)> {
+        match self {
+            Tuf::Step(s) => {
+                let mut v = vec![(s.step_at(), s.height())];
+                if self.termination() > s.step_at() {
+                    // Note the piecewise form interpolates the cliff over
+                    // 1 µs rather than jumping instantaneously.
+                    v.push((s.step_at() + TimeDelta::from_micros(1), 0.0));
+                    v.push((self.termination(), 0.0));
+                }
+                v
+            }
+            Tuf::Linear(_) => vec![(self.termination(), 0.0)],
+            Tuf::Piecewise(p) => p.breakpoints()[1..].to_vec(),
+            Tuf::Exponential(_) => {
+                // Sample the curve at sixteen points; downstream consumers
+                // treat the result as an approximation.
+                let x = self.termination().as_micros();
+                (1..=16)
+                    .map(|i| {
+                        let t = TimeDelta::from_micros(x * i / 16);
+                        (t, self.utility(t))
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> TimeDelta {
+        TimeDelta::from_millis(v)
+    }
+
+    #[test]
+    fn scaling_multiplies_utility_everywhere() {
+        for tuf in [
+            Tuf::step(4.0, ms(10)).unwrap(),
+            Tuf::linear(4.0, ms(10)).unwrap(),
+            Tuf::exponential(4.0, ms(3), ms(10)).unwrap(),
+            Tuf::piecewise([(TimeDelta::ZERO, 4.0), (ms(5), 2.0), (ms(10), 1.0)]).unwrap(),
+        ] {
+            let scaled = tuf.scaled(2.5).unwrap();
+            for us in (0..12_000).step_by(500) {
+                let t = TimeDelta::from_micros(us);
+                assert!(
+                    (scaled.utility(t) - 2.5 * tuf.utility(t)).abs() < 1e-9,
+                    "{tuf} at {t}"
+                );
+            }
+            assert_eq!(scaled.termination(), tuf.termination());
+        }
+    }
+
+    #[test]
+    fn scaling_rejects_bad_factors() {
+        let t = Tuf::step(1.0, ms(1)).unwrap();
+        assert!(t.scaled(0.0).is_err());
+        assert!(t.scaled(-2.0).is_err());
+        assert!(t.scaled(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn delay_extends_the_plateau() {
+        let t = Tuf::linear(10.0, ms(10)).unwrap();
+        let d = t.delayed(ms(5)).unwrap();
+        assert_eq!(d.utility(ms(3)), 10.0, "inside the new plateau");
+        assert!((d.utility(ms(10)) - t.utility(ms(5))).abs() < 1e-9);
+        assert_eq!(d.termination(), ms(15));
+        // Zero delay is the identity.
+        assert_eq!(t.delayed(TimeDelta::ZERO).unwrap(), t);
+    }
+
+    #[test]
+    fn truncation_cuts_the_tail() {
+        let t = Tuf::linear(10.0, ms(10)).unwrap();
+        let cut = t.truncated(ms(6)).unwrap();
+        assert_eq!(cut.termination(), ms(6));
+        assert!((cut.utility(ms(3)) - t.utility(ms(3))).abs() < 1e-9);
+        assert_eq!(cut.utility(ms(7)), 0.0);
+        // Truncating beyond the end is the identity.
+        assert_eq!(t.truncated(ms(20)).unwrap(), t);
+        assert!(t.truncated(TimeDelta::ZERO).is_err());
+    }
+
+    #[test]
+    fn transforms_preserve_non_increase() {
+        let base = Tuf::exponential(8.0, ms(2), ms(10)).unwrap();
+        for tuf in [
+            base.scaled(3.0).unwrap(),
+            base.delayed(ms(4)).unwrap(),
+            base.truncated(ms(5)).unwrap(),
+        ] {
+            let mut prev = f64::INFINITY;
+            for us in (0..16_000).step_by(250) {
+                let u = tuf.utility(TimeDelta::from_micros(us));
+                assert!(u <= prev + 1e-9);
+                prev = u;
+            }
+        }
+    }
+
+    #[test]
+    fn delayed_step_keeps_full_value_through_old_step() {
+        let t = Tuf::step(5.0, ms(10)).unwrap();
+        let d = t.delayed(ms(5)).unwrap();
+        assert_eq!(d.utility(ms(15)), 5.0);
+        assert!(d.utility(ms(15) + TimeDelta::from_micros(2)) < 5.0);
+    }
+}

@@ -1,0 +1,114 @@
+//! The per-task statistical timeliness requirement `{ν, ρ}`.
+
+use std::fmt;
+
+use crate::error::UamError;
+
+/// The statistical timeliness requirement `{ν, ρ}` of paper §2.2: the task
+/// should accrue at least fraction `ν` of its maximum possible utility with
+/// probability at least `ρ`.
+///
+/// `ρ` must lie in `[0, 1)` because the Chebyshev cycle allocation
+/// `c = E(Y) + sqrt(ρ/(1−ρ)·Var(Y))` diverges as `ρ → 1`. For step TUFs
+/// the paper restricts `ν` to `{0, 1}`.
+///
+/// # Example
+///
+/// ```
+/// use eua_uam::Assurance;
+///
+/// # fn main() -> Result<(), eua_uam::UamError> {
+/// let a = Assurance::new(0.3, 0.9)?;
+/// assert_eq!(a.nu(), 0.3);
+/// assert_eq!(a.rho(), 0.9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Assurance {
+    nu: f64,
+    rho: f64,
+}
+
+impl Assurance {
+    /// Creates a `{ν, ρ}` requirement.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UamError::InvalidUtilityFraction`] if `ν ∉ [0, 1]` and
+    /// [`UamError::InvalidProbability`] if `ρ ∉ [0, 1)`.
+    pub fn new(nu: f64, rho: f64) -> Result<Self, UamError> {
+        if !(0.0..=1.0).contains(&nu) {
+            return Err(UamError::InvalidUtilityFraction { value: nu });
+        }
+        if !(0.0..1.0).contains(&rho) {
+            return Err(UamError::InvalidProbability { value: rho });
+        }
+        Ok(Assurance { nu, rho })
+    }
+
+    /// The paper's §5.1 setting for step TUFs: `{ν = 1, ρ = 0.96}`.
+    #[must_use]
+    pub fn step_default() -> Self {
+        Assurance { nu: 1.0, rho: 0.96 }
+    }
+
+    /// The paper's §5.2 setting for linear TUFs: `{ν = 0.3, ρ = 0.9}`.
+    #[must_use]
+    pub fn linear_default() -> Self {
+        Assurance { nu: 0.3, rho: 0.9 }
+    }
+
+    /// The required utility fraction `ν`.
+    #[must_use]
+    pub fn nu(&self) -> f64 {
+        self.nu
+    }
+
+    /// The required probability `ρ`.
+    #[must_use]
+    pub fn rho(&self) -> f64 {
+        self.rho
+    }
+}
+
+impl fmt::Display for Assurance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{nu={}, rho={}}}", self.nu, self.rho)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validates_ranges() {
+        assert!(Assurance::new(0.0, 0.0).is_ok());
+        assert!(Assurance::new(1.0, 0.999).is_ok());
+        assert!(matches!(
+            Assurance::new(-0.1, 0.5),
+            Err(UamError::InvalidUtilityFraction { .. })
+        ));
+        assert!(matches!(Assurance::new(1.5, 0.5), Err(UamError::InvalidUtilityFraction { .. })));
+        assert!(matches!(Assurance::new(0.5, 1.0), Err(UamError::InvalidProbability { .. })));
+        assert!(matches!(Assurance::new(0.5, -0.2), Err(UamError::InvalidProbability { .. })));
+        assert!(matches!(
+            Assurance::new(f64::NAN, 0.5),
+            Err(UamError::InvalidUtilityFraction { .. })
+        ));
+    }
+
+    #[test]
+    fn paper_defaults_match_sections() {
+        let s = Assurance::step_default();
+        assert_eq!((s.nu(), s.rho()), (1.0, 0.96));
+        let l = Assurance::linear_default();
+        assert_eq!((l.nu(), l.rho()), (0.3, 0.9));
+    }
+
+    #[test]
+    fn display_shows_both_fields() {
+        assert_eq!(Assurance::new(0.3, 0.9).unwrap().to_string(), "{nu=0.3, rho=0.9}");
+    }
+}

@@ -1,0 +1,515 @@
+//! Stochastic cycle-demand models and the Chebyshev cycle allocation.
+//!
+//! EUA\* deliberately plans with **statistical estimates** of demand (mean
+//! and variance) instead of worst-case execution cycles (paper §2.3). This
+//! module provides the demand distributions used by the evaluation, the
+//! Welford online profiler that would estimate them from observations, and
+//! the one-sided Chebyshev (Cantelli) bound that converts `{mean, variance,
+//! ρ}` into the per-job cycle allocation of §3.1:
+//!
+//! ```text
+//! c = E(Y) + sqrt( ρ/(1−ρ) · Var(Y) )   ⟹   Pr[Y < c] ≥ ρ
+//! ```
+
+use std::fmt;
+
+use eua_platform::Cycles;
+use rand::Rng;
+
+use crate::error::UamError;
+
+fn validate_param(name: &'static str, value: f64) -> Result<(), UamError> {
+    if !value.is_finite() || value < 0.0 {
+        return Err(UamError::InvalidDemandParameter { name, value });
+    }
+    Ok(())
+}
+
+/// A distribution of per-job processor-cycle demand.
+///
+/// All variants expose an exact mean and variance (what the scheduler
+/// plans with) and can be sampled (what the simulator charges the job
+/// with). Samples are clamped to at least one cycle — a job that needs no
+/// work would never appear at the scheduler.
+///
+/// # Example
+///
+/// ```
+/// use eua_uam::demand::DemandModel;
+///
+/// # fn main() -> Result<(), eua_uam::UamError> {
+/// let d = DemandModel::normal(500_000.0, 500_000.0)?; // Var = E, as in §5
+/// assert_eq!(d.mean(), 500_000.0);
+/// let scaled = d.scaled(2.0);
+/// assert_eq!(scaled.mean(), 1_000_000.0);
+/// // Variance scales with k² so the coefficient of variation is preserved.
+/// assert_eq!(scaled.variance(), 4.0 * 500_000.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum DemandModel {
+    /// Every job demands exactly this many cycles.
+    Deterministic {
+        /// The fixed demand.
+        cycles: f64,
+    },
+    /// Normally distributed demand, truncated below at one cycle when
+    /// sampled.
+    Normal {
+        /// Mean demand `E(Y)` in cycles.
+        mean: f64,
+        /// Demand variance `Var(Y)` in cycles².
+        variance: f64,
+    },
+    /// Uniformly distributed demand on `[lo, hi]`.
+    Uniform {
+        /// Inclusive lower bound in cycles.
+        lo: f64,
+        /// Inclusive upper bound in cycles.
+        hi: f64,
+    },
+    /// Pareto (heavy-tailed) demand with scale `x_m` and shape `alpha`.
+    ///
+    /// Chebyshev allocation is exact-moment based, so a heavy tail makes
+    /// allocation overruns *common* — the failure-injection counterpart to
+    /// the paper's well-behaved normal demands. Requires `alpha > 2` so
+    /// both moments exist.
+    Pareto {
+        /// Scale (minimum demand) in cycles.
+        scale: f64,
+        /// Tail index; larger is lighter-tailed.
+        alpha: f64,
+    },
+}
+
+impl DemandModel {
+    /// A deterministic demand of `cycles`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `cycles` is negative or non-finite.
+    pub fn deterministic(cycles: f64) -> Result<Self, UamError> {
+        validate_param("mean", cycles)?;
+        Ok(DemandModel::Deterministic { cycles })
+    }
+
+    /// A normal demand with the given mean and variance. The paper's
+    /// experiments use `variance = mean` before load scaling.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either parameter is negative or non-finite.
+    pub fn normal(mean: f64, variance: f64) -> Result<Self, UamError> {
+        validate_param("mean", mean)?;
+        validate_param("variance", variance)?;
+        Ok(DemandModel::Normal { mean, variance })
+    }
+
+    /// A uniform demand on `[lo, hi]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a bound is negative or non-finite, or `lo > hi`.
+    pub fn uniform(lo: f64, hi: f64) -> Result<Self, UamError> {
+        validate_param("lo", lo)?;
+        validate_param("hi", hi)?;
+        if lo > hi {
+            return Err(UamError::EmptyDemandRange);
+        }
+        Ok(DemandModel::Uniform { lo, hi })
+    }
+
+    /// A Pareto demand with the given mean and tail index `alpha`.
+    ///
+    /// The scale is derived as `x_m = mean·(alpha − 1)/alpha`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `mean` is invalid or `alpha ≤ 2` (the variance
+    /// the Chebyshev allocation needs would not exist).
+    pub fn pareto(mean: f64, alpha: f64) -> Result<Self, UamError> {
+        validate_param("mean", mean)?;
+        if !alpha.is_finite() || alpha <= 2.0 {
+            return Err(UamError::InvalidDemandParameter { name: "alpha", value: alpha });
+        }
+        Ok(DemandModel::Pareto { scale: mean * (alpha - 1.0) / alpha, alpha })
+    }
+
+    /// The mean demand `E(Y)` in cycles.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        match *self {
+            DemandModel::Deterministic { cycles } => cycles,
+            DemandModel::Normal { mean, .. } => mean,
+            DemandModel::Uniform { lo, hi } => 0.5 * (lo + hi),
+            DemandModel::Pareto { scale, alpha } => alpha * scale / (alpha - 1.0),
+        }
+    }
+
+    /// The demand variance `Var(Y)` in cycles².
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        match *self {
+            DemandModel::Deterministic { .. } => 0.0,
+            DemandModel::Normal { variance, .. } => variance,
+            DemandModel::Uniform { lo, hi } => {
+                let w = hi - lo;
+                w * w / 12.0
+            }
+            DemandModel::Pareto { scale, alpha } => {
+                scale * scale * alpha / ((alpha - 1.0) * (alpha - 1.0) * (alpha - 2.0))
+            }
+        }
+    }
+
+    /// The paper's load-scaling transform: mean scaled by `k`, variance by
+    /// `k²` (§5: "E(Y_i)s are scaled by a constant k, and Var(Y_i)s are
+    /// scaled by k²").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is negative or non-finite — scaling factors come from
+    /// the load solver, not user input.
+    #[must_use]
+    pub fn scaled(&self, k: f64) -> Self {
+        assert!(k.is_finite() && k >= 0.0, "scale factor must be finite and non-negative");
+        match *self {
+            DemandModel::Deterministic { cycles } => {
+                DemandModel::Deterministic { cycles: cycles * k }
+            }
+            DemandModel::Normal { mean, variance } => {
+                DemandModel::Normal { mean: mean * k, variance: variance * k * k }
+            }
+            DemandModel::Uniform { lo, hi } => DemandModel::Uniform { lo: lo * k, hi: hi * k },
+            DemandModel::Pareto { scale, alpha } => {
+                // Pareto is scale-family: mean ×k and variance ×k² follow
+                // from scaling x_m alone.
+                DemandModel::Pareto { scale: scale * k, alpha }
+            }
+        }
+    }
+
+    /// Draws one job's actual demand. Clamped to at least one cycle.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Cycles {
+        let raw = match *self {
+            DemandModel::Deterministic { cycles } => cycles,
+            DemandModel::Normal { mean, variance } => {
+                mean + variance.sqrt() * standard_normal(rng)
+            }
+            DemandModel::Uniform { lo, hi } => {
+                if lo == hi {
+                    lo
+                } else {
+                    rng.gen_range(lo..=hi)
+                }
+            }
+            DemandModel::Pareto { scale, alpha } => {
+                let u: f64 = 1.0 - rng.gen::<f64>(); // (0, 1]
+                scale * u.powf(-1.0 / alpha)
+            }
+        };
+        Cycles::new(raw.round().max(1.0) as u64)
+    }
+
+    /// The Chebyshev (Cantelli) cycle allocation `c` of §3.1 such that
+    /// `Pr[Y < c] ≥ ρ`, rounded up to a whole cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UamError::InvalidProbability`] if `ρ ∉ [0, 1)`.
+    pub fn chebyshev_allocation(&self, rho: f64) -> Result<Cycles, UamError> {
+        if !(0.0..1.0).contains(&rho) {
+            return Err(UamError::InvalidProbability { value: rho });
+        }
+        let c = self.mean() + (rho / (1.0 - rho) * self.variance()).sqrt();
+        Ok(Cycles::new(c.ceil().max(1.0) as u64))
+    }
+}
+
+impl fmt::Display for DemandModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            DemandModel::Deterministic { cycles } => write!(f, "det({cycles}cy)"),
+            DemandModel::Normal { mean, variance } => write!(f, "N({mean}, {variance})"),
+            DemandModel::Uniform { lo, hi } => write!(f, "U[{lo}, {hi}]"),
+            DemandModel::Pareto { scale, alpha } => write!(f, "Pareto({scale}, {alpha})"),
+        }
+    }
+}
+
+/// One draw from the standard normal distribution via Box–Muller.
+///
+/// Implemented here because the approved dependency set includes `rand`
+/// but not `rand_distr`.
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // u1 ∈ (0, 1] to keep ln(u1) finite.
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Welford's online mean/variance estimator — the "online profiling" the
+/// paper assumes supplies `E(Y)` and `Var(Y)` (§2.3).
+///
+/// # Example
+///
+/// ```
+/// use eua_platform::Cycles;
+/// use eua_uam::demand::DemandProfiler;
+///
+/// let mut p = DemandProfiler::new();
+/// for c in [100u64, 110, 90, 105, 95] {
+///     p.record(Cycles::new(c));
+/// }
+/// assert_eq!(p.count(), 5);
+/// assert!((p.mean() - 100.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DemandProfiler {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl DemandProfiler {
+    /// Creates an empty profiler.
+    #[must_use]
+    pub fn new() -> Self {
+        DemandProfiler::default()
+    }
+
+    /// Records one observed job demand.
+    pub fn record(&mut self, cycles: Cycles) {
+        self.count += 1;
+        let x = cycles.as_f64();
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The running sample mean; `0` with no observations.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The running (population) variance; `0` with fewer than two
+    /// observations.
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Converts the profile into a [`DemandModel::Normal`] with the
+    /// estimated moments.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if fewer than two observations have been recorded
+    /// (the variance estimate would be degenerate).
+    pub fn to_model(&self) -> Result<DemandModel, UamError> {
+        if self.count < 2 {
+            return Err(UamError::InvalidDemandParameter {
+                name: "variance",
+                value: f64::NAN,
+            });
+        }
+        DemandModel::normal(self.mean(), self.variance())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn constructors_validate() {
+        assert!(DemandModel::normal(-1.0, 1.0).is_err());
+        assert!(DemandModel::normal(1.0, f64::INFINITY).is_err());
+        assert!(DemandModel::uniform(5.0, 1.0).is_err());
+        assert!(DemandModel::deterministic(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn moments_match_definitions() {
+        let n = DemandModel::normal(100.0, 25.0).unwrap();
+        assert_eq!(n.mean(), 100.0);
+        assert_eq!(n.variance(), 25.0);
+        let u = DemandModel::uniform(0.0, 12.0).unwrap();
+        assert_eq!(u.mean(), 6.0);
+        assert_eq!(u.variance(), 12.0);
+        let d = DemandModel::deterministic(7.0).unwrap();
+        assert_eq!(d.mean(), 7.0);
+        assert_eq!(d.variance(), 0.0);
+    }
+
+    #[test]
+    fn scaling_is_k_and_k_squared() {
+        let n = DemandModel::normal(100.0, 100.0).unwrap().scaled(3.0);
+        assert_eq!(n.mean(), 300.0);
+        assert_eq!(n.variance(), 900.0);
+        let u = DemandModel::uniform(10.0, 20.0).unwrap().scaled(2.0);
+        assert_eq!(u.mean(), 30.0);
+        assert!((u.variance() - 400.0 / 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chebyshev_matches_closed_form() {
+        let m = DemandModel::normal(1_000.0, 400.0).unwrap();
+        // c = 1000 + sqrt(0.96/0.04 · 400) = 1000 + sqrt(9600) ≈ 1097.98.
+        let c = m.chebyshev_allocation(0.96).unwrap();
+        assert_eq!(c.get(), 1_098);
+        // ρ = 0: allocate just the mean.
+        assert_eq!(m.chebyshev_allocation(0.0).unwrap().get(), 1_000);
+        assert!(m.chebyshev_allocation(1.0).is_err());
+        assert!(m.chebyshev_allocation(-0.5).is_err());
+    }
+
+    #[test]
+    fn chebyshev_bound_holds_empirically_for_normal() {
+        // Cantelli is conservative, so the empirical quantile must exceed ρ.
+        let m = DemandModel::normal(10_000.0, 10_000.0).unwrap();
+        let c = m.chebyshev_allocation(0.9).unwrap();
+        let mut rng = SmallRng::seed_from_u64(7);
+        let n = 20_000;
+        let within = (0..n).filter(|_| m.sample(&mut rng) < c).count();
+        assert!(
+            within as f64 / n as f64 > 0.9,
+            "only {within}/{n} samples under the allocation"
+        );
+    }
+
+    #[test]
+    fn normal_sampling_has_right_moments() {
+        let m = DemandModel::normal(50_000.0, 250_000.0).unwrap();
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut prof = DemandProfiler::new();
+        for _ in 0..50_000 {
+            prof.record(m.sample(&mut rng));
+        }
+        assert!((prof.mean() - 50_000.0).abs() < 50.0, "mean {}", prof.mean());
+        let std_err = (prof.variance() - 250_000.0).abs() / 250_000.0;
+        assert!(std_err < 0.05, "variance {}", prof.variance());
+    }
+
+    #[test]
+    fn samples_never_below_one_cycle() {
+        let m = DemandModel::normal(1.0, 10_000.0).unwrap();
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..1_000 {
+            assert!(m.sample(&mut rng).get() >= 1);
+        }
+        let z = DemandModel::deterministic(0.0).unwrap();
+        assert_eq!(z.sample(&mut rng).get(), 1);
+    }
+
+    #[test]
+    fn uniform_sampling_stays_in_range() {
+        let m = DemandModel::uniform(100.0, 200.0).unwrap();
+        let mut rng = SmallRng::seed_from_u64(11);
+        for _ in 0..1_000 {
+            let s = m.sample(&mut rng).get();
+            assert!((100..=200).contains(&s), "sample {s} out of range");
+        }
+        // Degenerate range.
+        let d = DemandModel::uniform(5.0, 5.0).unwrap();
+        assert_eq!(d.sample(&mut rng).get(), 5);
+    }
+
+    #[test]
+    fn profiler_tracks_mean_and_variance() {
+        let mut p = DemandProfiler::new();
+        assert_eq!(p.mean(), 0.0);
+        assert_eq!(p.variance(), 0.0);
+        assert!(p.to_model().is_err());
+        for c in [2u64, 4, 4, 4, 5, 5, 7, 9] {
+            p.record(Cycles::new(c));
+        }
+        assert_eq!(p.count(), 8);
+        assert!((p.mean() - 5.0).abs() < 1e-12);
+        assert!((p.variance() - 4.0).abs() < 1e-12);
+        let model = p.to_model().unwrap();
+        assert!((model.mean() - 5.0).abs() < 1e-12);
+        assert!((model.variance() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pareto_moments_match_closed_forms() {
+        let m = DemandModel::pareto(1_000.0, 3.0).unwrap();
+        assert!((m.mean() - 1_000.0).abs() < 1e-9);
+        // Var = x_m²·α/((α−1)²(α−2)) with x_m = 1000·2/3.
+        let xm: f64 = 1_000.0 * 2.0 / 3.0;
+        let var = xm * xm * 3.0 / (4.0 * 1.0);
+        assert!((m.variance() - var).abs() < 1e-6);
+        assert!(DemandModel::pareto(1_000.0, 2.0).is_err());
+        assert!(DemandModel::pareto(1_000.0, f64::NAN).is_err());
+        assert!(DemandModel::pareto(-1.0, 3.0).is_err());
+    }
+
+    #[test]
+    fn pareto_sampling_matches_mean_and_floors_at_scale() {
+        let m = DemandModel::pareto(50_000.0, 3.0).unwrap();
+        let DemandModel::Pareto { scale, .. } = m else { panic!("pareto") };
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut prof = DemandProfiler::new();
+        for _ in 0..100_000 {
+            let s = m.sample(&mut rng);
+            assert!(s.as_f64() + 1.0 >= scale, "sample below the Pareto scale");
+            prof.record(s);
+        }
+        let rel = (prof.mean() - 50_000.0).abs() / 50_000.0;
+        assert!(rel < 0.02, "sample mean off by {:.1}%", rel * 100.0);
+    }
+
+    #[test]
+    fn pareto_scaling_scales_both_moments() {
+        let m = DemandModel::pareto(10_000.0, 4.0).unwrap().scaled(3.0);
+        assert!((m.mean() - 30_000.0).abs() < 1e-6);
+        let unscaled = DemandModel::pareto(10_000.0, 4.0).unwrap();
+        assert!((m.variance() - 9.0 * unscaled.variance()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn pareto_overruns_chebyshev_more_often_than_normal() {
+        // Same mean and variance, but the heavy tail concentrates its
+        // mass differently: the share of samples above the mean+k·std
+        // allocation behaves very differently. This is the failure mode
+        // the stress tests inject.
+        let p = DemandModel::pareto(10_000.0, 2.5).unwrap();
+        let n = DemandModel::normal(p.mean(), p.variance()).unwrap();
+        let rho = 0.96;
+        let cap_p = p.chebyshev_allocation(rho).unwrap();
+        let cap_n = n.chebyshev_allocation(rho).unwrap();
+        assert_eq!(cap_p, cap_n, "same moments, same allocation");
+        let mut rng = SmallRng::seed_from_u64(77);
+        let trials = 50_000;
+        let over_p = (0..trials).filter(|_| p.sample(&mut rng) >= cap_p).count();
+        let over_n = (0..trials).filter(|_| n.sample(&mut rng) >= cap_n).count();
+        // Cantelli still holds for both (≤ 4%), but the tail shapes are
+        // clearly distinct.
+        assert!(over_p as f64 / trials as f64 <= 0.04 + 0.01);
+        assert!(over_n as f64 / trials as f64 <= 0.04 + 0.01);
+        assert_ne!(over_p, over_n);
+    }
+
+    #[test]
+    fn display_names_distributions() {
+        assert_eq!(DemandModel::deterministic(3.0).unwrap().to_string(), "det(3cy)");
+        assert_eq!(DemandModel::normal(1.0, 2.0).unwrap().to_string(), "N(1, 2)");
+        assert_eq!(DemandModel::uniform(1.0, 2.0).unwrap().to_string(), "U[1, 2]");
+    }
+}

@@ -1,0 +1,89 @@
+//! Error type for arrival-model and demand-model construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by UAM specs, generators, and demand models.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum UamError {
+    /// The arrival bound `a` was zero — a task that never arrives.
+    ZeroArrivalBound,
+    /// The sliding window `P` was zero.
+    ZeroWindow,
+    /// A demand-model parameter was negative or non-finite.
+    InvalidDemandParameter {
+        /// Which parameter (`"mean"`, `"variance"`, `"lo"`, `"hi"`).
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A uniform demand range had `lo > hi`.
+    EmptyDemandRange,
+    /// An assurance probability `ρ` outside `[0, 1)` (Chebyshev allocation
+    /// diverges as `ρ → 1`).
+    InvalidProbability {
+        /// The offending value.
+        value: f64,
+    },
+    /// An assurance fraction `ν` outside `[0, 1]`.
+    InvalidUtilityFraction {
+        /// The offending value.
+        value: f64,
+    },
+    /// A generator parameter was invalid (e.g. zero Poisson rate).
+    InvalidGeneratorParameter {
+        /// Which parameter.
+        name: &'static str,
+    },
+}
+
+impl fmt::Display for UamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UamError::ZeroArrivalBound => write!(f, "uam arrival bound a must be at least 1"),
+            UamError::ZeroWindow => write!(f, "uam sliding window p must be positive"),
+            UamError::InvalidDemandParameter { name, value } => {
+                write!(f, "demand parameter {name} must be finite and non-negative, got {value}")
+            }
+            UamError::EmptyDemandRange => write!(f, "uniform demand range must satisfy lo <= hi"),
+            UamError::InvalidProbability { value } => {
+                write!(f, "assurance probability must lie in [0, 1), got {value}")
+            }
+            UamError::InvalidUtilityFraction { value } => {
+                write!(f, "utility fraction must lie in [0, 1], got {value}")
+            }
+            UamError::InvalidGeneratorParameter { name } => {
+                write!(f, "invalid generator parameter {name}")
+            }
+        }
+    }
+}
+
+impl Error for UamError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_render() {
+        for e in [
+            UamError::ZeroArrivalBound,
+            UamError::ZeroWindow,
+            UamError::InvalidDemandParameter { name: "mean", value: -1.0 },
+            UamError::EmptyDemandRange,
+            UamError::InvalidProbability { value: 1.0 },
+            UamError::InvalidUtilityFraction { value: 7.0 },
+            UamError::InvalidGeneratorParameter { name: "rate" },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn is_send_sync_error() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<UamError>();
+    }
+}

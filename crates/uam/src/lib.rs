@@ -1,0 +1,59 @@
+//! The **unimodal arbitrary arrival model** (UAM) and stochastic cycle
+//! demands — the workload-facing substrate of the EUA\* reproduction.
+//!
+//! Under UAM a task `T_i` is described by a pair `⟨a_i, P_i⟩`: at most
+//! `a_i` job arrivals may occur in **any** sliding time window of length
+//! `P_i` (Hermant & Le Lann). Arrivals may be simultaneous. The periodic
+//! model is the special case `⟨1, P⟩`; sporadic and frame-based models are
+//! also special cases, which is why the paper calls UAM "a stronger
+//! adversary than most arrival models".
+//!
+//! The crate provides:
+//!
+//! * [`UamSpec`] — the `⟨a, P⟩` pair with validation and helpers;
+//! * [`ArrivalTrace`] and sliding-window **compliance checking**;
+//! * arrival **generators** ([`generator`]): periodic, jittered-periodic,
+//!   window-burst (the paper's Fig. 3 shape), and UAM-constrained Poisson;
+//! * stochastic **demand models** ([`demand`]): normal / uniform /
+//!   deterministic cycle demands with mean–variance scaling, a Welford
+//!   online profiler, and the Chebyshev (Cantelli) cycle allocation
+//!   `c = E(Y) + sqrt(ρ/(1−ρ)·Var(Y))` of paper §3.1;
+//! * [`Assurance`] — the per-task statistical requirement `{ν, ρ}`.
+//!
+//! # Example
+//!
+//! ```
+//! use eua_platform::TimeDelta;
+//! use eua_uam::{Assurance, UamSpec};
+//! use eua_uam::demand::DemandModel;
+//!
+//! # fn main() -> Result<(), eua_uam::UamError> {
+//! // At most 3 arrivals in any 50 ms window.
+//! let spec = UamSpec::new(3, TimeDelta::from_millis(50))?;
+//! assert!(!spec.is_periodic());
+//!
+//! // A task demanding 1M cycles on average (variance = mean, as in the
+//! // paper's experiments) that must finish within its allocation with
+//! // probability 0.96:
+//! let demand = DemandModel::normal(1_000_000.0, 1_000_000.0)?;
+//! let assurance = Assurance::new(1.0, 0.96)?;
+//! let c = demand.chebyshev_allocation(assurance.rho())?;
+//! assert!(c.get() > 1_000_000);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod assurance;
+pub mod demand;
+mod error;
+pub mod generator;
+mod spec;
+mod trace;
+
+pub use assurance::Assurance;
+pub use error::UamError;
+pub use spec::UamSpec;
+pub use trace::{ArrivalTrace, UamViolation};

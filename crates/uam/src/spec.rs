@@ -1,0 +1,147 @@
+//! The `⟨a, P⟩` UAM task descriptor.
+
+use std::fmt;
+
+use eua_platform::TimeDelta;
+
+use crate::error::UamError;
+
+/// A task's unimodal-arbitrary-arrival descriptor `⟨a, P⟩`: at most `a`
+/// job arrivals in any sliding window of length `P`.
+///
+/// Windows are half-open — `[t, t + P)` — so a strictly periodic task with
+/// period exactly `P` (arrivals at `0, P, 2P, …`) is the legal special case
+/// `⟨1, P⟩` the paper calls out.
+///
+/// # Example
+///
+/// ```
+/// use eua_platform::TimeDelta;
+/// use eua_uam::UamSpec;
+///
+/// # fn main() -> Result<(), eua_uam::UamError> {
+/// let periodic = UamSpec::periodic(TimeDelta::from_millis(20))?;
+/// assert!(periodic.is_periodic());
+/// assert_eq!(periodic.max_arrivals(), 1);
+///
+/// let bursty = UamSpec::new(4, TimeDelta::from_millis(20))?;
+/// assert_eq!(bursty.max_arrivals(), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct UamSpec {
+    max_arrivals: u32,
+    window: TimeDelta,
+}
+
+impl UamSpec {
+    /// Creates a UAM descriptor allowing at most `max_arrivals` arrivals in
+    /// any sliding window of length `window`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UamError::ZeroArrivalBound`] if `max_arrivals == 0` and
+    /// [`UamError::ZeroWindow`] if the window is zero.
+    pub fn new(max_arrivals: u32, window: TimeDelta) -> Result<Self, UamError> {
+        if max_arrivals == 0 {
+            return Err(UamError::ZeroArrivalBound);
+        }
+        if window.is_zero() {
+            return Err(UamError::ZeroWindow);
+        }
+        Ok(UamSpec { max_arrivals, window })
+    }
+
+    /// The periodic special case `⟨1, period⟩`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UamError::ZeroWindow`] if the period is zero.
+    pub fn periodic(period: TimeDelta) -> Result<Self, UamError> {
+        UamSpec::new(1, period)
+    }
+
+    /// The arrival bound `a`.
+    #[must_use]
+    pub fn max_arrivals(&self) -> u32 {
+        self.max_arrivals
+    }
+
+    /// The sliding window `P`.
+    #[must_use]
+    pub fn window(&self) -> TimeDelta {
+        self.window
+    }
+
+    /// `true` for the periodic special case `⟨1, P⟩`.
+    #[must_use]
+    pub fn is_periodic(&self) -> bool {
+        self.max_arrivals == 1
+    }
+
+    /// A copy of this spec with a different arrival bound — handy for the
+    /// paper's Fig. 3 sweep over `a ∈ {1, 2, 3}` at a fixed window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UamError::ZeroArrivalBound`] if `max_arrivals == 0`.
+    pub fn with_max_arrivals(&self, max_arrivals: u32) -> Result<Self, UamError> {
+        UamSpec::new(max_arrivals, self.window)
+    }
+
+    /// The worst-case long-run arrival rate, in arrivals per microsecond.
+    #[must_use]
+    pub fn peak_rate(&self) -> f64 {
+        self.max_arrivals as f64 / self.window.as_micros() as f64
+    }
+}
+
+impl fmt::Display for UamSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{}, {}>", self.max_arrivals, self.window)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validates_inputs() {
+        assert_eq!(
+            UamSpec::new(0, TimeDelta::from_millis(1)).unwrap_err(),
+            UamError::ZeroArrivalBound
+        );
+        assert_eq!(UamSpec::new(1, TimeDelta::ZERO).unwrap_err(), UamError::ZeroWindow);
+    }
+
+    #[test]
+    fn periodic_is_one_arrival() {
+        let s = UamSpec::periodic(TimeDelta::from_millis(10)).unwrap();
+        assert!(s.is_periodic());
+        assert_eq!(s.max_arrivals(), 1);
+        assert_eq!(s.window(), TimeDelta::from_millis(10));
+    }
+
+    #[test]
+    fn with_max_arrivals_keeps_window() {
+        let s = UamSpec::periodic(TimeDelta::from_millis(10)).unwrap();
+        let b = s.with_max_arrivals(3).unwrap();
+        assert_eq!(b.max_arrivals(), 3);
+        assert_eq!(b.window(), s.window());
+        assert!(s.with_max_arrivals(0).is_err());
+    }
+
+    #[test]
+    fn peak_rate_is_a_over_p() {
+        let s = UamSpec::new(5, TimeDelta::from_micros(100)).unwrap();
+        assert!((s.peak_rate() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let s = UamSpec::new(2, TimeDelta::from_micros(500)).unwrap();
+        assert_eq!(s.to_string(), "<2, 500us>");
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based tests: every generator complies with its UAM spec, and
+//! the Chebyshev allocation honours its probabilistic contract.
+
+use eua_platform::TimeDelta;
+use eua_uam::demand::DemandModel;
+use eua_uam::generator::ArrivalPattern;
+use eua_uam::{ArrivalTrace, UamSpec};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn arb_spec() -> impl Strategy<Value = UamSpec> {
+    (1u32..8, 100u64..100_000)
+        .prop_map(|(a, p)| UamSpec::new(a, TimeDelta::from_micros(p)).expect("valid"))
+}
+
+fn arb_pattern() -> impl Strategy<Value = ArrivalPattern> {
+    arb_spec().prop_flat_map(|spec| {
+        prop_oneof![
+            Just(ArrivalPattern::periodic(spec.window()).expect("valid")),
+            Just(
+                ArrivalPattern::sporadic(
+                    spec.window(),
+                    TimeDelta::from_micros(spec.window().as_micros() / 2),
+                )
+                .expect("valid")
+            ),
+            Just(ArrivalPattern::window_burst(spec).expect("valid")),
+            Just(ArrivalPattern::random_burst(spec).expect("valid")),
+            (0.1f64..10.0).prop_map(move |rate| {
+                ArrivalPattern::constrained_poisson(spec, rate).expect("valid")
+            }),
+            (1u32..5, 0u32..5).prop_map(move |(on, off)| {
+                ArrivalPattern::on_off(spec, on, off).expect("valid")
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_generator_complies_with_its_spec(pattern in arb_pattern(), seed in 0u64..1_000) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let horizon = TimeDelta::from_micros(pattern.spec().window().as_micros() * 20);
+        let trace = pattern.generate(horizon, &mut rng);
+        prop_assert!(
+            trace.complies_with(pattern.spec()),
+            "{:?} produced a non-compliant trace", pattern
+        );
+        // Everything lands inside the horizon.
+        for t in trace.iter() {
+            prop_assert!(t.saturating_since(eua_platform::SimTime::ZERO) < horizon);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed(pattern in arb_pattern(), seed in 0u64..1_000) {
+        let horizon = TimeDelta::from_micros(pattern.spec().window().as_micros() * 10);
+        let a = pattern.generate(horizon, &mut SmallRng::seed_from_u64(seed));
+        let b = pattern.generate(horizon, &mut SmallRng::seed_from_u64(seed));
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn peak_arrivals_matches_check(times in proptest::collection::vec(0u64..1_000_000, 0..60), a in 1u32..6, p in 100u64..100_000) {
+        let spec = UamSpec::new(a, TimeDelta::from_micros(p)).expect("valid");
+        let trace = ArrivalTrace::from_times(
+            times.into_iter().map(eua_platform::SimTime::from_micros),
+        );
+        let peak = trace.peak_arrivals_in(spec.window());
+        prop_assert_eq!(trace.complies_with(&spec), peak <= a);
+    }
+
+    #[test]
+    fn chebyshev_allocation_dominates_mean(mean in 1.0f64..1e8, var in 0.0f64..1e10, rho in 0.0f64..0.999) {
+        let m = DemandModel::normal(mean, var).expect("valid");
+        let c = m.chebyshev_allocation(rho).expect("valid rho");
+        prop_assert!(c.as_f64() + 1.0 >= mean);
+        // Monotone in rho.
+        let c2 = m.chebyshev_allocation((rho + 0.0005).min(0.9995)).expect("valid");
+        prop_assert!(c2 >= c);
+    }
+
+    #[test]
+    fn chebyshev_probability_holds_for_normal_demand(mean in 1e4f64..1e6, rho in 0.5f64..0.99) {
+        // Cantelli is conservative for the normal distribution, so the
+        // empirical coverage must exceed rho.
+        let m = DemandModel::normal(mean, mean).expect("valid");
+        let c = m.chebyshev_allocation(rho).expect("valid");
+        let mut rng = SmallRng::seed_from_u64(9);
+        let n = 2_000;
+        let under = (0..n).filter(|_| m.sample(&mut rng) < c).count();
+        prop_assert!(under as f64 / n as f64 >= rho);
+    }
+
+    #[test]
+    fn scaled_demand_keeps_chebyshev_ordering(mean in 1.0f64..1e6, k in 0.01f64..100.0, rho in 0.0f64..0.99) {
+        let m = DemandModel::normal(mean, mean).expect("valid");
+        let scaled = m.scaled(k);
+        prop_assert!((scaled.mean() - k * mean).abs() < 1e-6 * (k * mean).max(1.0));
+        prop_assert!((scaled.variance() - k * k * mean).abs() < 1e-6 * (k * k * mean).max(1.0));
+        let c = scaled.chebyshev_allocation(rho).expect("valid");
+        prop_assert!(c.as_f64() + 1.0 >= scaled.mean());
+    }
+}

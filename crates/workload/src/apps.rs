@@ -1,0 +1,117 @@
+//! The paper's Table 1 application specifications (A1–A3).
+//!
+//! The source text's numeric ranges are OCR-damaged; the values here are
+//! the DESIGN.md §3 reconstruction, preserving the stated structure (task
+//! counts, per-app `a`, "a varied mix of short and long time windows",
+//! and distinct `U^max` scales per application).
+
+use std::fmt;
+
+/// One application row of Table 1: a group of tasks sharing an arrival
+/// bound and drawing their windows and maximum utilities from common
+/// ranges.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppSpec {
+    /// The application's name (`"A1"`, `"A2"`, `"A3"`, or custom).
+    pub name: &'static str,
+    /// Number of tasks in the application.
+    pub tasks: usize,
+    /// The UAM arrival bound `a` shared by the application's tasks.
+    pub max_arrivals: u32,
+    /// Uniform range (inclusive) of the time window `P`, in milliseconds.
+    pub window_range_ms: (u64, u64),
+    /// Uniform range (inclusive) of `U^max`.
+    pub umax_range: (f64, f64),
+}
+
+impl AppSpec {
+    /// Table 1 row **A1**: 4 tasks, `⟨5, P⟩`, short windows, high utility.
+    #[must_use]
+    pub fn a1() -> Self {
+        AppSpec {
+            name: "A1",
+            tasks: 4,
+            max_arrivals: 5,
+            window_range_ms: (50, 100),
+            umax_range: (50.0, 70.0),
+        }
+    }
+
+    /// Table 1 row **A2**: 6 tasks, `⟨2, P⟩`, medium windows.
+    #[must_use]
+    pub fn a2() -> Self {
+        AppSpec {
+            name: "A2",
+            tasks: 6,
+            max_arrivals: 2,
+            window_range_ms: (500, 700),
+            umax_range: (30.0, 40.0),
+        }
+    }
+
+    /// Table 1 row **A3**: 8 tasks, `⟨3, P⟩`, long windows, wide utility
+    /// spread.
+    #[must_use]
+    pub fn a3() -> Self {
+        AppSpec {
+            name: "A3",
+            tasks: 8,
+            max_arrivals: 3,
+            window_range_ms: (1_000, 3_000),
+            umax_range: (10.0, 100.0),
+        }
+    }
+}
+
+impl fmt::Display for AppSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} tasks, <{}, P>, P in [{}, {}] ms, Umax in [{}, {}]",
+            self.name,
+            self.tasks,
+            self.max_arrivals,
+            self.window_range_ms.0,
+            self.window_range_ms.1,
+            self.umax_range.0,
+            self.umax_range.1
+        )
+    }
+}
+
+/// All of Table 1, in row order.
+#[must_use]
+pub fn table1() -> Vec<AppSpec> {
+    vec![AppSpec::a1(), AppSpec::a2(), AppSpec::a3()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper_structure() {
+        let t = table1();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.iter().map(|a| a.tasks).sum::<usize>(), 18);
+        assert_eq!(t[0].max_arrivals, 5);
+        assert_eq!(t[1].max_arrivals, 2);
+        assert_eq!(t[2].max_arrivals, 3);
+    }
+
+    #[test]
+    fn windows_mix_short_and_long() {
+        let t = table1();
+        assert!(t[0].window_range_ms.1 < t[2].window_range_ms.0);
+        for a in &t {
+            assert!(a.window_range_ms.0 <= a.window_range_ms.1);
+            assert!(a.umax_range.0 <= a.umax_range.1);
+        }
+    }
+
+    #[test]
+    fn display_prints_all_fields() {
+        let s = AppSpec::a1().to_string();
+        assert!(s.contains("A1") && s.contains("4 tasks") && s.contains("<5, P>"));
+    }
+}

@@ -1,0 +1,334 @@
+//! Task-set synthesis from application specs, with paper-style load
+//! scaling.
+
+use eua_platform::{Frequency, TimeDelta};
+use eua_sim::{Task, TaskSet};
+use eua_tuf::Tuf;
+use eua_uam::demand::DemandModel;
+use eua_uam::generator::ArrivalPattern;
+use eua_uam::{Assurance, UamSpec};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::apps::AppSpec;
+use crate::error::WorkloadError;
+
+/// Which TUF shape the synthesized tasks use: step for the §5.1
+/// experiments, linear (slope `−U^max/P`) for §5.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TufShape {
+    /// Downward-step TUFs (Fig. 2).
+    #[default]
+    Step,
+    /// Linear TUFs with slope `−U^max/P` (Fig. 3).
+    Linear,
+}
+
+/// How jobs arrive within each task's UAM bound.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum ArrivalStyle {
+    /// Strictly periodic `⟨1, P⟩` arrivals (forces `a = 1`).
+    Periodic,
+    /// `a` simultaneous arrivals at every window boundary — regular and
+    /// maximal.
+    #[default]
+    Burst,
+    /// Poisson arrivals throttled to the UAM bound — the irregular,
+    /// hard-to-predict adversary behind the paper's Fig. 3 observation
+    /// that DVS degrades as `a` grows.
+    Poisson {
+        /// Mean arrivals per window before throttling (typically `a`).
+        rate_per_window: f64,
+    },
+}
+
+/// A synthesized workload: the task set plus one UAM-compliant arrival
+/// pattern per task.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Workload {
+    /// The tasks, in synthesis order.
+    pub tasks: TaskSet,
+    /// One arrival pattern per task (index-aligned with `tasks`).
+    pub patterns: Vec<ArrivalPattern>,
+}
+
+impl Workload {
+    /// Rescales all demands so the system load hits `target` at `f_max`
+    /// (the paper's `k` scaling). Arrival patterns are unaffected.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::InvalidLoad`] for a non-positive target
+    /// and propagates task re-derivation failures.
+    pub fn scaled_to_load(&self, target: f64, f_max: Frequency) -> Result<Self, WorkloadError> {
+        if !target.is_finite() || target <= 0.0 {
+            return Err(WorkloadError::InvalidLoad { value: target });
+        }
+        Ok(Workload {
+            tasks: self.tasks.scaled_to_load(target, f_max)?,
+            patterns: self.patterns.clone(),
+        })
+    }
+
+    /// The system load `ρ` of this workload at `f_max`.
+    #[must_use]
+    pub fn system_load(&self, f_max: Frequency) -> f64 {
+        self.tasks.system_load(f_max)
+    }
+}
+
+/// Builder for synthesized workloads following the paper's §5 procedure.
+///
+/// # Example
+///
+/// ```
+/// use eua_uam::Assurance;
+/// use eua_workload::{table1, TufShape, WorkloadBuilder};
+///
+/// # fn main() -> Result<(), eua_workload::WorkloadError> {
+/// let w = WorkloadBuilder::new(table1())
+///     .shape(TufShape::Linear)
+///     .assurance(Assurance::linear_default())
+///     .max_arrivals(2) // the Fig. 3 sweep overrides each app's a
+///     .build(7)?;
+/// assert_eq!(w.tasks.len(), 18);
+/// assert_eq!(w.patterns.len(), 18);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct WorkloadBuilder {
+    apps: Vec<AppSpec>,
+    shape: TufShape,
+    assurance: Assurance,
+    max_arrivals_override: Option<u32>,
+    arrivals: ArrivalStyle,
+    base_demand_range: (f64, f64),
+}
+
+impl WorkloadBuilder {
+    /// Starts a builder over the given application specs, defaulting to
+    /// step TUFs, the `{ν = 1, ρ = 0.96}` assurance, each app's own
+    /// arrival bound, bursty arrivals, and base demands in
+    /// `[10⁵, 10⁶]` cycles.
+    #[must_use]
+    pub fn new(apps: Vec<AppSpec>) -> Self {
+        WorkloadBuilder {
+            apps,
+            shape: TufShape::Step,
+            assurance: Assurance::step_default(),
+            max_arrivals_override: None,
+            arrivals: ArrivalStyle::Burst,
+            base_demand_range: (1e5, 1e6),
+        }
+    }
+
+    /// Sets the TUF shape.
+    #[must_use]
+    pub fn shape(mut self, shape: TufShape) -> Self {
+        self.shape = shape;
+        self
+    }
+
+    /// Sets the `{ν, ρ}` requirement for every task.
+    #[must_use]
+    pub fn assurance(mut self, assurance: Assurance) -> Self {
+        self.assurance = assurance;
+        self
+    }
+
+    /// Overrides every application's arrival bound `a` (the Fig. 3 sweep
+    /// sets this to 1, 2, 3 in turn).
+    #[must_use]
+    pub fn max_arrivals(mut self, a: u32) -> Self {
+        self.max_arrivals_override = Some(a);
+        self
+    }
+
+    /// Uses strictly periodic `⟨1, P⟩` arrivals — the §5.1 setting
+    /// ("periodic task sets"), required for comparability with the
+    /// deadline-based baselines.
+    #[must_use]
+    pub fn periodic(mut self) -> Self {
+        self.arrivals = ArrivalStyle::Periodic;
+        self.max_arrivals_override = Some(1);
+        self
+    }
+
+    /// Sets the arrival style explicitly; see [`ArrivalStyle`].
+    #[must_use]
+    pub fn arrivals(mut self, style: ArrivalStyle) -> Self {
+        self.arrivals = style;
+        self
+    }
+
+    /// Sets the uniform range base demands `E(Y)` are drawn from (before
+    /// load scaling). `Var(Y) = E(Y)` as in the paper.
+    #[must_use]
+    pub fn base_demand_range(mut self, lo: f64, hi: f64) -> Self {
+        self.base_demand_range = (lo, hi);
+        self
+    }
+
+    /// Synthesizes the workload with all randomness derived from `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::NoApps`] for an empty spec list and
+    /// propagates task/pattern construction failures.
+    pub fn build(&self, seed: u64) -> Result<Workload, WorkloadError> {
+        if self.apps.is_empty() {
+            return Err(WorkloadError::NoApps);
+        }
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut tasks = Vec::new();
+        let mut patterns = Vec::new();
+        for app in &self.apps {
+            for k in 0..app.tasks {
+                let window_ms = rng.gen_range(app.window_range_ms.0..=app.window_range_ms.1);
+                let window = TimeDelta::from_millis(window_ms);
+                let umax = rng.gen_range(app.umax_range.0..=app.umax_range.1);
+                let a = self.max_arrivals_override.unwrap_or(app.max_arrivals);
+                let spec = UamSpec::new(a, window)?;
+                let tuf = match self.shape {
+                    TufShape::Step => Tuf::step(umax, window)?,
+                    TufShape::Linear => Tuf::linear(umax, window)?,
+                };
+                let mean =
+                    rng.gen_range(self.base_demand_range.0..=self.base_demand_range.1);
+                let demand = DemandModel::normal(mean, mean)?;
+                let task = Task::new(
+                    format!("{}-{}", app.name, k),
+                    tuf,
+                    spec,
+                    demand,
+                    self.assurance,
+                )?;
+                let pattern = match self.arrivals {
+                    ArrivalStyle::Periodic => ArrivalPattern::periodic(window)?,
+                    ArrivalStyle::Burst if a == 1 => ArrivalPattern::periodic(window)?,
+                    ArrivalStyle::Burst => ArrivalPattern::window_burst(spec)?,
+                    ArrivalStyle::Poisson { rate_per_window } => {
+                        ArrivalPattern::constrained_poisson(spec, rate_per_window)?
+                    }
+                };
+                tasks.push(task);
+                patterns.push(pattern);
+            }
+        }
+        Ok(Workload { tasks: TaskSet::new(tasks)?, patterns })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::table1;
+
+    #[test]
+    fn builds_table1_task_count() {
+        let w = WorkloadBuilder::new(table1()).build(1).unwrap();
+        assert_eq!(w.tasks.len(), 18);
+        assert_eq!(w.patterns.len(), 18);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let b = WorkloadBuilder::new(table1());
+        assert_eq!(b.build(5).unwrap(), b.build(5).unwrap());
+        assert_ne!(b.build(5).unwrap(), b.build(6).unwrap());
+    }
+
+    #[test]
+    fn periodic_mode_forces_single_arrivals() {
+        let w = WorkloadBuilder::new(table1()).periodic().build(2).unwrap();
+        for (_, t) in w.tasks.iter() {
+            assert!(t.uam().is_periodic());
+        }
+        for p in &w.patterns {
+            assert!(matches!(p, ArrivalPattern::Periodic { .. }));
+        }
+    }
+
+    #[test]
+    fn max_arrivals_override_applies_to_every_task() {
+        let w = WorkloadBuilder::new(table1()).max_arrivals(3).build(2).unwrap();
+        for (_, t) in w.tasks.iter() {
+            assert_eq!(t.uam().max_arrivals(), 3);
+        }
+        for p in &w.patterns {
+            assert!(matches!(p, ArrivalPattern::WindowBurst { .. }));
+        }
+    }
+
+    #[test]
+    fn linear_shape_produces_linear_tufs() {
+        let w = WorkloadBuilder::new(table1())
+            .shape(TufShape::Linear)
+            .assurance(Assurance::linear_default())
+            .build(3)
+            .unwrap();
+        for (_, t) in w.tasks.iter() {
+            assert!(!t.tuf().is_step());
+            // ν = 0.3 on linear ⇒ D = 0.7 P.
+            let expected = (t.uam().window().as_micros() as f64 * 0.7).floor() as u64;
+            assert_eq!(t.critical_offset().as_micros(), expected);
+        }
+    }
+
+    #[test]
+    fn scaling_hits_target_loads() {
+        let f_max = Frequency::from_mhz(100);
+        let w = WorkloadBuilder::new(table1()).periodic().build(4).unwrap();
+        for target in [0.2, 0.6, 1.0, 1.4, 1.8] {
+            let scaled = w.scaled_to_load(target, f_max).unwrap();
+            let got = scaled.system_load(f_max);
+            assert!((got - target).abs() / target < 0.01, "target {target}, got {got}");
+        }
+    }
+
+    #[test]
+    fn umax_and_window_stay_in_app_ranges() {
+        let w = WorkloadBuilder::new(table1()).build(9).unwrap();
+        for (i, (_, t)) in w.tasks.iter().enumerate() {
+            let app = if i < 4 {
+                AppSpec::a1()
+            } else if i < 10 {
+                AppSpec::a2()
+            } else {
+                AppSpec::a3()
+            };
+            let p_ms = t.uam().window().as_micros() / 1_000;
+            assert!(
+                (app.window_range_ms.0..=app.window_range_ms.1).contains(&p_ms),
+                "task {i}: window {p_ms} ms outside {:?}",
+                app.window_range_ms
+            );
+            let umax = t.tuf().max_utility();
+            assert!(
+                umax >= app.umax_range.0 && umax <= app.umax_range.1,
+                "task {i}: umax {umax} outside {:?}",
+                app.umax_range
+            );
+        }
+    }
+
+    #[test]
+    fn empty_apps_rejected() {
+        assert_eq!(WorkloadBuilder::new(vec![]).build(1).unwrap_err(), WorkloadError::NoApps);
+    }
+
+    #[test]
+    fn invalid_load_rejected() {
+        let w = WorkloadBuilder::new(table1()).build(1).unwrap();
+        let f = Frequency::from_mhz(100);
+        assert!(matches!(
+            w.scaled_to_load(0.0, f),
+            Err(WorkloadError::InvalidLoad { .. })
+        ));
+        assert!(matches!(
+            w.scaled_to_load(f64::NAN, f),
+            Err(WorkloadError::InvalidLoad { .. })
+        ));
+    }
+}

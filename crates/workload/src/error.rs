@@ -1,0 +1,79 @@
+//! Error type for workload synthesis.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while synthesizing workloads.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum WorkloadError {
+    /// No application specs were supplied.
+    NoApps,
+    /// The requested load was not positive and finite.
+    InvalidLoad {
+        /// The offending value.
+        value: f64,
+    },
+    /// A task failed to construct (propagated from `eua-sim`).
+    Task(String),
+    /// An arrival pattern failed to construct (propagated from `eua-uam`).
+    Pattern(String),
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::NoApps => write!(f, "at least one application spec is required"),
+            WorkloadError::InvalidLoad { value } => {
+                write!(f, "target load must be positive and finite, got {value}")
+            }
+            WorkloadError::Task(msg) => write!(f, "task synthesis failed: {msg}"),
+            WorkloadError::Pattern(msg) => write!(f, "pattern synthesis failed: {msg}"),
+        }
+    }
+}
+
+impl Error for WorkloadError {}
+
+impl From<eua_sim::SimError> for WorkloadError {
+    fn from(e: eua_sim::SimError) -> Self {
+        WorkloadError::Task(e.to_string())
+    }
+}
+
+impl From<eua_uam::UamError> for WorkloadError {
+    fn from(e: eua_uam::UamError) -> Self {
+        WorkloadError::Pattern(e.to_string())
+    }
+}
+
+impl From<eua_tuf::TufError> for WorkloadError {
+    fn from(e: eua_tuf::TufError) -> Self {
+        WorkloadError::Task(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_render() {
+        for e in [
+            WorkloadError::NoApps,
+            WorkloadError::InvalidLoad { value: -1.0 },
+            WorkloadError::Task("x".into()),
+            WorkloadError::Pattern("y".into()),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn conversions_wrap_messages() {
+        let e: WorkloadError = eua_sim::SimError::EmptyTaskSet.into();
+        assert!(matches!(e, WorkloadError::Task(_)));
+        let e: WorkloadError = eua_uam::UamError::ZeroWindow.into();
+        assert!(matches!(e, WorkloadError::Pattern(_)));
+    }
+}

@@ -1,0 +1,43 @@
+//! Synthetic workload generation for the EUA\* evaluation: the paper's
+//! Table 1 applications, task-set synthesis, load scaling, and the ready-
+//! made Figure 2 / Figure 3 scenarios.
+//!
+//! The paper's §5 procedure, reproduced here:
+//!
+//! 1. three applications A1–A3 with per-app task counts, `⟨a, P⟩`
+//!    descriptors, uniformly distributed time windows `P` ("the
+//!    synthesized task sets simulate the varied mix of short and long time
+//!    windows") and `U^max` ranges;
+//! 2. per-task normal cycle demands with `Var(Y) = E(Y)` before scaling;
+//! 3. a scale factor `k` applied to every `E(Y)` (and `k²` to every
+//!    `Var(Y)`) so the system load `ρ = (1/f_m)·Σ a_i·c_i/D_i` hits the
+//!    sweep target.
+//!
+//! # Example
+//!
+//! ```
+//! use eua_platform::Frequency;
+//! use eua_workload::{fig2_workload, TufShape, WorkloadBuilder};
+//!
+//! # fn main() -> Result<(), eua_workload::WorkloadError> {
+//! let f_max = Frequency::from_mhz(100);
+//! let w = fig2_workload(0.5, 42, f_max)?;
+//! assert_eq!(w.tasks.len(), 18); // 4 + 6 + 8 tasks (Table 1)
+//! let load = w.tasks.system_load(f_max);
+//! assert!((load - 0.5).abs() < 0.01);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod apps;
+mod builder;
+mod error;
+mod scenario;
+
+pub use apps::{table1, AppSpec};
+pub use builder::{ArrivalStyle, TufShape, Workload, WorkloadBuilder};
+pub use error::WorkloadError;
+pub use scenario::{fig2_workload, fig3_workload, theorem_workload};

@@ -1,0 +1,104 @@
+//! A battery-powered mobile multimedia device — the paper's
+//! energy-critical setting. Video decode, audio decode, and a background
+//! sync task share a PowerNow!-class DVS processor; we compare the energy
+//! bill of EUA\* against always-full-speed EDF under all three Table 2
+//! energy settings, and translate the savings into battery life.
+//!
+//! Run with: `cargo run --example mobile_multimedia`
+
+use eua::core::{Eua, EdfPolicy};
+use eua::platform::{EnergySetting, TimeDelta};
+use eua::sim::{Engine, Platform, SimConfig, SchedulerPolicy, Task, TaskSet};
+use eua::tuf::Tuf;
+use eua::uam::demand::DemandModel;
+use eua::uam::generator::ArrivalPattern;
+use eua::uam::{Assurance, UamSpec};
+use eua::workload::Workload;
+
+fn build_workload() -> Result<Workload, Box<dyn std::error::Error>> {
+    let ms = TimeDelta::from_millis;
+
+    // 30 fps video: frames are soft — a late frame is worth progressively
+    // less until the next frame replaces it.
+    let video_p = ms(33);
+    let video = Task::new(
+        "video-decode",
+        Tuf::linear(30.0, video_p)?,
+        UamSpec::periodic(video_p)?,
+        DemandModel::normal(900_000.0, 900_000.0)?,
+        Assurance::new(0.5, 0.95)?,
+    )?;
+
+    // Audio: hard 10 ms cadence, tiny jobs, must essentially never glitch.
+    let audio_p = ms(10);
+    let audio = Task::new(
+        "audio-decode",
+        Tuf::step(50.0, audio_p)?,
+        UamSpec::periodic(audio_p)?,
+        DemandModel::normal(80_000.0, 80_000.0)?,
+        Assurance::new(1.0, 0.99)?,
+    )?;
+
+    // Background sync: bursty aperiodic work, worth little, huge window.
+    let sync_spec = UamSpec::new(3, ms(500))?;
+    let sync = Task::new(
+        "background-sync",
+        Tuf::linear(2.0, ms(500))?,
+        sync_spec,
+        DemandModel::normal(2_000_000.0, 2_000_000.0)?,
+        Assurance::new(0.1, 0.9)?,
+    )?;
+
+    Ok(Workload {
+        tasks: TaskSet::new(vec![video, audio, sync])?,
+        patterns: vec![
+            ArrivalPattern::periodic(video_p)?,
+            ArrivalPattern::periodic(audio_p)?,
+            ArrivalPattern::constrained_poisson(sync_spec, 1.5)?,
+        ],
+    })
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let w = build_workload()?;
+    let config = SimConfig::new(TimeDelta::from_secs(10));
+    println!(
+        "workload load at f_m: {:.2}\n",
+        w.tasks.system_load(eua::platform::Frequency::from_mhz(100))
+    );
+
+    println!(
+        "{:<8} {:>14} {:>14} {:>9} {:>12}",
+        "setting", "energy(eua)", "energy(edf)", "saving", "battery gain"
+    );
+    for setting in EnergySetting::all() {
+        let platform = Platform::powernow(setting);
+        let mut eua = Eua::new();
+        let mut edf = EdfPolicy::max_speed();
+        let run = |p: &mut dyn SchedulerPolicy| {
+            Engine::run(&w.tasks, &w.patterns, &platform, p, &config, 17)
+                .map(|o| o.metrics)
+        };
+        let m_eua = run(&mut eua)?;
+        let m_edf = run(&mut edf)?;
+        assert!(m_eua.meets_assurances(&w.tasks), "EUA* must keep the QoS contract");
+        let saving = 1.0 - m_eua.energy / m_edf.energy;
+        // Same charge, lower average power ⇒ battery life scales with the
+        // inverse energy ratio.
+        let battery_gain = m_edf.energy / m_eua.energy;
+        println!(
+            "{:<8} {:>14.3e} {:>14.3e} {:>8.1}% {:>11.2}x",
+            setting.name(),
+            m_eua.energy,
+            m_edf.energy,
+            100.0 * saving,
+            battery_gain,
+        );
+    }
+    println!(
+        "\nUnder the CPU-only model (E1) DVS pays off most; with heavy static\n\
+         consumption (E3) the UER clamp keeps EUA* near the energy-optimal\n\
+         frequency instead of racing to the bottom."
+    );
+    Ok(())
+}

@@ -1,0 +1,193 @@
+//! `eua-cli` — run one scheduling simulation from the command line.
+//!
+//! ```text
+//! eua-cli [--policy NAME] [--scenario fig2|fig3] [--load X] [--a N]
+//!         [--seconds S] [--energy e1|e2|e3] [--seed K] [--per-task]
+//! ```
+//!
+//! Examples:
+//!
+//! ```sh
+//! cargo run --bin eua-cli -- --policy eua --load 0.8
+//! cargo run --bin eua-cli -- --policy edf-na --load 1.6 --energy e3 --per-task
+//! cargo run --bin eua-cli -- --scenario fig3 --a 3 --load 0.6
+//! ```
+
+use eua::core::{available_policies, make_policy};
+use eua::platform::{EnergySetting, TimeDelta};
+use eua::sim::{Engine, Platform, SimConfig};
+use eua::workload::{fig2_workload, fig3_workload};
+
+struct Args {
+    policy: String,
+    scenario: String,
+    load: f64,
+    a: u32,
+    seconds: u64,
+    energy: EnergySetting,
+    seed: u64,
+    per_task: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        policy: "eua".into(),
+        scenario: "fig2".into(),
+        load: 0.8,
+        a: 1,
+        seconds: 10,
+        energy: EnergySetting::e1(),
+        seed: 42,
+        per_task: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |argv: &[String], i: usize, flag: &str| -> Result<String, String> {
+        argv.get(i + 1).cloned().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--policy" => {
+                args.policy = value(&argv, i, "--policy")?;
+                i += 2;
+            }
+            "--scenario" => {
+                args.scenario = value(&argv, i, "--scenario")?;
+                i += 2;
+            }
+            "--load" => {
+                args.load = value(&argv, i, "--load")?
+                    .parse()
+                    .map_err(|e| format!("--load: {e}"))?;
+                i += 2;
+            }
+            "--a" => {
+                args.a =
+                    value(&argv, i, "--a")?.parse().map_err(|e| format!("--a: {e}"))?;
+                i += 2;
+            }
+            "--seconds" => {
+                args.seconds = value(&argv, i, "--seconds")?
+                    .parse()
+                    .map_err(|e| format!("--seconds: {e}"))?;
+                i += 2;
+            }
+            "--energy" => {
+                args.energy = match value(&argv, i, "--energy")?.as_str() {
+                    "e1" => EnergySetting::e1(),
+                    "e2" => EnergySetting::e2(),
+                    "e3" => EnergySetting::e3(),
+                    other => return Err(format!("unknown energy setting {other}")),
+                };
+                i += 2;
+            }
+            "--seed" => {
+                args.seed = value(&argv, i, "--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+                i += 2;
+            }
+            "--per-task" => {
+                args.per_task = true;
+                i += 1;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: eua-cli [--policy NAME] [--scenario fig2|fig3] [--load X] \
+                     [--a N] [--seconds S] [--energy e1|e2|e3] [--seed K] [--per-task]\n\
+                     policies: {}",
+                    available_policies().join(", ")
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+    };
+    let platform = Platform::powernow(args.energy);
+    let workload = match args.scenario.as_str() {
+        "fig2" => fig2_workload(args.load, args.seed, platform.f_max()),
+        "fig3" => fig3_workload(args.load, args.a, args.seed, platform.f_max()),
+        other => {
+            eprintln!("error: unknown scenario {other} (use fig2 or fig3)");
+            std::process::exit(2);
+        }
+    }
+    .unwrap_or_else(|e| {
+        eprintln!("error: workload synthesis failed: {e}");
+        std::process::exit(1);
+    });
+
+    let Some(mut policy) = make_policy(&args.policy) else {
+        eprintln!(
+            "error: unknown policy {} (choose from: {})",
+            args.policy,
+            available_policies().join(", ")
+        );
+        std::process::exit(2);
+    };
+
+    let config = SimConfig::new(TimeDelta::from_secs(args.seconds));
+    let out = Engine::run(
+        &workload.tasks,
+        &workload.patterns,
+        &platform,
+        &mut policy,
+        &config,
+        args.seed,
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("error: simulation failed: {e}");
+        std::process::exit(1);
+    });
+
+    let m = &out.metrics;
+    println!("policy:   {}", args.policy);
+    println!("platform: {platform}");
+    println!("scenario: {} at load {:.2} over {} s", args.scenario, args.load, args.seconds);
+    println!();
+    println!("{m}");
+    println!("utility/energy: {:.3e}", m.utility_per_energy());
+    println!(
+        "busy {:.1}% of horizon, {} context switches, {} preemptions, {} frequency changes",
+        100.0 * m.busy_time.as_secs_f64() / m.horizon.as_secs_f64(),
+        m.context_switches,
+        m.preemptions,
+        m.frequency_changes,
+    );
+    println!(
+        "assurances: {}",
+        if m.meets_assurances(&workload.tasks) { "MET for every task" } else { "violated" }
+    );
+
+    if args.per_task {
+        println!();
+        println!(
+            "{:<10} {:>7} {:>9} {:>8} {:>10} {:>10} {:>9}",
+            "task", "arrived", "completed", "aborted", "utility", "ceiling", "assured"
+        );
+        for (id, task) in workload.tasks.iter() {
+            let tm = m.task(id);
+            println!(
+                "{:<10} {:>7} {:>9} {:>8} {:>10.1} {:>10.1} {:>8.1}%",
+                task.name(),
+                tm.arrived,
+                tm.completed,
+                tm.aborted_by_termination + tm.aborted_by_policy,
+                tm.utility,
+                tm.max_utility,
+                100.0 * tm.assurance_rate().unwrap_or(0.0),
+            );
+        }
+    }
+}

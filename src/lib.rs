@@ -1,0 +1,89 @@
+//! # eua — Energy-Efficient Utility-Accrual Real-Time Scheduling
+//!
+//! A full reproduction of *"Energy-Efficient, Utility Accrual Real-Time
+//! Scheduling Under the Unimodal Arbitrary Arrival Model"* (Wu, Ravindran
+//! & Jensen, DATE 2005): the **EUA\*** scheduling algorithm, every
+//! substrate it needs (time/utility functions, the UAM arrival model,
+//! stochastic demand models, a DVS platform model, and a discrete-event
+//! uniprocessor simulator), the baselines it is evaluated against, and a
+//! harness regenerating every figure of the paper's evaluation.
+//!
+//! This umbrella crate re-exports the workspace's public API:
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`tuf`] | `eua-tuf` | non-increasing time/utility functions and critical-time inversion |
+//! | [`uam`] | `eua-uam` | `⟨a, P⟩` arrival descriptors, generators, demand models, Chebyshev allocation |
+//! | [`platform`] | `eua-platform` | DVS frequency tables, Martin's energy model (settings E1–E3) |
+//! | [`sim`] | `eua-sim` | the discrete-event simulator, policies' [`sim::SchedulerPolicy`] contract, metrics |
+//! | [`core`] | `eua-core` | **EUA\***, EDF/CC-EDF/LA-EDF baselines, DASA, the Algorithm 2 DVS analysis |
+//! | [`workload`] | `eua-workload` | Table 1 applications, load scaling, Figure 2/3 scenarios |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use eua::core::Eua;
+//! use eua::platform::{EnergySetting, TimeDelta};
+//! use eua::sim::{Engine, Platform, SimConfig, Task, TaskSet};
+//! use eua::tuf::Tuf;
+//! use eua::uam::demand::DemandModel;
+//! use eua::uam::generator::ArrivalPattern;
+//! use eua::uam::{Assurance, UamSpec};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A 100 Hz control task: at most 2 arrivals per 10 ms window, ~150k
+//! // cycles per job, must accrue full utility 96% of the time.
+//! let p = TimeDelta::from_millis(10);
+//! let task = Task::new(
+//!     "control",
+//!     Tuf::step(10.0, p)?,
+//!     UamSpec::new(2, p)?,
+//!     DemandModel::normal(150_000.0, 150_000.0)?,
+//!     Assurance::new(1.0, 0.96)?,
+//! )?;
+//! let tasks = TaskSet::new(vec![task])?;
+//! let patterns = vec![ArrivalPattern::window_burst(UamSpec::new(2, p)?)?];
+//!
+//! let platform = Platform::powernow(EnergySetting::e2());
+//! let config = SimConfig::new(TimeDelta::from_secs(2));
+//! let out = Engine::run(&tasks, &patterns, &platform, &mut Eua::new(), &config, 1)?;
+//! assert!(out.metrics.meets_assurances(&tasks));
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `examples/` for runnable scenarios and `crates/bench` for the
+//! figure-regeneration harness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// The paper's primary contribution: EUA\* and the baseline policies.
+pub mod core {
+    pub use eua_core::*;
+}
+
+/// DVS platform model: frequencies, energy, units.
+pub mod platform {
+    pub use eua_platform::*;
+}
+
+/// The discrete-event scheduling simulator.
+pub mod sim {
+    pub use eua_sim::*;
+}
+
+/// Time/utility functions.
+pub mod tuf {
+    pub use eua_tuf::*;
+}
+
+/// The unimodal arbitrary arrival model and stochastic demands.
+pub mod uam {
+    pub use eua_uam::*;
+}
+
+/// Synthetic workloads for the paper's evaluation.
+pub mod workload {
+    pub use eua_workload::*;
+}

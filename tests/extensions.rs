@@ -1,0 +1,161 @@
+//! Integration tests for the implemented future-work extensions:
+//! energy-budgeted scheduling, progress-based accrual, and the offline
+//! schedulability analysis — all exercised through the umbrella crate.
+
+use eua::core::{brh_schedulable, sufficient_speed, BudgetedEua, Eua};
+use eua::platform::{EnergySetting, Frequency, FrequencyTable, TimeDelta};
+use eua::sim::{Engine, Platform, SimConfig};
+use eua::workload::{fig2_workload, fig3_workload};
+
+#[test]
+fn budgeted_eua_never_overdraws_materially() {
+    let platform = Platform::powernow(EnergySetting::e1());
+    let w = fig2_workload(0.8, 42, platform.f_max()).expect("workload");
+    let config = SimConfig::new(TimeDelta::from_secs(5));
+    let full = Engine::run(&w.tasks, &w.patterns, &platform, &mut Eua::new(), &config, 3)
+        .expect("run")
+        .metrics;
+    for frac in [0.2, 0.5, 0.9] {
+        let budget = full.energy * frac;
+        let m = Engine::run(
+            &w.tasks,
+            &w.patterns,
+            &platform,
+            &mut BudgetedEua::new(budget),
+            &config,
+            3,
+        )
+        .expect("run")
+        .metrics;
+        // Tolerance: one job allocation at f_m (believed-demand slack).
+        let max_alloc = w
+            .tasks
+            .iter()
+            .map(|(_, t)| platform.energy().energy_for(t.allocation(), platform.f_max()))
+            .fold(0.0f64, f64::max);
+        assert!(
+            m.energy <= budget + max_alloc,
+            "frac {frac}: spent {} of {budget}",
+            m.energy
+        );
+    }
+}
+
+#[test]
+fn budgeted_eua_prefers_high_uer_work_when_rationed() {
+    // Under a tight budget the per-completed-job utility should be at
+    // least as high as the unconstrained average: the policy skims the
+    // best work.
+    let platform = Platform::powernow(EnergySetting::e1());
+    let w = fig2_workload(0.8, 42, platform.f_max()).expect("workload");
+    let config = SimConfig::new(TimeDelta::from_secs(5));
+    let full = Engine::run(&w.tasks, &w.patterns, &platform, &mut Eua::new(), &config, 3)
+        .expect("run")
+        .metrics;
+    let tight = Engine::run(
+        &w.tasks,
+        &w.patterns,
+        &platform,
+        &mut BudgetedEua::new(full.energy * 0.2),
+        &config,
+        3,
+    )
+    .expect("run")
+    .metrics;
+    let full_per_job = full.total_utility / full.jobs_completed() as f64;
+    let tight_per_job = tight.total_utility / tight.jobs_completed().max(1) as f64;
+    assert!(
+        tight_per_job >= 0.9 * full_per_job,
+        "rationed per-job utility {tight_per_job} collapsed vs {full_per_job}"
+    );
+}
+
+#[test]
+fn progress_accrual_only_adds_utility() {
+    let platform = Platform::powernow(EnergySetting::e1());
+    let w = fig2_workload(1.5, 42, platform.f_max()).expect("workload");
+    let plain_cfg = SimConfig::new(TimeDelta::from_secs(5));
+    let partial_cfg = SimConfig::new(TimeDelta::from_secs(5)).with_progress_accrual();
+    // Use the non-aborting EDF, which executes doomed jobs partially —
+    // progress accrual is exactly the model where that work still counts.
+    let mut na = eua::core::EdfPolicy::max_speed().without_abort();
+    let plain = Engine::run(&w.tasks, &w.patterns, &platform, &mut na, &plain_cfg, 3)
+        .expect("run")
+        .metrics;
+    let mut na2 = eua::core::EdfPolicy::max_speed().without_abort();
+    let partial = Engine::run(&w.tasks, &w.patterns, &platform, &mut na2, &partial_cfg, 3)
+        .expect("run")
+        .metrics;
+    assert!(
+        partial.total_utility > plain.total_utility,
+        "progress accrual must recover utility from partially executed jobs: \
+         {} vs {}",
+        partial.total_utility,
+        plain.total_utility
+    );
+    assert!(partial.total_utility <= partial.max_possible_utility + 1e-6);
+}
+
+#[test]
+fn analysis_agrees_with_simulation_on_the_paper_workload() {
+    let f_max = Frequency::from_mhz(100);
+    // Under-load: schedulable at f_m, and the simulator confirms.
+    let under = fig2_workload(0.8, 42, f_max).expect("workload");
+    assert!(brh_schedulable(&under.tasks, f_max));
+    // Overload: even f_m is insufficient.
+    let over = fig2_workload(1.4, 42, f_max).expect("workload");
+    assert!(!brh_schedulable(&over.tasks, f_max));
+    // Theorem 1's sufficient speed matches the load definition:
+    // speed = load · f_m.
+    let speed = sufficient_speed(&under.tasks);
+    assert!((speed - 0.8 * 100.0).abs() < 1.0, "speed {speed}");
+}
+
+#[test]
+fn theorem1_fixed_speed_platform_meets_all_critical_times() {
+    let f_max = Frequency::from_mhz(100);
+    let w = fig3_workload(0.6, 2, 42, f_max).expect("workload");
+    let speed = sufficient_speed(&w.tasks).ceil() as u64;
+    let platform = Platform::new(FrequencyTable::fixed(speed), EnergySetting::e1());
+    let config = SimConfig::new(TimeDelta::from_secs(8));
+    let out = Engine::run(
+        &w.tasks,
+        &w.patterns,
+        &platform,
+        &mut eua::core::EdfPolicy::max_speed(),
+        &config,
+        3,
+    )
+    .expect("run");
+    for tm in &out.metrics.per_task {
+        assert_eq!(tm.completed, tm.critical_met, "critical time missed at Theorem 1 speed");
+        assert_eq!(tm.aborted_by_termination + tm.aborted_by_policy, 0);
+    }
+}
+
+#[test]
+fn frequency_residency_reflects_dvs_behavior() {
+    let platform = Platform::powernow(EnergySetting::e1());
+    let w = fig2_workload(0.3, 42, platform.f_max()).expect("workload");
+    let config = SimConfig::new(TimeDelta::from_secs(5));
+    let eua = Engine::run(&w.tasks, &w.patterns, &platform, &mut Eua::new(), &config, 3)
+        .expect("run")
+        .metrics;
+    let edf = Engine::run(
+        &w.tasks,
+        &w.patterns,
+        &platform,
+        &mut eua::core::EdfPolicy::max_speed(),
+        &config,
+        3,
+    )
+    .expect("run")
+    .metrics;
+    // EDF always runs flat out; EUA* mostly below it at load 0.3.
+    assert_eq!(edf.mean_frequency_mhz(), Some(100.0));
+    let eua_mean = eua.mean_frequency_mhz().expect("eua executed");
+    assert!(eua_mean < 70.0, "expected deep scaling, got {eua_mean} MHz");
+    // Residency accounts for every busy microsecond.
+    let total: TimeDelta = eua.freq_residency.iter().map(|r| r.busy).sum();
+    assert_eq!(total, eua.busy_time);
+}
