@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Local CI gate. Run from the repository root:
+#
+#   ./ci.sh          # full gate
+#   ./ci.sh --quick  # skip the release build
+#
+# Order: cheap static checks first, then the test suites, then the
+# analyzer pre-flight over everything the repo ships.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+QUICK=0
+[[ "${1:-}" == "--quick" ]] && QUICK=1
+
+step() { printf '\n== %s ==\n' "$*"; }
+
+step "cargo fmt --check"
+cargo fmt --all --check
+
+step "time-unit lint"
+# All time quantities are integer microseconds (`SimTime`/`TimeDelta` in
+# crates/platform/src/units.rs; their `as_secs_f64` is the sanctioned
+# display-boundary conversion). Raw wall-clock types or float-seconds
+# Duration constructors anywhere else reintroduce the unit bugs the
+# newtypes exist to prevent. The vendored shims stand in for external
+# crates and are exempt.
+if grep -rnE 'std::time::|Instant::now|SystemTime|Duration::from_secs' \
+    --include='*.rs' \
+    src tests examples crates \
+    | grep -v '^crates/platform/src/units.rs:' \
+    | grep -v '^[^:]*vendor/'; then
+  echo "error: raw time arithmetic outside crates/platform/src/units.rs (see above)" >&2
+  exit 1
+fi
+
+step "cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+step "cargo test"
+cargo test --workspace -q
+
+step "cargo test --features invariant-checks"
+cargo test --features invariant-checks -q
+
+if [[ "$QUICK" == 0 ]]; then
+  step "cargo build --release"
+  cargo build --release -q
+fi
+
+step "analyzer pre-flight (all shipped examples)"
+cargo run -q -p eua-analyze -- check --all-examples
+
+step "analyzer rejects a broken scenario"
+if cargo run -q -p eua-analyze -- check crates/analyze/scenarios/invalid.scn \
+    >/dev/null 2>&1; then
+  echo "error: eua-analyze accepted scenarios/invalid.scn" >&2
+  exit 1
+fi
+
+printf '\nCI gate passed.\n'

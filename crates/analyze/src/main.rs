@@ -1,0 +1,152 @@
+//! The `eua-analyze` command-line front end.
+//!
+//! ```text
+//! eua-analyze check <scenario.scn>... [--format text|json]
+//! eua-analyze check --all-examples   [--format text|json]
+//! eua-analyze codes
+//! ```
+//!
+//! Exit status: `0` when no Error-severity diagnostic was produced, `1`
+//! when at least one was, `2` on usage, I/O, or parse errors.
+
+use std::io::Write;
+use std::process::ExitCode;
+
+use eua_analyze::{
+    analyze, render_json_reports, shipped_scenarios, DiagCode, Report, ScenarioSpec,
+};
+
+/// Writes to stdout, exiting quietly if the reader went away (e.g. the
+/// output is piped into `head`); `println!` would panic instead.
+fn emit(text: &str) {
+    if std::io::stdout().write_all(text.as_bytes()).is_err() {
+        std::process::exit(0);
+    }
+}
+
+/// Output format for `check`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Format {
+    /// Human-readable stanzas.
+    Text,
+    /// One JSON array of per-scenario report objects.
+    Json,
+}
+
+fn usage() -> &'static str {
+    "usage: eua-analyze check [--format text|json] (--all-examples | <scenario.scn>...)\n\
+     \x20      eua-analyze codes\n\
+     \n\
+     check  analyze scenario files (or every shipped example workload)\n\
+     codes  list every diagnostic code with its severity and meaning\n\
+     \n\
+     exit status: 0 = clean, 1 = errors found, 2 = usage/IO/parse failure"
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => run_check(&args[1..]),
+        Some("codes") => {
+            run_codes();
+            ExitCode::SUCCESS
+        }
+        Some("--help" | "-h" | "help") => {
+            emit(usage());
+            emit("\n");
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!("{}", usage());
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Parses `check` flags and runs the analysis.
+fn run_check(args: &[String]) -> ExitCode {
+    let mut format = Format::Text;
+    let mut all_examples = false;
+    let mut files: Vec<&str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--format" => match it.next().map(String::as_str) {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                other => {
+                    eprintln!("--format needs `text` or `json`, got {other:?}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--all-examples" => all_examples = true,
+            flag if flag.starts_with('-') => {
+                eprintln!("unknown flag `{flag}`\n{}", usage());
+                return ExitCode::from(2);
+            }
+            file => files.push(file),
+        }
+    }
+    if !all_examples && files.is_empty() {
+        eprintln!("nothing to check\n{}", usage());
+        return ExitCode::from(2);
+    }
+
+    let mut reports: Vec<Report> = Vec::new();
+    if all_examples {
+        let scenarios = match shipped_scenarios() {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        reports.extend(scenarios.iter().map(analyze));
+    }
+    for file in files {
+        let text = match std::fs::read_to_string(file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: reading `{file}`: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let spec = match ScenarioSpec::parse(&text) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: `{file}`: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        reports.push(analyze(&spec));
+    }
+
+    match format {
+        Format::Text => {
+            for r in &reports {
+                emit(&r.render_text());
+            }
+        }
+        Format::Json => {
+            emit(&render_json_reports(&reports));
+            emit("\n");
+        }
+    }
+    if reports.iter().any(Report::has_errors) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Prints every diagnostic code with its default severity and summary.
+fn run_codes() {
+    for code in DiagCode::ALL {
+        emit(&format!(
+            "{:<28} {:<8} {}\n",
+            code.as_str(),
+            code.default_severity().as_str(),
+            code.summary()
+        ));
+    }
+}

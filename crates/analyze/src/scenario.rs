@@ -1,0 +1,929 @@
+//! The analyzer's raw input model and scenario-file parser.
+//!
+//! The library crates validate at construction time, so invalid states
+//! (a negative ν, an empty frequency table, an increasing TUF) are
+//! *unrepresentable* in their types. A static analyzer needs the
+//! opposite: it must hold whatever the user wrote and explain what is
+//! wrong with it. [`ScenarioSpec`] and friends are therefore plain raw
+//! records, with fallible bridges in both directions:
+//!
+//! * [`ScenarioSpec::from_task_set`] lowers already-validated simulator
+//!   types into specs (used by `--all-examples`), and
+//! * [`TaskSpec::to_task`] raises a spec back into a real
+//!   [`eua_sim::Task`] once the validation passes have cleared it.
+//!
+//! Scenario files (`.scn`) use a line-based plain-text format; see
+//! [`ScenarioSpec::parse`].
+
+use std::error::Error;
+use std::fmt;
+
+use eua_platform::{FrequencyTable, TimeDelta};
+use eua_sim::{Task, TaskSet};
+use eua_tuf::Tuf;
+use eua_uam::demand::DemandModel;
+use eua_uam::{Assurance, UamSpec};
+
+/// Raw description of a time/utility function shape.
+///
+/// All times are in microseconds; nothing is validated here.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TufSpec {
+    /// Constant `umax` until `step_at_us`, zero afterwards; the job may
+    /// linger (accruing nothing) until `termination_us`.
+    Step {
+        /// Utility before the step.
+        umax: f64,
+        /// The step (deadline) offset in µs.
+        step_at_us: u64,
+        /// Termination offset in µs (≥ `step_at_us` once validated).
+        termination_us: u64,
+    },
+    /// Linear decay from `umax` at `t = 0` to zero at `termination_us`.
+    Linear {
+        /// Utility at release.
+        umax: f64,
+        /// The x-intercept (termination) offset in µs.
+        termination_us: u64,
+    },
+    /// Exponential decay `umax·e^(−t/τ)` truncated at `termination_us`.
+    Exponential {
+        /// Utility at release.
+        umax: f64,
+        /// Decay constant τ in µs.
+        tau_us: u64,
+        /// Termination offset in µs.
+        termination_us: u64,
+    },
+    /// Piecewise-linear over `(time_us, utility)` breakpoints.
+    Piecewise {
+        /// Breakpoints in declaration order (validated by the passes).
+        points: Vec<(u64, f64)>,
+    },
+}
+
+impl TufSpec {
+    /// Lowers a validated [`Tuf`] into its raw spec.
+    #[must_use]
+    pub fn from_tuf(tuf: &Tuf) -> Self {
+        match tuf {
+            Tuf::Step(s) => TufSpec::Step {
+                umax: s.height(),
+                step_at_us: s.step_at().as_micros(),
+                termination_us: tuf.termination().as_micros(),
+            },
+            Tuf::Linear(l) => TufSpec::Linear {
+                umax: l.umax(),
+                termination_us: tuf.termination().as_micros(),
+            },
+            Tuf::Exponential(e) => TufSpec::Exponential {
+                umax: tuf.max_utility(),
+                tau_us: e.tau().as_micros(),
+                termination_us: tuf.termination().as_micros(),
+            },
+            Tuf::Piecewise(p) => TufSpec::Piecewise {
+                points: p
+                    .breakpoints()
+                    .iter()
+                    .map(|&(t, u)| (t.as_micros(), u))
+                    .collect(),
+            },
+            _ => TufSpec::Linear {
+                umax: tuf.max_utility(),
+                termination_us: tuf.termination().as_micros(),
+            },
+        }
+    }
+
+    /// Raises the spec into a validated [`Tuf`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the library's own constructor error message when the spec
+    /// is invalid; the passes report the same conditions as diagnostics
+    /// before this is ever called.
+    pub fn to_tuf(&self) -> Result<Tuf, String> {
+        match self {
+            TufSpec::Step {
+                umax, step_at_us, ..
+            } => Tuf::step(*umax, TimeDelta::from_micros(*step_at_us)),
+            TufSpec::Linear {
+                umax,
+                termination_us,
+            } => Tuf::linear(*umax, TimeDelta::from_micros(*termination_us)),
+            TufSpec::Exponential {
+                umax,
+                tau_us,
+                termination_us,
+            } => Tuf::exponential(
+                *umax,
+                TimeDelta::from_micros(*tau_us),
+                TimeDelta::from_micros(*termination_us),
+            ),
+            TufSpec::Piecewise { points } => Tuf::piecewise(
+                points
+                    .iter()
+                    .map(|&(t, u)| (TimeDelta::from_micros(t), u))
+                    .collect::<Vec<_>>(),
+            ),
+        }
+        .map_err(|e| e.to_string())
+    }
+
+    /// The shape's display name.
+    #[must_use]
+    pub fn shape_name(&self) -> &'static str {
+        match self {
+            TufSpec::Step { .. } => "step",
+            TufSpec::Linear { .. } => "linear",
+            TufSpec::Exponential { .. } => "exponential",
+            TufSpec::Piecewise { .. } => "piecewise",
+        }
+    }
+
+    /// The raw maximum utility (utility at release).
+    #[must_use]
+    pub fn umax(&self) -> f64 {
+        match self {
+            TufSpec::Step { umax, .. }
+            | TufSpec::Linear { umax, .. }
+            | TufSpec::Exponential { umax, .. } => *umax,
+            TufSpec::Piecewise { points } => points.first().map_or(f64::NAN, |&(_, u)| u),
+        }
+    }
+
+    /// The raw termination offset in µs (the last breakpoint for a
+    /// piecewise shape; zero when there are no breakpoints).
+    #[must_use]
+    pub fn termination_us(&self) -> u64 {
+        match self {
+            TufSpec::Step { termination_us, .. }
+            | TufSpec::Linear { termination_us, .. }
+            | TufSpec::Exponential { termination_us, .. } => *termination_us,
+            TufSpec::Piecewise { points } => points.last().map_or(0, |&(t, _)| t),
+        }
+    }
+}
+
+/// Raw description of a per-job demand distribution (cycles).
+#[derive(Debug, Clone, PartialEq)]
+pub enum DemandSpec {
+    /// Every job demands exactly `cycles`.
+    Deterministic {
+        /// The fixed demand in cycles.
+        cycles: f64,
+    },
+    /// Normally distributed demand.
+    Normal {
+        /// Mean `E(Y)` in cycles.
+        mean: f64,
+        /// Variance `Var(Y)` in cycles².
+        variance: f64,
+    },
+    /// Uniform demand on `[lo, hi]`.
+    Uniform {
+        /// Inclusive lower bound in cycles.
+        lo: f64,
+        /// Inclusive upper bound in cycles.
+        hi: f64,
+    },
+    /// Pareto demand with scale `x_m` and tail index `alpha`.
+    Pareto {
+        /// Scale (minimum demand) in cycles.
+        scale: f64,
+        /// Tail index; both moments exist only for `alpha > 2`.
+        alpha: f64,
+    },
+}
+
+impl DemandSpec {
+    /// Lowers a validated [`DemandModel`] into its raw spec.
+    #[must_use]
+    pub fn from_model(model: &DemandModel) -> Self {
+        match *model {
+            DemandModel::Deterministic { cycles } => DemandSpec::Deterministic { cycles },
+            DemandModel::Normal { mean, variance } => DemandSpec::Normal { mean, variance },
+            DemandModel::Uniform { lo, hi } => DemandSpec::Uniform { lo, hi },
+            DemandModel::Pareto { scale, alpha } => DemandSpec::Pareto { scale, alpha },
+            _ => DemandSpec::Deterministic {
+                cycles: model.mean(),
+            },
+        }
+    }
+
+    /// Raises the spec into a validated [`DemandModel`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the library's constructor error message for invalid
+    /// parameters.
+    pub fn to_model(&self) -> Result<DemandModel, String> {
+        match *self {
+            DemandSpec::Deterministic { cycles } => DemandModel::deterministic(cycles),
+            DemandSpec::Normal { mean, variance } => DemandModel::normal(mean, variance),
+            DemandSpec::Uniform { lo, hi } => DemandModel::uniform(lo, hi),
+            DemandSpec::Pareto { scale, alpha } => {
+                // The library constructor is mean-parameterized; recover
+                // the mean from the stored scale.
+                if !alpha.is_finite() || alpha <= 1.0 {
+                    return Err(format!("pareto alpha {alpha} leaves the mean undefined"));
+                }
+                DemandModel::pareto(alpha * scale / (alpha - 1.0), alpha)
+            }
+        }
+        .map_err(|e| e.to_string())
+    }
+
+    /// The distribution's display name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            DemandSpec::Deterministic { .. } => "deterministic",
+            DemandSpec::Normal { .. } => "normal",
+            DemandSpec::Uniform { .. } => "uniform",
+            DemandSpec::Pareto { .. } => "pareto",
+        }
+    }
+
+    /// The raw mean `E(Y)`; infinite for a Pareto tail with `α ≤ 1`.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        match *self {
+            DemandSpec::Deterministic { cycles } => cycles,
+            DemandSpec::Normal { mean, .. } => mean,
+            DemandSpec::Uniform { lo, hi } => 0.5 * (lo + hi),
+            DemandSpec::Pareto { scale, alpha } => {
+                if alpha > 1.0 {
+                    alpha * scale / (alpha - 1.0)
+                } else {
+                    f64::INFINITY
+                }
+            }
+        }
+    }
+
+    /// The raw variance `Var(Y)`; infinite for a Pareto tail with
+    /// `α ≤ 2`.
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        match *self {
+            DemandSpec::Deterministic { .. } => 0.0,
+            DemandSpec::Normal { variance, .. } => variance,
+            DemandSpec::Uniform { lo, hi } => {
+                let w = hi - lo;
+                w * w / 12.0
+            }
+            DemandSpec::Pareto { scale, alpha } => {
+                if alpha > 2.0 {
+                    scale * scale * alpha / ((alpha - 1.0) * (alpha - 1.0) * (alpha - 2.0))
+                } else {
+                    f64::INFINITY
+                }
+            }
+        }
+    }
+}
+
+/// Raw description of one task: TUF, UAM arrival spec, demand model, and
+/// assurance requirement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskSpec {
+    /// The task's name (diagnostics anchor on it).
+    pub name: String,
+    /// The raw TUF shape.
+    pub tuf: TufSpec,
+    /// The UAM arrival bound `a` — raw, so `0` or `2.5` are
+    /// representable and diagnosable.
+    pub max_arrivals: f64,
+    /// The UAM window `P` in µs.
+    pub window_us: u64,
+    /// The raw demand distribution.
+    pub demand: DemandSpec,
+    /// Required utility fraction ν (critical time solves
+    /// `U(D) ≥ ν·U_max`).
+    pub nu: f64,
+    /// Required timeliness probability ρ (Chebyshev budget).
+    pub rho: f64,
+}
+
+impl TaskSpec {
+    /// Lowers a validated simulator [`Task`] into its raw spec.
+    #[must_use]
+    pub fn from_task(task: &Task) -> Self {
+        TaskSpec {
+            name: task.name().to_string(),
+            tuf: TufSpec::from_tuf(task.tuf()),
+            max_arrivals: f64::from(task.uam().max_arrivals()),
+            window_us: task.uam().window().as_micros(),
+            demand: DemandSpec::from_model(task.demand()),
+            nu: task.assurance().nu(),
+            rho: task.assurance().rho(),
+        }
+    }
+
+    /// The Chebyshev cycle budget `c = E(Y) + sqrt(ρ/(1−ρ)·Var(Y))`, or
+    /// `None` when it is undefined or non-finite (reported separately as
+    /// a `chebyshev-unbounded` diagnostic).
+    #[must_use]
+    pub fn chebyshev_allocation(&self) -> Option<f64> {
+        if !(0.0..1.0).contains(&self.rho) {
+            return None;
+        }
+        let c =
+            self.mean_checked()? + (self.rho / (1.0 - self.rho) * self.variance_checked()?).sqrt();
+        c.is_finite().then_some(c)
+    }
+
+    fn mean_checked(&self) -> Option<f64> {
+        let m = self.demand.mean();
+        (m.is_finite() && m >= 0.0).then_some(m)
+    }
+
+    fn variance_checked(&self) -> Option<f64> {
+        let v = self.demand.variance();
+        (v.is_finite() && v >= 0.0).then_some(v)
+    }
+
+    /// Raises the spec into a validated simulator [`Task`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a constructor error message for any condition the
+    /// validation passes flag; callers run those passes first.
+    pub fn to_task(&self) -> Result<Task, String> {
+        if !self.max_arrivals.is_finite()
+            || self.max_arrivals < 1.0
+            || self.max_arrivals.fract() != 0.0
+            || self.max_arrivals > f64::from(u32::MAX)
+        {
+            return Err(format!(
+                "arrival bound {} is not a positive integer",
+                self.max_arrivals
+            ));
+        }
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let a = self.max_arrivals as u32;
+        let tuf = self.tuf.to_tuf()?;
+        let uam =
+            UamSpec::new(a, TimeDelta::from_micros(self.window_us)).map_err(|e| e.to_string())?;
+        let demand = self.demand.to_model()?;
+        let assurance = Assurance::new(self.nu, self.rho).map_err(|e| e.to_string())?;
+        Task::new(self.name.clone(), tuf, uam, demand, assurance).map_err(|e| e.to_string())
+    }
+}
+
+/// Raw Martin-model energy coefficients, mirroring the paper's Table 2
+/// parameterization: `S1` and `S0` are specified relative to `f_m²` and
+/// `f_m³` respectively.
+///
+/// This deliberately duplicates the constants baked into
+/// [`eua_platform::EnergySetting`] (whose fields are private and
+/// validated): the analyzer must be able to hold *invalid* coefficients
+/// in order to report them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergySpec {
+    /// Display name (`E1`, `E2`, `E3`, or `custom`).
+    pub name: String,
+    /// Cubic (CPU core) power coefficient `S3`.
+    pub s3: f64,
+    /// Quadratic coefficient `S2`.
+    pub s2: f64,
+    /// Linear coefficient as a fraction of `f_m²`.
+    pub s1_rel: f64,
+    /// Constant coefficient as a fraction of `f_m³`.
+    pub s0_rel: f64,
+}
+
+impl EnergySpec {
+    /// Table 2 setting E1: `(S3, S2, S1, S0) = (1, 0, 0, 0)`.
+    #[must_use]
+    pub fn e1() -> Self {
+        EnergySpec {
+            name: "E1".into(),
+            s3: 1.0,
+            s2: 0.0,
+            s1_rel: 0.0,
+            s0_rel: 0.0,
+        }
+    }
+
+    /// Table 2 setting E2: `S1 = 0.1·f_m²`, `S0 = 0.1·f_m³`.
+    #[must_use]
+    pub fn e2() -> Self {
+        EnergySpec {
+            name: "E2".into(),
+            s3: 1.0,
+            s2: 0.0,
+            s1_rel: 0.1,
+            s0_rel: 0.1,
+        }
+    }
+
+    /// Table 2 setting E3: `S1 = 0.5·f_m²`, `S0 = 0.5·f_m³`.
+    #[must_use]
+    pub fn e3() -> Self {
+        EnergySpec {
+            name: "E3".into(),
+            s3: 1.0,
+            s2: 0.0,
+            s1_rel: 0.5,
+            s0_rel: 0.5,
+        }
+    }
+
+    /// Whether every coefficient is finite and non-negative.
+    #[must_use]
+    pub fn is_valid(&self) -> bool {
+        [self.s3, self.s2, self.s1_rel, self.s0_rel]
+            .iter()
+            .all(|v| v.is_finite() && *v >= 0.0)
+    }
+
+    /// Energy per cycle at `f_mhz` with the static terms bound to
+    /// `f_max_mhz`: `E(f) = S3·f² + S2·f + S1 + S0/f`.
+    #[must_use]
+    pub fn energy_per_cycle(&self, f_mhz: f64, f_max_mhz: f64) -> f64 {
+        let s1 = self.s1_rel * f_max_mhz * f_max_mhz;
+        let s0 = self.s0_rel * f_max_mhz * f_max_mhz * f_max_mhz;
+        self.s3 * f_mhz * f_mhz + self.s2 * f_mhz + s1 + s0 / f_mhz
+    }
+
+    /// The continuous energy-optimal speed (the knee of `E(f)`), found
+    /// from `E'(f) = 2·S3·f + S2 − S0/f² = 0`.
+    ///
+    /// Returns `0` when `S0 = 0` (slower is always cheaper) and infinity
+    /// when `S3 = S2 = 0 < S0` (faster is always cheaper).
+    #[must_use]
+    pub fn optimal_speed_mhz(&self, f_max_mhz: f64) -> f64 {
+        let s0 = self.s0_rel * f_max_mhz * f_max_mhz * f_max_mhz;
+        if s0 == 0.0 {
+            return 0.0;
+        }
+        if self.s3 == 0.0 && self.s2 == 0.0 {
+            return f64::INFINITY;
+        }
+        // E'(f) is strictly increasing for f > 0, so bisect it.
+        let (mut lo, mut hi) = (1e-9, f_max_mhz.max(1.0) * 100.0);
+        let deriv = |f: f64| 2.0 * self.s3 * f + self.s2 - s0 / (f * f);
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if deriv(mid) < 0.0 {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+}
+
+/// A complete raw scenario: platform frequencies, energy model, and
+/// tasks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// The scenario's name (from the `scenario` line or the caller).
+    pub name: String,
+    /// Available discrete frequencies in MHz, in declaration order.
+    pub frequencies_mhz: Vec<u64>,
+    /// The raw energy model.
+    pub energy: EnergySpec,
+    /// The raw tasks.
+    pub tasks: Vec<TaskSpec>,
+}
+
+impl ScenarioSpec {
+    /// Lowers validated simulator types into a spec, for analyzing
+    /// workloads that already exist as a [`TaskSet`].
+    #[must_use]
+    pub fn from_task_set(
+        name: impl Into<String>,
+        tasks: &TaskSet,
+        table: &FrequencyTable,
+        energy: EnergySpec,
+    ) -> Self {
+        ScenarioSpec {
+            name: name.into(),
+            frequencies_mhz: table.iter().map(|f| f.as_f64() as u64).collect(),
+            energy,
+            tasks: tasks.iter().map(|(_, t)| TaskSpec::from_task(t)).collect(),
+        }
+    }
+
+    /// The table's maximum frequency in MHz, ignoring ordering problems
+    /// (so the energy pass can still run on an unsorted table).
+    #[must_use]
+    pub fn f_max_mhz(&self) -> Option<u64> {
+        self.frequencies_mhz
+            .iter()
+            .copied()
+            .max()
+            .filter(|&f| f > 0)
+    }
+
+    /// Parses the line-based `.scn` scenario format.
+    ///
+    /// ```text
+    /// # comment
+    /// scenario radar-demo
+    /// frequencies 36 55 64 73 82 91 100
+    /// energy E3                      # or: energy custom S3 S2 S1rel S0rel
+    /// task track
+    ///   tuf step 10 10000            # umax, deadline µs
+    ///   uam 2 10000                  # a, window µs
+    ///   demand normal 150000 150000  # also: det c | uniform lo hi | pareto scale alpha
+    ///   assurance 1.0 0.96           # nu, rho
+    /// end
+    /// ```
+    ///
+    /// TUF forms: `step umax deadline_us`, `linear umax termination_us`,
+    /// `exp umax tau_us termination_us`, `piecewise t:u t:u …`.
+    ///
+    /// Structural problems (unknown keywords, missing stanza fields) are
+    /// [`ParseError`]s; *semantic* problems (ν out of range, overload)
+    /// are left for the passes to diagnose.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] with the 1-based offending line.
+    pub fn parse(text: &str) -> Result<Self, ParseError> {
+        Parser::new(text).run()
+    }
+}
+
+/// A structural error in a scenario file, with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line the error was detected on.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+/// Internal line-based parser state.
+struct Parser<'a> {
+    lines: Vec<(usize, &'a str)>,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        let lines = text
+            .lines()
+            .enumerate()
+            .map(|(i, l)| {
+                let body = l.split('#').next().unwrap_or("").trim();
+                (i + 1, body)
+            })
+            .filter(|(_, body)| !body.is_empty())
+            .collect();
+        Parser { lines, pos: 0 }
+    }
+
+    fn err(line: usize, message: impl Into<String>) -> ParseError {
+        ParseError {
+            line,
+            message: message.into(),
+        }
+    }
+
+    fn run(mut self) -> Result<ScenarioSpec, ParseError> {
+        let mut name: Option<String> = None;
+        let mut frequencies: Vec<u64> = Vec::new();
+        let mut energy = EnergySpec::e1();
+        let mut tasks = Vec::new();
+
+        while self.pos < self.lines.len() {
+            let (line, body) = self.lines[self.pos];
+            self.pos += 1;
+            let mut words = body.split_whitespace();
+            let keyword = words.next().unwrap_or("");
+            let rest: Vec<&str> = words.collect();
+            match keyword {
+                "scenario" => {
+                    if name.is_some() {
+                        return Err(Self::err(line, "duplicate `scenario` line"));
+                    }
+                    if rest.is_empty() {
+                        return Err(Self::err(line, "`scenario` needs a name"));
+                    }
+                    name = Some(rest.join(" "));
+                }
+                "frequencies" => {
+                    if rest.is_empty() {
+                        return Err(Self::err(line, "`frequencies` needs at least one value"));
+                    }
+                    for w in &rest {
+                        frequencies.push(parse_u64(line, "frequency", w)?);
+                    }
+                }
+                "energy" => {
+                    energy = Self::parse_energy(line, &rest)?;
+                }
+                "task" => {
+                    if rest.is_empty() {
+                        return Err(Self::err(line, "`task` needs a name"));
+                    }
+                    tasks.push(self.parse_task(line, rest.join(" "))?);
+                }
+                other => {
+                    return Err(Self::err(line, format!("unknown keyword `{other}`")));
+                }
+            }
+        }
+
+        Ok(ScenarioSpec {
+            name: name.unwrap_or_else(|| "unnamed".into()),
+            frequencies_mhz: frequencies,
+            energy,
+            tasks,
+        })
+    }
+
+    fn parse_energy(line: usize, rest: &[&str]) -> Result<EnergySpec, ParseError> {
+        match rest {
+            ["E1"] | ["e1"] => Ok(EnergySpec::e1()),
+            ["E2"] | ["e2"] => Ok(EnergySpec::e2()),
+            ["E3"] | ["e3"] => Ok(EnergySpec::e3()),
+            ["custom", s3, s2, s1, s0] => Ok(EnergySpec {
+                name: "custom".into(),
+                s3: parse_f64(line, "S3", s3)?,
+                s2: parse_f64(line, "S2", s2)?,
+                s1_rel: parse_f64(line, "S1rel", s1)?,
+                s0_rel: parse_f64(line, "S0rel", s0)?,
+            }),
+            _ => Err(Self::err(
+                line,
+                "expected `energy E1|E2|E3` or `energy custom S3 S2 S1rel S0rel`",
+            )),
+        }
+    }
+
+    fn parse_task(&mut self, task_line: usize, name: String) -> Result<TaskSpec, ParseError> {
+        let mut tuf: Option<TufSpec> = None;
+        let mut uam: Option<(f64, u64)> = None;
+        let mut demand: Option<DemandSpec> = None;
+        let mut assurance: Option<(f64, f64)> = None;
+
+        loop {
+            let Some(&(line, body)) = self.lines.get(self.pos) else {
+                return Err(Self::err(
+                    task_line,
+                    format!("task `{name}` is missing its `end`"),
+                ));
+            };
+            self.pos += 1;
+            let mut words = body.split_whitespace();
+            let keyword = words.next().unwrap_or("");
+            let rest: Vec<&str> = words.collect();
+            match keyword {
+                "end" => break,
+                "tuf" => tuf = Some(Self::parse_tuf(line, &rest)?),
+                "uam" => match rest.as_slice() {
+                    [a, window] => {
+                        uam = Some((parse_f64(line, "a", a)?, parse_u64(line, "window", window)?));
+                    }
+                    _ => return Err(Self::err(line, "expected `uam <a> <window_us>`")),
+                },
+                "demand" => demand = Some(Self::parse_demand(line, &rest)?),
+                "assurance" => match rest.as_slice() {
+                    [nu, rho] => {
+                        assurance =
+                            Some((parse_f64(line, "nu", nu)?, parse_f64(line, "rho", rho)?));
+                    }
+                    _ => return Err(Self::err(line, "expected `assurance <nu> <rho>`")),
+                },
+                other => {
+                    return Err(Self::err(line, format!("unknown task keyword `{other}`")));
+                }
+            }
+        }
+
+        let tuf =
+            tuf.ok_or_else(|| Self::err(task_line, format!("task `{name}` has no `tuf` line")))?;
+        let (max_arrivals, window_us) =
+            uam.ok_or_else(|| Self::err(task_line, format!("task `{name}` has no `uam` line")))?;
+        let demand = demand
+            .ok_or_else(|| Self::err(task_line, format!("task `{name}` has no `demand` line")))?;
+        let (nu, rho) = assurance.ok_or_else(|| {
+            Self::err(task_line, format!("task `{name}` has no `assurance` line"))
+        })?;
+        Ok(TaskSpec {
+            name,
+            tuf,
+            max_arrivals,
+            window_us,
+            demand,
+            nu,
+            rho,
+        })
+    }
+
+    fn parse_tuf(line: usize, rest: &[&str]) -> Result<TufSpec, ParseError> {
+        match rest {
+            ["step", umax, deadline] => {
+                let d = parse_u64(line, "deadline", deadline)?;
+                Ok(TufSpec::Step {
+                    umax: parse_f64(line, "umax", umax)?,
+                    step_at_us: d,
+                    termination_us: d,
+                })
+            }
+            ["linear", umax, termination] => Ok(TufSpec::Linear {
+                umax: parse_f64(line, "umax", umax)?,
+                termination_us: parse_u64(line, "termination", termination)?,
+            }),
+            ["exp", umax, tau, termination] => Ok(TufSpec::Exponential {
+                umax: parse_f64(line, "umax", umax)?,
+                tau_us: parse_u64(line, "tau", tau)?,
+                termination_us: parse_u64(line, "termination", termination)?,
+            }),
+            ["piecewise", points @ ..] if !points.is_empty() => {
+                let mut parsed = Vec::with_capacity(points.len());
+                for p in points {
+                    let Some((t, u)) = p.split_once(':') else {
+                        return Err(Self::err(line, format!("breakpoint `{p}` is not `time:utility`")));
+                    };
+                    parsed.push((parse_u64(line, "time", t)?, parse_f64(line, "utility", u)?));
+                }
+                Ok(TufSpec::Piecewise { points: parsed })
+            }
+            _ => Err(Self::err(
+                line,
+                "expected `tuf step u d` | `tuf linear u x` | `tuf exp u tau x` | `tuf piecewise t:u ...`",
+            )),
+        }
+    }
+
+    fn parse_demand(line: usize, rest: &[&str]) -> Result<DemandSpec, ParseError> {
+        match rest {
+            ["det", c] => Ok(DemandSpec::Deterministic { cycles: parse_f64(line, "cycles", c)? }),
+            ["normal", mean, var] => Ok(DemandSpec::Normal {
+                mean: parse_f64(line, "mean", mean)?,
+                variance: parse_f64(line, "variance", var)?,
+            }),
+            ["uniform", lo, hi] => Ok(DemandSpec::Uniform {
+                lo: parse_f64(line, "lo", lo)?,
+                hi: parse_f64(line, "hi", hi)?,
+            }),
+            ["pareto", scale, alpha] => Ok(DemandSpec::Pareto {
+                scale: parse_f64(line, "scale", scale)?,
+                alpha: parse_f64(line, "alpha", alpha)?,
+            }),
+            _ => Err(Self::err(
+                line,
+                "expected `demand det c` | `demand normal m v` | `demand uniform lo hi` | `demand pareto s a`",
+            )),
+        }
+    }
+}
+
+fn parse_f64(line: usize, what: &str, word: &str) -> Result<f64, ParseError> {
+    word.parse()
+        .map_err(|_| Parser::err(line, format!("{what} `{word}` is not a number")))
+}
+
+fn parse_u64(line: usize, what: &str, word: &str) -> Result<u64, ParseError> {
+    word.parse().map_err(|_| {
+        Parser::err(
+            line,
+            format!("{what} `{word}` is not a non-negative integer"),
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const VALID: &str = "\
+# demo scenario
+scenario demo
+frequencies 36 55 64 73 82 91 100
+energy E2
+task track
+  tuf step 10 10000
+  uam 2 10000
+  demand normal 150000 150000
+  assurance 1.0 0.96
+end
+task decay
+  tuf exp 40 3000 20000
+  uam 3 30000
+  demand uniform 100000 300000
+  assurance 0.4 0.9
+end
+";
+
+    #[test]
+    fn parses_a_valid_scenario() {
+        let s = ScenarioSpec::parse(VALID).expect("parses");
+        assert_eq!(s.name, "demo");
+        assert_eq!(s.frequencies_mhz, vec![36, 55, 64, 73, 82, 91, 100]);
+        assert_eq!(s.energy.name, "E2");
+        assert_eq!(s.tasks.len(), 2);
+        assert_eq!(s.tasks[0].name, "track");
+        assert_eq!(s.tasks[0].max_arrivals, 2.0);
+        assert_eq!(s.tasks[1].tuf.shape_name(), "exponential");
+    }
+
+    #[test]
+    fn reports_unknown_keyword_with_line() {
+        let e = ScenarioSpec::parse("scenario x\nbogus 1 2\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("bogus"));
+    }
+
+    #[test]
+    fn reports_missing_stanza_field() {
+        let text = "task t\n  tuf step 1 100\n  uam 1 100\n  demand det 10\nend\n";
+        let e = ScenarioSpec::parse(text).unwrap_err();
+        assert!(e.message.contains("assurance"), "{}", e.message);
+    }
+
+    #[test]
+    fn reports_missing_end() {
+        let e = ScenarioSpec::parse("task t\n  tuf step 1 100\n").unwrap_err();
+        assert!(e.message.contains("end"));
+    }
+
+    #[test]
+    fn task_round_trips_through_spec() {
+        let task = Task::new(
+            "t",
+            Tuf::step(10.0, TimeDelta::from_micros(10_000)).expect("tuf"),
+            UamSpec::new(2, TimeDelta::from_micros(10_000)).expect("uam"),
+            DemandModel::normal(150_000.0, 150_000.0).expect("demand"),
+            Assurance::new(1.0, 0.96).expect("assurance"),
+        )
+        .expect("task");
+        let spec = TaskSpec::from_task(&task);
+        let back = spec.to_task().expect("round-trip");
+        assert_eq!(back.name(), task.name());
+        assert_eq!(back.allocation(), task.allocation());
+        assert_eq!(back.critical_offset(), task.critical_offset());
+    }
+
+    #[test]
+    fn chebyshev_allocation_matches_library() {
+        let spec = TaskSpec {
+            name: "t".into(),
+            tuf: TufSpec::Step {
+                umax: 1.0,
+                step_at_us: 1_000,
+                termination_us: 1_000,
+            },
+            max_arrivals: 1.0,
+            window_us: 1_000,
+            demand: DemandSpec::Normal {
+                mean: 100.0,
+                variance: 400.0,
+            },
+            nu: 1.0,
+            rho: 0.96,
+        };
+        let c = spec.chebyshev_allocation().expect("finite");
+        let expected = 100.0 + (0.96f64 / 0.04 * 400.0).sqrt();
+        assert!((c - expected).abs() < 1e-9);
+        let task = spec.to_task().expect("valid");
+        assert!((task.allocation().get() as f64 - c).abs() <= 1.0);
+    }
+
+    #[test]
+    fn pareto_heavy_tail_has_no_allocation() {
+        let spec = TaskSpec {
+            name: "t".into(),
+            tuf: TufSpec::Step {
+                umax: 1.0,
+                step_at_us: 1_000,
+                termination_us: 1_000,
+            },
+            max_arrivals: 1.0,
+            window_us: 1_000,
+            demand: DemandSpec::Pareto {
+                scale: 100.0,
+                alpha: 1.5,
+            },
+            nu: 1.0,
+            rho: 0.9,
+        };
+        assert_eq!(spec.chebyshev_allocation(), None);
+    }
+
+    #[test]
+    fn energy_knee_matches_closed_form() {
+        // With S2 = 0 the knee is (S0 / 2S3)^(1/3).
+        let e3 = EnergySpec::e3();
+        let knee = e3.optimal_speed_mhz(100.0);
+        let closed = (0.5f64 * 100.0 * 100.0 * 100.0 / 2.0).cbrt();
+        assert!((knee - closed).abs() < 1e-3, "{knee} vs {closed}");
+        assert_eq!(EnergySpec::e1().optimal_speed_mhz(100.0), 0.0);
+    }
+}

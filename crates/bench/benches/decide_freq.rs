@@ -4,9 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use eua_core::LookAheadDvs;
 use eua_platform::{Cycles, EnergySetting, SimTime, TimeDelta};
-use eua_sim::{
-    JobId, JobView, Platform, SchedContext, SchedEvent, Task, TaskSet,
-};
+use eua_sim::{JobId, JobView, Platform, SchedContext, SchedEvent, Task, TaskSet};
 use eua_tuf::Tuf;
 use eua_uam::demand::DemandModel;
 use eua_uam::{Assurance, UamSpec};

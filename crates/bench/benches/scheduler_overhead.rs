@@ -8,9 +8,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use eua_core::make_policy;
 use eua_platform::{Cycles, EnergySetting, SimTime, TimeDelta};
-use eua_sim::{
-    JobId, JobView, Platform, SchedContext, SchedEvent, Task, TaskSet,
-};
+use eua_sim::{JobId, JobView, Platform, SchedContext, SchedEvent, Task, TaskSet};
 use eua_tuf::Tuf;
 use eua_uam::demand::DemandModel;
 use eua_uam::{Assurance, UamSpec};
@@ -40,10 +38,8 @@ fn job_views(tasks: &TaskSet) -> Vec<JobView> {
             id: JobId(i as u64),
             task: tid,
             arrival: SimTime::from_micros(13 * i as u64),
-            critical_time: SimTime::from_micros(13 * i as u64)
-                + task.critical_offset(),
-            termination: SimTime::from_micros(13 * i as u64)
-                + task.termination_offset(),
+            critical_time: SimTime::from_micros(13 * i as u64) + task.critical_offset(),
+            termination: SimTime::from_micros(13 * i as u64) + task.termination_offset(),
             remaining: Cycles::new(50_000 + 1_000 * i as u64),
             executed: Cycles::ZERO,
         })
@@ -58,24 +54,20 @@ fn bench_decide(c: &mut Criterion) {
         let jobs = job_views(&tasks);
         for policy_name in ["eua", "edf", "laedf", "dasa"] {
             let mut policy = make_policy(policy_name).unwrap();
-            group.bench_with_input(
-                BenchmarkId::new(policy_name, n),
-                &n,
-                |b, _| {
-                    b.iter(|| {
-                        let ctx = SchedContext {
-                            now: SimTime::from_micros(1),
-                            event: SchedEvent::Arrival,
-                            jobs: &jobs,
-                            tasks: &tasks,
-                            platform: &platform,
-                            running: None,
-                            energy_used: 0.0,
-                        };
-                        std::hint::black_box(policy.decide(&ctx))
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(policy_name, n), &n, |b, _| {
+                b.iter(|| {
+                    let ctx = SchedContext {
+                        now: SimTime::from_micros(1),
+                        event: SchedEvent::Arrival,
+                        jobs: &jobs,
+                        tasks: &tasks,
+                        platform: &platform,
+                        running: None,
+                        energy_used: 0.0,
+                    };
+                    std::hint::black_box(policy.decide(&ctx))
+                });
+            });
         }
     }
     group.finish();

@@ -33,7 +33,11 @@ fn main() {
         .position(|a| a == "--csv-dir")
         .and_then(|i| args.get(i + 1))
         .map(PathBuf::from);
-    let config = if quick { ExperimentConfig::quick() } else { ExperimentConfig::standard() };
+    let config = if quick {
+        ExperimentConfig::quick()
+    } else {
+        ExperimentConfig::standard()
+    };
 
     // --- Ablations 1–3: policy variants across loads, E3. ---
     let platform = Platform::powernow(EnergySetting::e3());
@@ -46,8 +50,10 @@ fn main() {
     );
     for load in [0.3, 0.6, 0.9, 1.2, 1.5] {
         let w = fig2_workload(load, WORKLOAD_SEED, platform.f_max()).expect("workload");
-        let cells: Vec<_> =
-            variants.iter().map(|v| run_cell(v, &w, &platform, &config)).collect();
+        let cells: Vec<_> = variants
+            .iter()
+            .map(|v| run_cell(v, &w, &platform, &config))
+            .collect();
         let base = &cells[0];
         let mut row = vec![format!("{load:.1}")];
         for c in &cells {
@@ -123,15 +129,16 @@ fn main() {
         ("ideal (paper model)", SimConfig::new(horizon)),
         (
             "ctx switch 100us",
-            SimConfig::new(horizon)
-                .with_context_switch_overhead(TimeDelta::from_micros(100)),
+            SimConfig::new(horizon).with_context_switch_overhead(TimeDelta::from_micros(100)),
         ),
         (
             "freq switch 200us",
-            SimConfig::new(horizon)
-                .with_frequency_switch_overhead(TimeDelta::from_micros(200)),
+            SimConfig::new(horizon).with_frequency_switch_overhead(TimeDelta::from_micros(200)),
         ),
-        ("idle power 2000/us", SimConfig::new(horizon).with_idle_power(2_000.0)),
+        (
+            "idle power 2000/us",
+            SimConfig::new(horizon).with_idle_power(2_000.0),
+        ),
     ];
     for (label, sim) in scenarios {
         let eua = run("eua", &sim);

@@ -27,7 +27,11 @@ fn main() {
         .position(|a| a == "--csv-dir")
         .and_then(|i| args.get(i + 1))
         .map(PathBuf::from);
-    let config = if quick { ExperimentConfig::quick() } else { ExperimentConfig::standard() };
+    let config = if quick {
+        ExperimentConfig::quick()
+    } else {
+        ExperimentConfig::standard()
+    };
     let platform = Platform::powernow(EnergySetting::e1());
     let sim_config = SimConfig::new(config.horizon);
 
@@ -38,8 +42,7 @@ fn main() {
         "completed-frac".into(),
     ]);
     for load in [0.5, 0.8] {
-        let workload =
-            fig2_workload(load, WORKLOAD_SEED, platform.f_max()).expect("workload");
+        let workload = fig2_workload(load, WORKLOAD_SEED, platform.f_max()).expect("workload");
         // Baseline: unconstrained EUA* on the same seeds.
         let mut base_utility = 0.0;
         let mut base_energy = 0.0;
@@ -60,7 +63,12 @@ fn main() {
             base_completed += m.jobs_completed() as f64;
         }
 
-        table.push(vec![format!("load={load}"), String::new(), String::new(), String::new()]);
+        table.push(vec![
+            format!("load={load}"),
+            String::new(),
+            String::new(),
+            String::new(),
+        ]);
         for frac in [0.1, 0.25, 0.5, 0.75, 1.0, 1.2] {
             let mut utility = 0.0;
             let mut energy = 0.0;

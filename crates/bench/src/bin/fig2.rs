@@ -61,7 +61,11 @@ fn main() {
         println!();
     }
 
-    let config = if quick { ExperimentConfig::quick() } else { ExperimentConfig::standard() };
+    let config = if quick {
+        ExperimentConfig::quick()
+    } else {
+        ExperimentConfig::standard()
+    };
 
     for setting in settings {
         let platform = Platform::powernow(setting);
@@ -73,16 +77,22 @@ fn main() {
             header.push(format!("energy({p})"));
         }
         let mut table = Table::new(header);
-        let mut util_series: Vec<Series> =
-            POLICIES.iter().map(|p| Series::new(*p, Vec::new())).collect();
-        let mut energy_series: Vec<Series> =
-            POLICIES.iter().map(|p| Series::new(*p, Vec::new())).collect();
+        let mut util_series: Vec<Series> = POLICIES
+            .iter()
+            .map(|p| Series::new(*p, Vec::new()))
+            .collect();
+        let mut energy_series: Vec<Series> = POLICIES
+            .iter()
+            .map(|p| Series::new(*p, Vec::new()))
+            .collect();
 
         for load in loads() {
-            let workload = fig2_workload(load, WORKLOAD_SEED, platform.f_max())
-                .expect("workload synthesis");
-            let cells: Vec<_> =
-                POLICIES.iter().map(|p| run_cell(p, &workload, &platform, &config)).collect();
+            let workload =
+                fig2_workload(load, WORKLOAD_SEED, platform.f_max()).expect("workload synthesis");
+            let cells: Vec<_> = POLICIES
+                .iter()
+                .map(|p| run_cell(p, &workload, &platform, &config))
+                .collect();
             let base = cells
                 .iter()
                 .find(|c| c.policy == BASELINE)

@@ -31,7 +31,11 @@ fn main() {
         .position(|a| a == "--csv-dir")
         .and_then(|i| args.get(i + 1))
         .map(PathBuf::from);
-    let config = if quick { ExperimentConfig::quick() } else { ExperimentConfig::standard() };
+    let config = if quick {
+        ExperimentConfig::quick()
+    } else {
+        ExperimentConfig::standard()
+    };
     let platform = Platform::powernow(EnergySetting::e1());
 
     let mut table = Table::new(vec![
@@ -40,8 +44,9 @@ fn main() {
         "E, <2,P>".into(),
         "E, <3,P>".into(),
     ]);
-    let mut series: Vec<Series> =
-        (1..=3u32).map(|a| Series::new(format!("<{a},P>"), Vec::new())).collect();
+    let mut series: Vec<Series> = (1..=3u32)
+        .map(|a| Series::new(format!("<{a},P>"), Vec::new()))
+        .collect();
     for load in loads() {
         let mut row = vec![format!("{load:.1}")];
         for a in 1..=3u32 {

@@ -14,9 +14,9 @@
 //!
 //! Usage: `cargo run -p eua-bench --bin theorems [--quick]`
 
-use eua_core::{Eua, EdfPolicy};
+use eua_core::{EdfPolicy, Eua};
 use eua_platform::{EnergySetting, TimeDelta};
-use eua_sim::{Engine, Platform, SimConfig, SchedulerPolicy};
+use eua_sim::{Engine, Platform, SchedulerPolicy, SimConfig};
 use eua_workload::{fig3_workload, theorem_workload, Workload};
 
 fn check(label: &str, ok: bool, detail: String) -> bool {
@@ -32,14 +32,24 @@ fn run(
     seed: u64,
 ) -> eua_sim::Outcome {
     let config = SimConfig::new(horizon).with_trace();
-    Engine::run(&workload.tasks, &workload.patterns, platform, policy, &config, seed)
-        .expect("simulation failed")
+    Engine::run(
+        &workload.tasks,
+        &workload.patterns,
+        platform,
+        policy,
+        &config,
+        seed,
+    )
+    .expect("simulation failed")
 }
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let horizon =
-        if quick { TimeDelta::from_secs(5) } else { TimeDelta::from_secs(20) };
+    let horizon = if quick {
+        TimeDelta::from_secs(5)
+    } else {
+        TimeDelta::from_secs(20)
+    };
     let platform = Platform::powernow(EnergySetting::e1());
     let mut all_ok = true;
 
@@ -59,7 +69,11 @@ fn main() {
             format!("{} vs {} dispatches", seq_edf.len(), seq_eua.len()),
         );
         let du = (edf.metrics.total_utility - eua_fm.metrics.total_utility).abs();
-        all_ok &= check("Theorem 2 (utility)", du < 1e-6, format!("|Δutility| = {du:.2e}"));
+        all_ok &= check(
+            "Theorem 2 (utility)",
+            du < 1e-6,
+            format!("|Δutility| = {du:.2e}"),
+        );
         let du_dvs = (edf.metrics.total_utility - eua.metrics.total_utility).abs();
         all_ok &= check(
             "Theorem 2 (utility, with DVS)",
@@ -74,7 +88,11 @@ fn main() {
             .iter()
             .map(|t| t.completed - t.critical_met + t.aborted_by_termination + t.aborted_by_policy)
             .sum();
-        all_ok &= check("Corollary 3 (critical times)", misses == 0, format!("{misses} misses"));
+        all_ok &= check(
+            "Corollary 3 (critical times)",
+            misses == 0,
+            format!("{misses} misses"),
+        );
 
         // Corollary 4: max lateness no worse than EDF's.
         let l_eua = eua_fm.metrics.max_lateness_us();

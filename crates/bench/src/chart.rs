@@ -16,7 +16,10 @@ impl Series {
     /// Creates a series.
     #[must_use]
     pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
-        Series { label: label.into(), points }
+        Series {
+            label: label.into(),
+            points,
+        }
     }
 }
 
@@ -73,7 +76,11 @@ pub fn render_chart(series: &[Series], width: usize, height: usize) -> String {
             let row = height - 1 - row_from_bottom.min(height - 1);
             let cell = &mut grid[row][col.min(width - 1)];
             // Overlapping series show a '*'.
-            *cell = if *cell == b' ' || *cell == marker { marker } else { b'*' };
+            *cell = if *cell == b' ' || *cell == marker {
+                marker
+            } else {
+                b'*'
+            };
         }
     }
     let mut out = String::new();
@@ -82,16 +89,28 @@ pub fn render_chart(series: &[Series], width: usize, height: usize) -> String {
         let _ = writeln!(out, "{:>10} │{}", "", String::from_utf8_lossy(row));
     }
     let _ = writeln!(out, "{y_min:>10.3} ┴{}", "─".repeat(width));
-    let _ = writeln!(out, "{:>11}{x_min:<.2}{:>pad$}{x_max:.2}", "", "", pad = width.saturating_sub(8));
+    let _ = writeln!(
+        out,
+        "{:>11}{x_min:<.2}{:>pad$}{x_max:.2}",
+        "",
+        "",
+        pad = width.saturating_sub(8)
+    );
     for (si, s) in series.iter().enumerate() {
-        let _ = writeln!(out, "{:>12} = {}", MARKERS[si % MARKERS.len()] as char, s.label);
+        let _ = writeln!(
+            out,
+            "{:>12} = {}",
+            MARKERS[si % MARKERS.len()] as char,
+            s.label
+        );
     }
     out
 }
 
 /// Colors assigned to series in SVG output, cycling.
-const SVG_COLORS: &[&str] =
-    &["#1f77b4", "#d62728", "#2ca02c", "#ff7f0e", "#9467bd", "#8c564b", "#17becf"];
+const SVG_COLORS: &[&str] = &[
+    "#1f77b4", "#d62728", "#2ca02c", "#ff7f0e", "#9467bd", "#8c564b", "#17becf",
+];
 
 /// Renders series as a standalone SVG line chart (600×360, with axes,
 /// ticks, and a legend) — the file-output twin of [`render_chart`].
@@ -159,7 +178,11 @@ pub fn render_svg(series: &[Series], title: &str, x_label: &str, y_label: &str) 
         W - MR,
         H - MB
     );
-    let _ = write!(out, r#"<line x1="{ML}" y1="{MT}" x2="{ML}" y2="{}" stroke="black"/>"#, H - MB);
+    let _ = write!(
+        out,
+        r#"<line x1="{ML}" y1="{MT}" x2="{ML}" y2="{}" stroke="black"/>"#,
+        H - MB
+    );
     // Ticks (5 per axis).
     for i in 0..=4 {
         let fx = x_min + (x_max - x_min) * f64::from(i) / 4.0;
@@ -217,7 +240,10 @@ pub fn render_svg(series: &[Series], title: &str, x_label: &str, y_label: &str) 
         }
         for p in &pts {
             let (px, py) = p.split_once(',').expect("formatted above");
-            let _ = write!(out, r#"<circle cx="{px}" cy="{py}" r="2.5" fill="{color}"/>"#);
+            let _ = write!(
+                out,
+                r#"<circle cx="{px}" cy="{py}" r="2.5" fill="{color}"/>"#
+            );
         }
         // Legend entry.
         let ly = MT + 16.0 * si as f64;
@@ -240,7 +266,9 @@ pub fn render_svg(series: &[Series], title: &str, x_label: &str, y_label: &str) 
 }
 
 fn escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]
@@ -277,7 +305,10 @@ mod tests {
         let s1 = Series::new("x", vec![(0.0, 0.0), (1.0, 1.0)]);
         let s2 = Series::new("y", vec![(0.0, 0.0), (1.0, 0.5)]);
         let art = render_chart(&[s1, s2], 16, 6);
-        assert!(art.contains('*'), "overlapping origin should render '*':\n{art}");
+        assert!(
+            art.contains('*'),
+            "overlapping origin should render '*':\n{art}"
+        );
     }
 
     #[test]

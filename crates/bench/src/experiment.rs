@@ -21,13 +21,19 @@ impl ExperimentConfig {
     /// several times.
     #[must_use]
     pub fn standard() -> Self {
-        ExperimentConfig { horizon: TimeDelta::from_secs(20), seeds: vec![11, 23, 47] }
+        ExperimentConfig {
+            horizon: TimeDelta::from_secs(20),
+            seeds: vec![11, 23, 47],
+        }
     }
 
     /// A fast configuration for smoke tests.
     #[must_use]
     pub fn quick() -> Self {
-        ExperimentConfig { horizon: TimeDelta::from_secs(5), seeds: vec![11] }
+        ExperimentConfig {
+            horizon: TimeDelta::from_secs(5),
+            seeds: vec![11],
+        }
     }
 }
 

@@ -28,7 +28,10 @@ impl Table {
     /// Creates a table with the given header.
     #[must_use]
     pub fn new(header: Vec<String>) -> Self {
-        Table { header, rows: Vec::new() }
+        Table {
+            header,
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row.
@@ -87,7 +90,14 @@ impl Table {
                 s.to_string()
             }
         };
-        out.push_str(&self.header.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        out.push_str(
+            &self
+                .header
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));

@@ -92,8 +92,7 @@ pub fn brh_schedulable(tasks: &TaskSet, f: Frequency) -> bool {
         .iter()
         .map(|(_, t)| {
             let u = t.window_demand().as_f64() / t.uam().window().as_micros() as f64;
-            (t.uam().window().as_micros() as f64 - t.critical_offset().as_micros() as f64)
-                .max(0.0)
+            (t.uam().window().as_micros() as f64 - t.critical_offset().as_micros() as f64).max(0.0)
                 * u
         })
         .sum();
@@ -163,9 +162,11 @@ mod tests {
 
     #[test]
     fn sufficient_speed_sums_window_densities() {
-        let tasks =
-            TaskSet::new(vec![step_task(10, 2, 100_000.0), step_task(20, 1, 400_000.0)])
-                .unwrap();
+        let tasks = TaskSet::new(vec![
+            step_task(10, 2, 100_000.0),
+            step_task(20, 1, 400_000.0),
+        ])
+        .unwrap();
         // 200k/10ms + 400k/20ms = 20 + 20 = 40 cycles/µs.
         assert!((sufficient_speed(&tasks) - 40.0).abs() < 1e-9);
     }
@@ -181,9 +182,11 @@ mod tests {
 
     #[test]
     fn underloaded_implicit_deadline_set_is_schedulable() {
-        let tasks =
-            TaskSet::new(vec![step_task(10, 1, 300_000.0), step_task(25, 1, 500_000.0)])
-                .unwrap();
+        let tasks = TaskSet::new(vec![
+            step_task(10, 1, 300_000.0),
+            step_task(25, 1, 500_000.0),
+        ])
+        .unwrap();
         assert!(brh_schedulable(&tasks, Frequency::from_mhz(100)));
         // At half speed (utilization 50+20=50... at 50 MHz the utilization
         // is exactly the capacity boundary): still schedulable.
@@ -224,12 +227,13 @@ mod tests {
         use eua_sim::{Engine, Platform, SimConfig};
         use eua_uam::generator::ArrivalPattern;
 
-        let tasks =
-            TaskSet::new(vec![step_task(10, 2, 100_000.0), step_task(40, 1, 800_000.0)])
-                .unwrap();
+        let tasks = TaskSet::new(vec![
+            step_task(10, 2, 100_000.0),
+            step_task(40, 1, 800_000.0),
+        ])
+        .unwrap();
         let speed = sufficient_speed(&tasks).ceil() as u64;
-        let platform =
-            Platform::new(FrequencyTable::fixed(speed), EnergySetting::e1());
+        let platform = Platform::new(FrequencyTable::fixed(speed), EnergySetting::e1());
         let patterns = vec![
             ArrivalPattern::window_burst(*tasks.task(eua_sim::TaskId(0)).uam()).unwrap(),
             ArrivalPattern::periodic(ms(40)).unwrap(),

@@ -64,7 +64,10 @@ impl BudgetedEua {
     #[must_use]
     pub fn with_options(budget: f64, options: EuaOptions) -> Self {
         assert!(budget >= 0.0, "energy budget must be non-negative");
-        BudgetedEua { inner: Eua::with_options(options), budget }
+        BudgetedEua {
+            inner: Eua::with_options(options),
+            budget,
+        }
     }
 
     /// The configured energy budget.
@@ -75,10 +78,7 @@ impl BudgetedEua {
 
     /// The cheapest frequency at which `job` still meets its termination
     /// time, with the energy that choice would cost.
-    fn cheapest_feasible(
-        ctx: &SchedContext<'_>,
-        job: &JobView,
-    ) -> Option<(Frequency, f64)> {
+    fn cheapest_feasible(ctx: &SchedContext<'_>, job: &JobView) -> Option<(Frequency, f64)> {
         let mut best: Option<(Frequency, f64)> = None;
         for f in ctx.platform.table().iter() {
             let done = ctx.now.saturating_add(f.execution_time(job.remaining));
@@ -110,12 +110,19 @@ impl SchedulerPolicy for BudgetedEua {
             .map(|a| select_freq(ctx.platform.table(), a.required_speed))
             .unwrap_or(f_m);
         for cand in &schedule {
-            let Some(job) = ctx.job(cand.id) else { continue };
+            let Some(job) = ctx.job(cand.id) else {
+                continue;
+            };
             // Preferred: the assurance frequency, if it is feasible for
             // this job and affordable.
-            let done = ctx.now.saturating_add(assurance_freq.execution_time(job.remaining));
+            let done = ctx
+                .now
+                .saturating_add(assurance_freq.execution_time(job.remaining));
             if done <= job.termination {
-                let cost = ctx.platform.energy().energy_for(job.remaining, assurance_freq);
+                let cost = ctx
+                    .platform
+                    .energy()
+                    .energy_for(job.remaining, assurance_freq);
                 if cost <= residual {
                     return Decision::run(cand.id, assurance_freq).with_aborts(aborts);
                 }
@@ -170,8 +177,15 @@ mod tests {
     #[test]
     fn zero_budget_executes_nothing() {
         let (tasks, patterns, platform, config) = setup();
-        let out = Engine::run(&tasks, &patterns, &platform, &mut BudgetedEua::new(0.0), &config, 1)
-            .unwrap();
+        let out = Engine::run(
+            &tasks,
+            &patterns,
+            &platform,
+            &mut BudgetedEua::new(0.0),
+            &config,
+            1,
+        )
+        .unwrap();
         assert_eq!(out.metrics.jobs_completed(), 0);
         assert_eq!(out.metrics.energy, 0.0);
     }
@@ -179,12 +193,20 @@ mod tests {
     #[test]
     fn huge_budget_behaves_like_plain_eua() {
         let (tasks, patterns, platform, config) = setup();
-        let bounded =
-            Engine::run(&tasks, &patterns, &platform, &mut BudgetedEua::new(f64::MAX), &config, 1)
-                .unwrap();
-        let plain = Engine::run(&tasks, &patterns, &platform, &mut Eua::new(), &config, 1)
-            .unwrap();
-        assert_eq!(bounded.metrics.jobs_completed(), plain.metrics.jobs_completed());
+        let bounded = Engine::run(
+            &tasks,
+            &patterns,
+            &platform,
+            &mut BudgetedEua::new(f64::MAX),
+            &config,
+            1,
+        )
+        .unwrap();
+        let plain = Engine::run(&tasks, &patterns, &platform, &mut Eua::new(), &config, 1).unwrap();
+        assert_eq!(
+            bounded.metrics.jobs_completed(),
+            plain.metrics.jobs_completed()
+        );
         assert!((bounded.metrics.total_utility - plain.metrics.total_utility).abs() < 1e-9);
     }
 
@@ -192,11 +214,10 @@ mod tests {
     fn budget_is_respected_within_one_allocation() {
         let (tasks, patterns, platform, config) = setup();
         // Enough for roughly half the run at the cheapest frequency.
-        let unconstrained =
-            Engine::run(&tasks, &patterns, &platform, &mut Eua::new(), &config, 1)
-                .unwrap()
-                .metrics
-                .energy;
+        let unconstrained = Engine::run(&tasks, &patterns, &platform, &mut Eua::new(), &config, 1)
+            .unwrap()
+            .metrics
+            .energy;
         let budget = unconstrained / 2.0;
         let out = Engine::run(
             &tasks,
@@ -208,9 +229,10 @@ mod tests {
         )
         .unwrap();
         // One believed-allocation of slack is the documented tolerance.
-        let slack = platform
-            .energy()
-            .energy_for(tasks.task(eua_sim::TaskId(0)).allocation(), platform.f_max());
+        let slack = platform.energy().energy_for(
+            tasks.task(eua_sim::TaskId(0)).allocation(),
+            platform.f_max(),
+        );
         assert!(
             out.metrics.energy <= budget + slack,
             "spent {} against budget {budget}",
@@ -252,10 +274,16 @@ mod tests {
         // cheapest feasible frequency) should complete at least as many
         // jobs as an always-f_m policy cut off at the same energy point.
         let (tasks, patterns, platform, config) = setup();
-        let full_fmax =
-            Engine::run(&tasks, &patterns, &platform, &mut Eua::without_dvs(), &config, 1)
-                .unwrap()
-                .metrics;
+        let full_fmax = Engine::run(
+            &tasks,
+            &patterns,
+            &platform,
+            &mut Eua::without_dvs(),
+            &config,
+            1,
+        )
+        .unwrap()
+        .metrics;
         let budget = full_fmax.energy * 0.3;
         let bounded = Engine::run(
             &tasks,

@@ -75,6 +75,13 @@ pub fn schedule_feasible(now: SimTime, schedule: &[Candidate], f_max: Frequency)
 /// insert each at its critical-time position, and keep the insertion only
 /// if the schedule remains feasible.
 ///
+/// The paper leaves the order of entries with *equal* critical times
+/// unspecified; this implementation places them in id (= arrival) order,
+/// which matches EDF's `(critical, id)` dispatch tie-break. Under the
+/// conditions of Theorem 2 the constructed schedule is then *identical*
+/// to EDF's, not merely tie-equivalent. Key priority still decides which
+/// jobs survive when an insertion turns the schedule infeasible.
+///
 /// Only candidates with a strictly positive key are considered (line 14's
 /// `UER > 0` guard).
 #[must_use]
@@ -96,9 +103,9 @@ pub fn build_schedule(
         if cand.key <= 0.0 {
             break;
         }
-        // Insert after all entries with critical time ≤ the candidate's
-        // (the paper's insert() places equal keys after existing entries).
-        let pos = schedule.partition_point(|c| c.critical <= cand.critical);
+        // Insert in (critical, id) order so equal critical times dispatch
+        // in arrival order, exactly like the EDF baseline's tie-break.
+        let pos = schedule.partition_point(|c| (c.critical, c.id) < (cand.critical, cand.id));
         schedule.insert(pos, cand);
         if !schedule_feasible(now, &schedule, f_max) {
             schedule.remove(pos);
@@ -175,8 +182,7 @@ mod tests {
             cand(0, 100, 100, 10_000, 10.0), // 100 µs of work
             cand(1, 100, 100, 10_000, 1.0),
         ];
-        let sched =
-            build_schedule(SimTime::ZERO, jobs, fm(), InsertionMode::BreakOnInfeasible);
+        let sched = build_schedule(SimTime::ZERO, jobs, fm(), InsertionMode::BreakOnInfeasible);
         assert_eq!(sched.len(), 1);
         assert_eq!(sched[0].id, JobId(0));
     }
@@ -185,9 +191,9 @@ mod tests {
     fn break_mode_stops_at_first_failure_skip_mode_continues() {
         // key order: j0 (fits), j1 (doesn't fit), j2 (would fit).
         let jobs = vec![
-            cand(0, 50, 50, 4_000, 10.0),   // 40 µs
-            cand(1, 60, 60, 5_000, 5.0),    // 50 µs — infeasible after j0
-            cand(2, 500, 500, 1_000, 1.0),  // 10 µs — plenty of slack
+            cand(0, 50, 50, 4_000, 10.0),  // 40 µs
+            cand(1, 60, 60, 5_000, 5.0),   // 50 µs — infeasible after j0
+            cand(2, 500, 500, 1_000, 1.0), // 10 µs — plenty of slack
         ];
         let brk = build_schedule(
             SimTime::ZERO,
@@ -197,30 +203,57 @@ mod tests {
         );
         assert_eq!(brk.iter().map(|c| c.id.get()).collect::<Vec<_>>(), vec![0]);
         let skip = build_schedule(SimTime::ZERO, jobs, fm(), InsertionMode::SkipInfeasible);
-        assert_eq!(skip.iter().map(|c| c.id.get()).collect::<Vec<_>>(), vec![0, 2]);
+        assert_eq!(
+            skip.iter().map(|c| c.id.get()).collect::<Vec<_>>(),
+            vec![0, 2]
+        );
     }
 
     #[test]
     fn non_positive_keys_are_excluded() {
-        let jobs = vec![cand(0, 100, 100, 1_000, 0.0), cand(1, 100, 100, 1_000, -1.0)];
+        let jobs = vec![
+            cand(0, 100, 100, 1_000, 0.0),
+            cand(1, 100, 100, 1_000, -1.0),
+        ];
         assert!(build_schedule(SimTime::ZERO, jobs, fm(), InsertionMode::default()).is_empty());
     }
 
     #[test]
-    fn equal_critical_times_keep_insertion_order_stable() {
+    fn equal_critical_times_dispatch_in_id_order() {
         let jobs = vec![
             cand(7, 100, 200, 1_000, 3.0),
             cand(3, 100, 200, 1_000, 2.0),
             cand(5, 100, 200, 1_000, 1.0),
         ];
         let sched = build_schedule(SimTime::ZERO, jobs, fm(), InsertionMode::default());
-        // Insert-after-equals ⇒ higher-key jobs settle earlier.
-        assert_eq!(sched.iter().map(|c| c.id.get()).collect::<Vec<_>>(), vec![7, 3, 5]);
+        // Equal critical times order by id (EDF's tie-break), regardless
+        // of the key order the candidates were considered in.
+        assert_eq!(
+            sched.iter().map(|c| c.id.get()).collect::<Vec<_>>(),
+            vec![3, 5, 7]
+        );
+    }
+
+    #[test]
+    fn equal_critical_ties_still_drop_low_key_jobs_first() {
+        // Two 60 µs jobs, same critical/termination at 100 µs: only one
+        // fits. The high-key job is inserted first and survives; the
+        // low-key job fails feasibility and is dropped even though its id
+        // would place it earlier.
+        let jobs = vec![cand(1, 100, 100, 6_000, 0.5), cand(9, 100, 100, 6_000, 8.0)];
+        let sched = build_schedule(SimTime::ZERO, jobs, fm(), InsertionMode::SkipInfeasible);
+        assert_eq!(
+            sched.iter().map(|c| c.id.get()).collect::<Vec<_>>(),
+            vec![9]
+        );
     }
 
     #[test]
     fn nan_keys_do_not_panic() {
-        let jobs = vec![cand(0, 100, 100, 1_000, f64::NAN), cand(1, 90, 100, 1_000, 2.0)];
+        let jobs = vec![
+            cand(0, 100, 100, 1_000, f64::NAN),
+            cand(1, 90, 100, 1_000, 2.0),
+        ];
         let sched = build_schedule(SimTime::ZERO, jobs, fm(), InsertionMode::default());
         // The NaN-keyed job sorts unspecified but must not crash; the
         // positive-keyed job survives.

@@ -94,8 +94,7 @@ mod tests {
         ];
         let config = SimConfig::new(ms(300));
         let platform = Platform::powernow(EnergySetting::e1());
-        let out =
-            Engine::run(&tasks, &patterns, &platform, &mut Dasa::new(), &config, 1).unwrap();
+        let out = Engine::run(&tasks, &patterns, &platform, &mut Dasa::new(), &config, 1).unwrap();
         assert!(out.metrics.per_task[1].completed > out.metrics.per_task[0].completed);
         assert_eq!(out.metrics.per_task[1].completed, 30);
     }
@@ -115,8 +114,7 @@ mod tests {
         let patterns = vec![ArrivalPattern::periodic(p).unwrap()];
         let config = SimConfig::new(ms(400));
         let platform = Platform::powernow(EnergySetting::e1());
-        let out =
-            Engine::run(&tasks, &patterns, &platform, &mut Dasa::new(), &config, 1).unwrap();
+        let out = Engine::run(&tasks, &patterns, &platform, &mut Dasa::new(), &config, 1).unwrap();
         assert_eq!(out.metrics.jobs_completed(), 20);
         assert!((out.metrics.utility_ratio() - 1.0).abs() < 1e-9);
     }

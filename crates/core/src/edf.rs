@@ -67,7 +67,12 @@ impl EdfPolicy {
         if !abort_infeasible {
             name.push_str("-na");
         }
-        EdfPolicy { dvs, abort_infeasible, name, look_ahead: LookAheadDvs::new() }
+        EdfPolicy {
+            dvs,
+            abort_infeasible,
+            name,
+            look_ahead: LookAheadDvs::new(),
+        }
     }
 
     /// EDF at the maximum frequency with feasibility aborts — the
@@ -153,10 +158,11 @@ impl SchedulerPolicy for EdfPolicy {
             DvsMode::CycleConserving => {
                 select_freq(ctx.platform.table(), Self::cycle_conserving_speed(ctx))
             }
-            DvsMode::LookAhead => select_freq(
-                ctx.platform.table(),
-                analysis.expect("computed for LookAhead above").required_speed,
-            ),
+            DvsMode::LookAhead => {
+                #[allow(clippy::expect_used)] // populated above exactly when LookAhead
+                let analysis = analysis.expect("computed for LookAhead above");
+                select_freq(ctx.platform.table(), analysis.required_speed)
+            }
         };
         Decision::run(job.id, frequency).with_aborts(aborts)
     }
@@ -280,7 +286,12 @@ mod tests {
                 .metrics;
             assert_eq!(m.jobs_aborted(), 0, "{} aborted jobs", policy.name());
             for tm in &m.per_task {
-                assert_eq!(tm.critical_met, tm.completed, "{} missed deadlines", policy.name());
+                assert_eq!(
+                    tm.critical_met,
+                    tm.completed,
+                    "{} missed deadlines",
+                    policy.name()
+                );
             }
         }
     }

@@ -143,7 +143,11 @@ impl LookAheadDvs {
                 (None, Some(w)) => (w, 0.0),
                 (None, None) => continue,
             };
-            entries.push(Entry { critical, remaining, static_rate: task.demand_rate() });
+            entries.push(Entry {
+                critical,
+                remaining,
+                static_rate: task.demand_rate(),
+            });
         }
 
         let Some(earliest_critical) = entries.iter().map(|e| e.critical).min() else {
@@ -173,7 +177,11 @@ impl LookAheadDvs {
         }
 
         let horizon = earliest_critical.saturating_since(ctx.now).as_micros() as f64;
-        let required_speed = if horizon <= 0.0 { f_m } else { (s / horizon).min(f_m) };
+        let required_speed = if horizon <= 0.0 {
+            f_m
+        } else {
+            (s / horizon).min(f_m)
+        };
         DvsAnalysis {
             required_speed: required_speed.max(0.0),
             earliest_critical: Some(earliest_critical),
@@ -262,7 +270,11 @@ mod tests {
         let platform = Platform::powernow(EnergySetting::e1());
         let jobs = [view(0, 0, 0, 10_000, 100_000)];
         let a = decide_freq(&ctx_with(&tasks, &platform, &jobs, 0));
-        assert!((a.required_speed - 10.0).abs() < 1e-9, "{}", a.required_speed);
+        assert!(
+            (a.required_speed - 10.0).abs() < 1e-9,
+            "{}",
+            a.required_speed
+        );
         assert_eq!(a.earliest_critical, Some(SimTime::from_micros(10_000)));
         assert!((a.must_run_cycles - 100_000.0).abs() < 1e-9);
     }
@@ -272,14 +284,20 @@ mod tests {
         // Urgent job due at 1 ms; lazy job due at 100 ms. The lazy task's
         // work can almost entirely run after 1 ms, so the required speed is
         // dominated by the urgent job.
-        let tasks =
-            TaskSet::new(vec![task(1, 1, 50_000.0), task(100, 1, 1_000_000.0)]).unwrap();
+        let tasks = TaskSet::new(vec![task(1, 1, 50_000.0), task(100, 1, 1_000_000.0)]).unwrap();
         let platform = Platform::powernow(EnergySetting::e1());
-        let jobs = [view(0, 0, 0, 1_000, 50_000), view(1, 1, 0, 100_000, 1_000_000)];
+        let jobs = [
+            view(0, 0, 0, 1_000, 50_000),
+            view(1, 1, 0, 100_000, 1_000_000),
+        ];
         let a = decide_freq(&ctx_with(&tasks, &platform, &jobs, 0));
         // Urgent: 50k cycles / 1 ms = 50 cycles/µs; the lazy job defers.
         assert!(a.required_speed >= 50.0);
-        assert!(a.required_speed < 75.0, "deferral failed: {}", a.required_speed);
+        assert!(
+            a.required_speed < 75.0,
+            "deferral failed: {}",
+            a.required_speed
+        );
     }
 
     #[test]
@@ -333,12 +351,14 @@ mod tests {
         // due at 50 ms. With the anchor, work must be paced against the
         // 10 ms boundary rather than 50 ms — this is the Pillai–Shin
         // behaviour our first (stateless) adaptation missed.
-        let tasks =
-            TaskSet::new(vec![task(10, 1, 300_000.0), task(50, 1, 1_000_000.0)]).unwrap();
+        let tasks = TaskSet::new(vec![task(10, 1, 300_000.0), task(50, 1, 1_000_000.0)]).unwrap();
         let platform = Platform::powernow(EnergySetting::e1());
         let mut dvs = LookAheadDvs::new();
         // First event: both jobs live at t = 0 (anchors learned).
-        let jobs0 = [view(0, 0, 0, 10_000, 300_000), view(1, 1, 0, 50_000, 1_000_000)];
+        let jobs0 = [
+            view(0, 0, 0, 10_000, 300_000),
+            view(1, 1, 0, 50_000, 1_000_000),
+        ];
         let _ = dvs.analyze(&ctx_with(&tasks, &platform, &jobs0, 0));
         // Task 0's job completed by t = 3 ms: only task 1 is live, with so
         // much work that not all of it can defer past the 10 ms anchor.
@@ -350,7 +370,11 @@ mod tests {
             "completed window must keep anchoring D_a_n"
         );
         // x = 3.5M − (100 − 30)·40 000 = 700 000 cycles before 10 ms.
-        assert!((a.must_run_cycles - 700_000.0).abs() < 1e-6, "{}", a.must_run_cycles);
+        assert!(
+            (a.must_run_cycles - 700_000.0).abs() < 1e-6,
+            "{}",
+            a.must_run_cycles
+        );
         assert_eq!(a.required_speed, 100.0);
         // A fresh (stateless) analysis sees only the 50 ms deadline and
         // under-provisions — the failure mode the anchor state prevents.
@@ -361,11 +385,13 @@ mod tests {
 
     #[test]
     fn expired_window_releases_its_anchor() {
-        let tasks =
-            TaskSet::new(vec![task(10, 1, 300_000.0), task(50, 1, 1_000_000.0)]).unwrap();
+        let tasks = TaskSet::new(vec![task(10, 1, 300_000.0), task(50, 1, 1_000_000.0)]).unwrap();
         let platform = Platform::powernow(EnergySetting::e1());
         let mut dvs = LookAheadDvs::new();
-        let jobs0 = [view(0, 0, 0, 10_000, 300_000), view(1, 1, 0, 50_000, 1_000_000)];
+        let jobs0 = [
+            view(0, 0, 0, 10_000, 300_000),
+            view(1, 1, 0, 50_000, 1_000_000),
+        ];
         let _ = dvs.analyze(&ctx_with(&tasks, &platform, &jobs0, 0));
         // At t = 12 ms the 10 ms window has expired and no new arrival was
         // observed: only task 1's deadline remains.
@@ -390,14 +416,20 @@ mod tests {
 
     #[test]
     fn two_tasks_same_critical_time_sum_their_demand() {
-        let tasks =
-            TaskSet::new(vec![task(10, 1, 200_000.0), task(10, 1, 300_000.0)]).unwrap();
+        let tasks = TaskSet::new(vec![task(10, 1, 200_000.0), task(10, 1, 300_000.0)]).unwrap();
         let platform = Platform::powernow(EnergySetting::e1());
-        let jobs = [view(0, 0, 0, 10_000, 200_000), view(1, 1, 0, 10_000, 300_000)];
+        let jobs = [
+            view(0, 0, 0, 10_000, 200_000),
+            view(1, 1, 0, 10_000, 300_000),
+        ];
         let a = decide_freq(&ctx_with(&tasks, &platform, &jobs, 0));
         // Both gaps are zero ⇒ x = full remaining for both ⇒ s = 500k over
         // 10 ms ⇒ 50 cycles/µs.
-        assert!((a.required_speed - 50.0).abs() < 1e-9, "{}", a.required_speed);
+        assert!(
+            (a.required_speed - 50.0).abs() < 1e-9,
+            "{}",
+            a.required_speed
+        );
     }
 
     #[test]

@@ -88,13 +88,21 @@ impl Eua {
         if options.insertion == InsertionMode::SkipInfeasible {
             name.push_str("-skip");
         }
-        Eua { options, name, f_opt: Vec::new(), dvs: LookAheadDvs::new() }
+        Eua {
+            options,
+            name,
+            f_opt: Vec::new(),
+            dvs: LookAheadDvs::new(),
+        }
     }
 
     /// The Fig. 3 normalization baseline: EUA\* that always selects `f_m`.
     #[must_use]
     pub fn without_dvs() -> Self {
-        Eua::with_options(EuaOptions { dvs: false, ..EuaOptions::default() })
+        Eua::with_options(EuaOptions {
+            dvs: false,
+            ..EuaOptions::default()
+        })
     }
 
     /// The active option switches.
@@ -133,7 +141,11 @@ impl Eua {
     pub(crate) fn plan(
         &mut self,
         ctx: &SchedContext<'_>,
-    ) -> (Vec<Candidate>, Vec<eua_sim::JobId>, Option<decide_freq::DvsAnalysis>) {
+    ) -> (
+        Vec<Candidate>,
+        Vec<eua_sim::JobId>,
+        Option<decide_freq::DvsAnalysis>,
+    ) {
         self.ensure_offline(ctx);
         let f_m = ctx.platform.f_max();
         let per_cycle_at_fm = ctx.platform.energy().energy_per_cycle(f_m);
@@ -184,6 +196,7 @@ impl SchedulerPolicy for Eua {
         let Some(head) = schedule.first() else {
             return Decision::idle(f_m).with_aborts(aborts);
         };
+        #[allow(clippy::expect_used)] // `plan` only schedules ids drawn from `ctx.jobs`
         let head_task = ctx.job(head.id).expect("head comes from ctx.jobs").task;
         let frequency = match analysis {
             Some(analysis) => {
@@ -212,9 +225,7 @@ impl SchedulerPolicy for Eua {
 mod tests {
     use super::*;
     use eua_platform::{EnergySetting, SimTime, TimeDelta};
-    use eua_sim::{
-        Engine, JobOutcome, Platform, SimConfig, Task, TaskSet,
-    };
+    use eua_sim::{Engine, JobOutcome, Platform, SimConfig, Task, TaskSet};
     use eua_tuf::Tuf;
     use eua_uam::demand::DemandModel;
     use eua_uam::generator::ArrivalPattern;
@@ -253,9 +264,15 @@ mod tests {
         let config = SimConfig::new(ms(1_000));
         let eua_out =
             Engine::run(&tasks, &patterns, &platform(), &mut Eua::new(), &config, 3).unwrap();
-        let fmax_out =
-            Engine::run(&tasks, &patterns, &platform(), &mut Eua::without_dvs(), &config, 3)
-                .unwrap();
+        let fmax_out = Engine::run(
+            &tasks,
+            &patterns,
+            &platform(),
+            &mut Eua::without_dvs(),
+            &config,
+            3,
+        )
+        .unwrap();
         // Same (optimal) utility...
         assert_eq!(eua_out.metrics.jobs_completed(), 150);
         assert_eq!(fmax_out.metrics.jobs_completed(), 150);
@@ -276,15 +293,9 @@ mod tests {
         let tasks = TaskSet::new(vec![step_task("hopeless", 10, 2_000_000.0, 1)]).unwrap();
         let traces = vec![ArrivalTrace::from_times([SimTime::ZERO])];
         let config = SimConfig::new(ms(30)).with_job_records();
-        let out = Engine::run_with_traces(
-            &tasks,
-            &traces,
-            &platform(),
-            &mut Eua::new(),
-            &config,
-            1,
-        )
-        .unwrap();
+        let out =
+            Engine::run_with_traces(&tasks, &traces, &platform(), &mut Eua::new(), &config, 1)
+                .unwrap();
         let records = out.jobs.unwrap();
         assert_eq!(records.len(), 1);
         match records[0].outcome {
@@ -294,7 +305,10 @@ mod tests {
             }
             ref other => panic!("expected an abort, got {other:?}"),
         }
-        assert_eq!(out.metrics.energy, 0.0, "no cycles wasted on a hopeless job");
+        assert_eq!(
+            out.metrics.energy, 0.0,
+            "no cycles wasted on a hopeless job"
+        );
     }
 
     #[test]
@@ -318,12 +332,14 @@ mod tests {
             ArrivalPattern::periodic(p).unwrap(),
         ];
         let config = SimConfig::new(ms(500));
-        let out =
-            Engine::run(&tasks, &patterns, &platform(), &mut Eua::new(), &config, 1).unwrap();
+        let out = Engine::run(&tasks, &patterns, &platform(), &mut Eua::new(), &config, 1).unwrap();
         let cheap = &out.metrics.per_task[0];
         let precious = &out.metrics.per_task[1];
         assert_eq!(precious.completed, 50, "every precious job completes");
-        assert_eq!(cheap.completed, 0, "cheap jobs are sacrificed during overload");
+        assert_eq!(
+            cheap.completed, 0,
+            "cheap jobs are sacrificed during overload"
+        );
     }
 
     #[test]
@@ -335,8 +351,10 @@ mod tests {
             ..EuaOptions::default()
         });
         assert_eq!(na.name(), "eua-na");
-        let noclamp =
-            Eua::with_options(EuaOptions { uer_clamp: false, ..EuaOptions::default() });
+        let noclamp = Eua::with_options(EuaOptions {
+            uer_clamp: false,
+            ..EuaOptions::default()
+        });
         assert_eq!(noclamp.name(), "eua-noclamp");
     }
 
@@ -367,7 +385,10 @@ mod tests {
             &tasks,
             &patterns,
             &platform,
-            &mut Eua::with_options(EuaOptions { uer_clamp: false, ..EuaOptions::default() }),
+            &mut Eua::with_options(EuaOptions {
+                uer_clamp: false,
+                ..EuaOptions::default()
+            }),
             &config,
             1,
         )
@@ -378,6 +399,9 @@ mod tests {
             clamped.metrics.energy,
             unclamped.metrics.energy
         );
-        assert_eq!(clamped.metrics.jobs_completed(), unclamped.metrics.jobs_completed());
+        assert_eq!(
+            clamped.metrics.jobs_completed(),
+            unclamped.metrics.jobs_completed()
+        );
     }
 }

@@ -52,7 +52,7 @@ impl SchedulerPolicy for Llf {
             let laxity = j.critical_time.as_micros() as i64
                 - ctx.now.as_micros() as i64
                 - exec.as_micros() as i64;
-            if best.is_none() || (laxity, j.id) < best.expect("checked") {
+            if best.is_none_or(|b| (laxity, j.id) < b) {
                 best = Some((laxity, j.id));
             }
         }
@@ -90,16 +90,14 @@ mod tests {
 
     #[test]
     fn llf_meets_deadlines_underload() {
-        let tasks =
-            TaskSet::new(vec![task("a", 10, 300_000.0), task("b", 25, 700_000.0)]).unwrap();
+        let tasks = TaskSet::new(vec![task("a", 10, 300_000.0), task("b", 25, 700_000.0)]).unwrap();
         let patterns = vec![
             ArrivalPattern::periodic(ms(10)).unwrap(),
             ArrivalPattern::periodic(ms(25)).unwrap(),
         ];
         let platform = Platform::powernow(EnergySetting::e1());
         let config = SimConfig::new(ms(1_000));
-        let out = Engine::run(&tasks, &patterns, &platform, &mut Llf::new(), &config, 1)
-            .unwrap();
+        let out = Engine::run(&tasks, &patterns, &platform, &mut Llf::new(), &config, 1).unwrap();
         assert_eq!(out.metrics.jobs_aborted(), 0);
         for tm in &out.metrics.per_task {
             assert_eq!(tm.completed, tm.critical_met);
@@ -108,8 +106,7 @@ mod tests {
 
     #[test]
     fn llf_preempts_more_than_edf() {
-        let tasks =
-            TaskSet::new(vec![task("a", 10, 400_000.0), task("b", 11, 400_000.0)]).unwrap();
+        let tasks = TaskSet::new(vec![task("a", 10, 400_000.0), task("b", 11, 400_000.0)]).unwrap();
         let patterns = vec![
             ArrivalPattern::periodic(ms(10)).unwrap(),
             ArrivalPattern::periodic(ms(11)).unwrap(),

@@ -1,0 +1,124 @@
+#![allow(clippy::expect_used)] // test code: panicking on bad setup is the point
+
+//! Edge cases of the offline schedulability analysis
+//! (`crates/core/src/analysis.rs`): intervals shorter than any critical
+//! offset, the demand-ratio maximum at `L = D`, and the non-empty
+//! task-set precondition the analysis relies on.
+
+use eua_core::{brh_schedulable, demand_bound, sufficient_speed, theorem1_speed};
+use eua_platform::{Frequency, TimeDelta};
+use eua_sim::{Task, TaskSet};
+use eua_tuf::Tuf;
+use eua_uam::demand::DemandModel;
+use eua_uam::{Assurance, UamSpec};
+
+fn ms(v: u64) -> TimeDelta {
+    TimeDelta::from_millis(v)
+}
+
+/// A linear-TUF task with termination `p_ms` and assurance `nu`, so its
+/// critical offset is `D = (1 − ν)·P` — strictly inside the window.
+fn linear_task(name: &str, p_ms: u64, a: u32, cycles: f64, nu: f64) -> Task {
+    Task::new(
+        name,
+        Tuf::linear(10.0, ms(p_ms)).expect("valid tuf"),
+        UamSpec::new(a, ms(p_ms)).expect("valid uam"),
+        DemandModel::deterministic(cycles).expect("valid demand"),
+        Assurance::new(nu, 0.5).expect("valid assurance"),
+    )
+    .expect("valid task")
+}
+
+fn step_task(name: &str, p_ms: u64, a: u32, cycles: f64) -> Task {
+    Task::new(
+        name,
+        Tuf::step(10.0, ms(p_ms)).expect("valid tuf"),
+        UamSpec::new(a, ms(p_ms)).expect("valid uam"),
+        DemandModel::deterministic(cycles).expect("valid demand"),
+        Assurance::new(1.0, 0.5).expect("valid assurance"),
+    )
+    .expect("valid task")
+}
+
+#[test]
+fn demand_bound_is_zero_before_any_critical_offset() {
+    // D = 0.5 · 10 ms = 5 ms for ν = 0.5; no demand is *due* in any
+    // interval shorter than the earliest critical offset.
+    let tasks = TaskSet::new(vec![
+        linear_task("half", 10, 2, 100_000.0, 0.5),
+        step_task("late", 20, 1, 400_000.0),
+    ])
+    .expect("non-empty");
+    assert_eq!(demand_bound(&tasks, 0), 0.0);
+    assert_eq!(demand_bound(&tasks, 4_999), 0.0);
+    // At exactly L = 5 000 µs only the ν = 0.5 task has matured.
+    assert_eq!(demand_bound(&tasks, 5_000), 200_000.0);
+    // The step task joins at its own D = P = 20 ms.
+    assert_eq!(demand_bound(&tasks, 19_999), 200_000.0 * 2.0);
+    assert_eq!(demand_bound(&tasks, 20_000), 200_000.0 * 2.0 + 400_000.0);
+}
+
+#[test]
+fn demand_bound_handles_mixed_maturity_within_one_set() {
+    // A task whose D exceeds another task's whole window: intervals in
+    // between must count only the matured task's windows.
+    let tasks = TaskSet::new(vec![
+        step_task("fast", 5, 1, 50_000.0),
+        step_task("slow", 40, 2, 800_000.0),
+    ])
+    .expect("non-empty");
+    // Critical instants at D + k·P = 5, 10, …: seven have matured by
+    // L = 35 ms; slow (D = 40 ms) is not yet due.
+    assert_eq!(demand_bound(&tasks, 35_000), 7.0 * 50_000.0);
+    assert_eq!(
+        demand_bound(&tasks, 40_000),
+        8.0 * 50_000.0 + 2.0 * 800_000.0
+    );
+}
+
+#[test]
+fn single_task_demand_ratio_peaks_at_l_equals_d() {
+    // Theorem 1's core claim: h(L)/L is maximized at L = D, so the
+    // per-task sufficient speed equals the demand ratio there.
+    let tasks = TaskSet::new(vec![step_task("solo", 10, 2, 100_000.0)]).expect("non-empty");
+    let (_, t) = tasks.iter().next().expect("one task");
+    let d = t.critical_offset().as_micros();
+    let peak = demand_bound(&tasks, d) / d as f64;
+    assert!((peak - theorem1_speed(t)).abs() < 1e-9);
+    assert!((peak - sufficient_speed(&tasks)).abs() < 1e-9);
+    // Any later critical instant has a strictly lower ratio.
+    for k in 1..=4u64 {
+        let l = d + k * t.uam().window().as_micros();
+        assert!(demand_bound(&tasks, l) / l as f64 <= peak + 1e-12);
+    }
+}
+
+#[test]
+fn single_task_is_brh_schedulable_exactly_at_its_demand_ratio() {
+    // D = P here, so the BRH boundary coincides with Theorem 1's speed:
+    // 200k cycles / 10 ms = 20 cycles/µs = 20 MHz.
+    let tasks = TaskSet::new(vec![step_task("solo", 10, 2, 100_000.0)]).expect("non-empty");
+    assert!(brh_schedulable(&tasks, Frequency::from_mhz(20)));
+    assert!(!brh_schedulable(&tasks, Frequency::from_mhz(19)));
+}
+
+#[test]
+fn constrained_single_task_boundary_sits_at_c_over_d() {
+    // With ν = 0.75 the critical offset is D = 2.5 ms while the window
+    // stays 10 ms: BRH must demand C/D (80 cycles/µs), four times the
+    // utilization bound.
+    let tasks =
+        TaskSet::new(vec![linear_task("tight", 10, 1, 200_000.0, 0.75)]).expect("non-empty");
+    let (_, t) = tasks.iter().next().expect("one task");
+    assert_eq!(t.critical_offset().as_micros(), 2_500);
+    assert!(brh_schedulable(&tasks, Frequency::from_mhz(80)));
+    assert!(!brh_schedulable(&tasks, Frequency::from_mhz(79)));
+}
+
+#[test]
+fn empty_task_sets_are_unrepresentable() {
+    // The analysis functions take `&TaskSet`, and `TaskSet::new` rejects
+    // an empty vector — so `sufficient_speed`/`demand_bound` never see
+    // the degenerate sum-over-nothing case.
+    assert!(TaskSet::new(vec![]).is_err());
+}

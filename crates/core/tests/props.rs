@@ -1,3 +1,5 @@
+#![allow(clippy::expect_used)] // test/demo code: panicking on bad setup is the point
+
 //! Property-based tests of the scheduling algorithms: greedy schedule
 //! construction invariants, DVS analysis bounds, and policy-decision
 //! validity against the engine's contract.
@@ -6,7 +8,6 @@ use eua_core::{
     build_schedule, decide_freq, make_policy, schedule_feasible, Candidate, InsertionMode,
 };
 use eua_platform::{Cycles, EnergySetting, Frequency, SimTime, TimeDelta};
-use proptest::prelude::*;
 use eua_sim::{
     Engine, JobId, JobView, Platform, SchedContext, SchedEvent, SimConfig, Task, TaskId, TaskSet,
 };
@@ -14,10 +15,16 @@ use eua_tuf::Tuf;
 use eua_uam::demand::DemandModel;
 use eua_uam::generator::ArrivalPattern;
 use eua_uam::{Assurance, UamSpec};
+use proptest::prelude::*;
 
 fn arb_candidates() -> impl Strategy<Value = Vec<Candidate>> {
     proptest::collection::vec(
-        (0u64..1_000_000, 0u64..1_000_000, 1u64..2_000_000, -1.0f64..100.0),
+        (
+            0u64..1_000_000,
+            0u64..1_000_000,
+            1u64..2_000_000,
+            -1.0f64..100.0,
+        ),
         0..20,
     )
     .prop_map(|raw| {

@@ -59,27 +59,49 @@ impl EnergySetting {
     /// `(S3, S2, S1, S0) = (1, 0, 0, 0)`.
     #[must_use]
     pub const fn e1() -> Self {
-        EnergySetting { name: "E1", s3: 1.0, s2: 0.0, s1_rel: 0.0, s0_rel: 0.0 }
+        EnergySetting {
+            name: "E1",
+            s3: 1.0,
+            s2: 0.0,
+            s1_rel: 0.0,
+            s0_rel: 0.0,
+        }
     }
 
     /// Table 2 setting **E2**: mild static consumption,
     /// `S1 = 0.1·f_m²`, `S0 = 0.1·f_m³`.
     #[must_use]
     pub const fn e2() -> Self {
-        EnergySetting { name: "E2", s3: 1.0, s2: 0.0, s1_rel: 0.1, s0_rel: 0.1 }
+        EnergySetting {
+            name: "E2",
+            s3: 1.0,
+            s2: 0.0,
+            s1_rel: 0.1,
+            s0_rel: 0.1,
+        }
     }
 
     /// Table 2 setting **E3**: heavy static consumption,
     /// `S1 = 0.5·f_m²`, `S0 = 0.5·f_m³`.
     #[must_use]
     pub const fn e3() -> Self {
-        EnergySetting { name: "E3", s3: 1.0, s2: 0.0, s1_rel: 0.5, s0_rel: 0.5 }
+        EnergySetting {
+            name: "E3",
+            s3: 1.0,
+            s2: 0.0,
+            s1_rel: 0.5,
+            s0_rel: 0.5,
+        }
     }
 
     /// All three Table 2 settings, in order.
     #[must_use]
     pub const fn all() -> [EnergySetting; 3] {
-        [EnergySetting::e1(), EnergySetting::e2(), EnergySetting::e3()]
+        [
+            EnergySetting::e1(),
+            EnergySetting::e2(),
+            EnergySetting::e3(),
+        ]
     }
 
     /// A custom setting with explicit relative coefficients.
@@ -101,10 +123,19 @@ impl EnergySetting {
     ) -> Result<Self, PlatformError> {
         for (coeff_name, value) in [("s3", s3), ("s2", s2), ("s1", s1_rel), ("s0", s0_rel)] {
             if !value.is_finite() || value < 0.0 {
-                return Err(PlatformError::InvalidEnergyCoefficient { name: coeff_name, value });
+                return Err(PlatformError::InvalidEnergyCoefficient {
+                    name: coeff_name,
+                    value,
+                });
             }
         }
-        Ok(EnergySetting { name, s3, s2, s1_rel, s0_rel })
+        Ok(EnergySetting {
+            name,
+            s3,
+            s2,
+            s1_rel,
+            s0_rel,
+        })
     }
 
     /// The setting's display name (`"E1"`, `"E2"`, `"E3"`, or custom).
@@ -195,7 +226,9 @@ impl EnergyModel {
         }
         // Newton iteration on g(f) = 2·S3·f³ + S2·f² − S0 = 0, which has a
         // single positive root because g is increasing for f > 0.
-        let mut f = (self.s0 / (2.0 * self.s3 + self.s2).max(f64::MIN_POSITIVE)).cbrt().max(1e-9);
+        let mut f = (self.s0 / (2.0 * self.s3 + self.s2).max(f64::MIN_POSITIVE))
+            .cbrt()
+            .max(1e-9);
         for _ in 0..64 {
             let g = 2.0 * self.s3 * f * f * f + self.s2 * f * f - self.s0;
             let dg = 6.0 * self.s3 * f * f + 2.0 * self.s2 * f;
@@ -215,7 +248,11 @@ impl EnergyModel {
 
 impl fmt::Display for EnergyModel {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}: E(f) = {}·f² + {}·f + {} + {}/f", self.name, self.s3, self.s2, self.s1, self.s0)
+        write!(
+            f,
+            "{}: E(f) = {}·f² + {}·f + {} + {}/f",
+            self.name, self.s3, self.s2, self.s1, self.s0
+        )
     }
 }
 
@@ -283,7 +320,9 @@ mod tests {
 
     #[test]
     fn newton_handles_nonzero_s2() {
-        let m = EnergySetting::custom("mix", 1.0, 2.0, 0.0, 0.3).unwrap().model(fm());
+        let m = EnergySetting::custom("mix", 1.0, 2.0, 0.0, 0.3)
+            .unwrap()
+            .model(fm());
         let opt = m.energy_optimal_speed();
         // Root of 2f³ + 2f² = S0 = 0.3e6.
         let g = 2.0 * opt * opt * opt + 2.0 * opt * opt - 0.3 * 1e6;
@@ -292,7 +331,9 @@ mod tests {
 
     #[test]
     fn degenerate_static_only_model_prefers_fast() {
-        let m = EnergySetting::custom("static", 0.0, 0.0, 0.0, 1.0).unwrap().model(fm());
+        let m = EnergySetting::custom("static", 0.0, 0.0, 0.0, 1.0)
+            .unwrap()
+            .model(fm());
         assert!(m.energy_optimal_speed().is_infinite());
     }
 

@@ -45,13 +45,22 @@ impl fmt::Display for PlatformError {
                 write!(f, "frequency table must not contain a zero frequency")
             }
             PlatformError::UnsortedFrequencyTable { index } => {
-                write!(f, "frequency table must be strictly increasing (violated at index {index})")
+                write!(
+                    f,
+                    "frequency table must be strictly increasing (violated at index {index})"
+                )
             }
             PlatformError::DemandExceedsMaxFrequency { demanded, max } => {
-                write!(f, "demanded speed {demanded} cycles/us exceeds maximum frequency {max}")
+                write!(
+                    f,
+                    "demanded speed {demanded} cycles/us exceeds maximum frequency {max}"
+                )
             }
             PlatformError::InvalidEnergyCoefficient { name, value } => {
-                write!(f, "energy coefficient {name} must be finite and non-negative, got {value}")
+                write!(
+                    f,
+                    "energy coefficient {name} must be finite and non-negative, got {value}"
+                )
             }
         }
     }
@@ -69,8 +78,16 @@ mod tests {
             PlatformError::EmptyFrequencyTable.to_string(),
             PlatformError::ZeroFrequency.to_string(),
             PlatformError::UnsortedFrequencyTable { index: 2 }.to_string(),
-            PlatformError::DemandExceedsMaxFrequency { demanded: 120.0, max: 100 }.to_string(),
-            PlatformError::InvalidEnergyCoefficient { name: "s3", value: -1.0 }.to_string(),
+            PlatformError::DemandExceedsMaxFrequency {
+                demanded: 120.0,
+                max: 100,
+            }
+            .to_string(),
+            PlatformError::InvalidEnergyCoefficient {
+                name: "s3",
+                value: -1.0,
+            }
+            .to_string(),
         ];
         for m in msgs {
             assert!(!m.is_empty());

@@ -116,12 +116,15 @@ impl FrequencyTable {
                 return Err(PlatformError::UnsortedFrequencyTable { index: i + 1 });
             }
         }
-        Ok(FrequencyTable { freqs: raw.into_iter().map(Frequency::from_mhz).collect() })
+        Ok(FrequencyTable {
+            freqs: raw.into_iter().map(Frequency::from_mhz).collect(),
+        })
     }
 
     /// The AMD K6-2+ PowerNow! frequency set used throughout the paper's
     /// evaluation: {36, 55, 64, 73, 82, 91, 100} MHz.
     #[must_use]
+    #[allow(clippy::expect_used)] // static preset, valid by inspection
     pub fn powernow_k6() -> Self {
         FrequencyTable::new([36, 55, 64, 73, 82, 91, 100])
             .expect("PowerNow preset is valid by construction")
@@ -133,6 +136,7 @@ impl FrequencyTable {
     ///
     /// Panics if `mhz` is zero.
     #[must_use]
+    #[allow(clippy::expect_used)] // the panic on zero is documented API
     pub fn fixed(mhz: u64) -> Self {
         FrequencyTable::new([mhz]).expect("a single positive frequency is valid")
     }
@@ -152,8 +156,12 @@ impl FrequencyTable {
 
     /// The highest frequency `f_m`.
     #[must_use]
+    #[allow(clippy::expect_used)] // the constructor rejects empty tables
     pub fn max(&self) -> Frequency {
-        *self.freqs.last().expect("table is non-empty by construction")
+        *self
+            .freqs
+            .last()
+            .expect("table is non-empty by construction")
     }
 
     /// The lowest frequency `f_1`.
@@ -238,8 +246,14 @@ mod tests {
 
     #[test]
     fn new_rejects_empty_zero_and_unsorted() {
-        assert_eq!(FrequencyTable::new([]), Err(PlatformError::EmptyFrequencyTable));
-        assert_eq!(FrequencyTable::new([0, 10]), Err(PlatformError::ZeroFrequency));
+        assert_eq!(
+            FrequencyTable::new([]),
+            Err(PlatformError::EmptyFrequencyTable)
+        );
+        assert_eq!(
+            FrequencyTable::new([0, 10]),
+            Err(PlatformError::ZeroFrequency)
+        );
         assert_eq!(
             FrequencyTable::new([10, 10]),
             Err(PlatformError::UnsortedFrequencyTable { index: 1 })

@@ -28,7 +28,9 @@ pub fn select_freq(table: &FrequencyTable, demand: f64) -> Frequency {
         // A 0/0 demand means "due now": be conservative and run flat out.
         return table.max();
     }
-    table.lowest_at_least(demand.max(0.0)).unwrap_or_else(|| table.max())
+    table
+        .lowest_at_least(demand.max(0.0))
+        .unwrap_or_else(|| table.max())
 }
 
 /// The per-task UER-optimal frequency computed by EUA\*'s
@@ -128,8 +130,13 @@ mod tests {
         let t = table();
         let m = EnergySetting::e1().model(t.max());
         // 64k cycles, critical time 1 ms → need ≥ 64 MHz.
-        let step =
-            |d: TimeDelta| if d <= TimeDelta::from_millis(1) { 5.0 } else { 0.0 };
+        let step = |d: TimeDelta| {
+            if d <= TimeDelta::from_millis(1) {
+                5.0
+            } else {
+                0.0
+            }
+        };
         let f = optimal_uer_frequency(&t, &m, Cycles::new(64_000), step);
         assert_eq!(f.as_mhz(), 64);
     }
@@ -141,7 +148,13 @@ mod tests {
         // pull the optimum below the knee.
         let t = table();
         let m = EnergySetting::e3().model(t.max());
-        let step = |d: TimeDelta| if d <= TimeDelta::from_secs(10) { 5.0 } else { 0.0 };
+        let step = |d: TimeDelta| {
+            if d <= TimeDelta::from_secs(10) {
+                5.0
+            } else {
+                0.0
+            }
+        };
         let f = optimal_uer_frequency(&t, &m, Cycles::new(1_000), step);
         assert_eq!(f.as_mhz(), 64, "expected the frequency nearest the E3 knee");
     }
@@ -160,7 +173,9 @@ mod tests {
         // Flat utility and flat per-cycle energy → all frequencies tie; the
         // scan keeps the first (lowest) one.
         let t = table();
-        let m = EnergySetting::custom("flat", 0.0, 0.0, 1.0, 0.0).unwrap().model(t.max());
+        let m = EnergySetting::custom("flat", 0.0, 0.0, 1.0, 0.0)
+            .unwrap()
+            .model(t.max());
         let f = optimal_uer_frequency(&t, &m, Cycles::new(1_000), |_| 1.0);
         assert_eq!(f, t.min());
     }

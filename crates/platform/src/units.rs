@@ -390,7 +390,10 @@ mod tests {
 
     #[test]
     fn sim_time_saturating_add_stops_at_max() {
-        assert_eq!(SimTime::MAX.saturating_add(TimeDelta::from_micros(5)), SimTime::MAX);
+        assert_eq!(
+            SimTime::MAX.saturating_add(TimeDelta::from_micros(5)),
+            SimTime::MAX
+        );
         assert_eq!(
             SimTime::from_micros(1).saturating_add(TimeDelta::from_micros(2)),
             SimTime::from_micros(3)
@@ -399,7 +402,9 @@ mod tests {
 
     #[test]
     fn sim_time_checked_add_detects_overflow() {
-        assert!(SimTime::MAX.checked_add(TimeDelta::from_micros(1)).is_none());
+        assert!(SimTime::MAX
+            .checked_add(TimeDelta::from_micros(1))
+            .is_none());
         assert_eq!(
             SimTime::ZERO.checked_add(TimeDelta::from_micros(7)),
             Some(SimTime::from_micros(7))
@@ -420,7 +425,10 @@ mod tests {
 
     #[test]
     fn time_delta_sum_and_scale() {
-        let total: TimeDelta = [1u64, 2, 3].iter().map(|&m| TimeDelta::from_micros(m)).sum();
+        let total: TimeDelta = [1u64, 2, 3]
+            .iter()
+            .map(|&m| TimeDelta::from_micros(m))
+            .sum();
         assert_eq!(total, TimeDelta::from_micros(6));
         assert_eq!(TimeDelta::from_micros(6) * 2, TimeDelta::from_micros(12));
     }

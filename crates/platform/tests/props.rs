@@ -1,8 +1,8 @@
+#![allow(clippy::expect_used)] // test/demo code: panicking on bad setup is the point
+
 //! Property-based tests for frequency/energy arithmetic.
 
-use eua_platform::{
-    select_freq, Cycles, EnergySetting, Frequency, FrequencyTable, TimeDelta,
-};
+use eua_platform::{select_freq, Cycles, EnergySetting, Frequency, FrequencyTable, TimeDelta};
 use proptest::prelude::*;
 
 fn arb_table() -> impl Strategy<Value = FrequencyTable> {

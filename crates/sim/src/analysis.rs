@@ -46,10 +46,11 @@ pub fn response_stats(records: &[JobRecord], task: Option<TaskId>) -> Option<Res
     let count = sojourns.len() as u64;
     let sum: u64 = sojourns.iter().sum();
     let p95_idx = ((count as f64 * 0.95).ceil() as usize).clamp(1, sojourns.len()) - 1;
+    let &max_us = sojourns.last()?;
     Some(ResponseStats {
         count,
         mean: TimeDelta::from_micros(sum / count),
-        max: TimeDelta::from_micros(*sojourns.last().expect("non-empty")),
+        max: TimeDelta::from_micros(max_us),
         p95: TimeDelta::from_micros(sojourns[p95_idx]),
     })
 }
@@ -98,13 +99,17 @@ pub fn edf_violations(
                 id: r.id,
                 arrival: r.arrival,
                 end,
-                critical: r.arrival.saturating_add(tasks.task(r.task).critical_offset()),
+                critical: r
+                    .arrival
+                    .saturating_add(tasks.task(r.task).critical_offset()),
             }
         })
         .collect();
     let mut violations = Vec::new();
     for seg in trace.segments() {
-        let Some(running) = spans.iter().find(|s| s.id == seg.job) else { continue };
+        let Some(running) = spans.iter().find(|s| s.id == seg.job) else {
+            continue;
+        };
         for other in &spans {
             if other.id != running.id
                 && other.arrival <= seg.start
@@ -147,7 +152,9 @@ pub fn utilization_timeline(
             t = bucket_end;
         }
     }
-    busy.iter().map(|&b| b as f64 / bucket.as_micros() as f64).collect()
+    busy.iter()
+        .map(|&b| b as f64 / bucket.as_micros() as f64)
+        .collect()
 }
 
 #[cfg(test)]
@@ -205,9 +212,33 @@ mod tests {
     #[test]
     fn response_stats_filters_by_task_and_outcome() {
         let records = vec![
-            record(0, 0, 0, JobOutcome::Completed { at: SimTime::from_micros(5), utility: 1.0 }),
-            record(1, 1, 0, JobOutcome::Completed { at: SimTime::from_micros(50), utility: 1.0 }),
-            record(2, 0, 0, JobOutcome::Aborted { at: SimTime::from_micros(9), by_policy: false }),
+            record(
+                0,
+                0,
+                0,
+                JobOutcome::Completed {
+                    at: SimTime::from_micros(5),
+                    utility: 1.0,
+                },
+            ),
+            record(
+                1,
+                1,
+                0,
+                JobOutcome::Completed {
+                    at: SimTime::from_micros(50),
+                    utility: 1.0,
+                },
+            ),
+            record(
+                2,
+                0,
+                0,
+                JobOutcome::Aborted {
+                    at: SimTime::from_micros(9),
+                    by_policy: false,
+                },
+            ),
         ];
         let t0 = response_stats(&records, Some(TaskId(0))).expect("t0 completed");
         assert_eq!(t0.count, 1);
@@ -234,11 +265,20 @@ mod tests {
         ];
         let platform = Platform::powernow(EnergySetting::e1());
         let config = SimConfig::new(ms(200)).with_trace().with_job_records();
-        let out =
-            Engine::run(&tasks, &patterns, &platform, &mut MaxSpeedEdf::new(), &config, 1)
-                .unwrap();
-        let violations =
-            edf_violations(out.trace.as_ref().unwrap(), out.jobs.as_ref().unwrap(), &tasks);
+        let out = Engine::run(
+            &tasks,
+            &patterns,
+            &platform,
+            &mut MaxSpeedEdf::new(),
+            &config,
+            1,
+        )
+        .unwrap();
+        let violations = edf_violations(
+            out.trace.as_ref().unwrap(),
+            out.jobs.as_ref().unwrap(),
+            &tasks,
+        );
         assert!(violations.is_empty(), "{violations:?}");
     }
 
@@ -257,8 +297,24 @@ mod tests {
         // Job 1 has the earlier critical time (arrival 0) but job 0
         // (arrival 100 µs) runs first.
         let records = vec![
-            record(0, 0, 100, JobOutcome::Completed { at: SimTime::from_micros(300), utility: 1.0 }),
-            record(1, 0, 0, JobOutcome::Completed { at: SimTime::from_micros(500), utility: 1.0 }),
+            record(
+                0,
+                0,
+                100,
+                JobOutcome::Completed {
+                    at: SimTime::from_micros(300),
+                    utility: 1.0,
+                },
+            ),
+            record(
+                1,
+                0,
+                0,
+                JobOutcome::Completed {
+                    at: SimTime::from_micros(500),
+                    utility: 1.0,
+                },
+            ),
         ];
         let mut trace = ExecutionTrace::new();
         trace.push_segment(Segment {
@@ -291,7 +347,11 @@ mod tests {
             end: SimTime::from_micros(2_000),
             frequency: Frequency::from_mhz(100),
         });
-        let tl = utilization_timeline(&trace, TimeDelta::from_micros(2_000), TimeDelta::from_micros(1_000));
+        let tl = utilization_timeline(
+            &trace,
+            TimeDelta::from_micros(2_000),
+            TimeDelta::from_micros(1_000),
+        );
         assert_eq!(tl.len(), 2);
         assert!((tl[0] - 0.5).abs() < 1e-12);
         assert!((tl[1] - 0.5).abs() < 1e-12);
@@ -307,7 +367,11 @@ mod tests {
             end: SimTime::from_micros(1_100),
             frequency: Frequency::from_mhz(100),
         });
-        let tl = utilization_timeline(&trace, TimeDelta::from_micros(2_000), TimeDelta::from_micros(1_000));
+        let tl = utilization_timeline(
+            &trace,
+            TimeDelta::from_micros(2_000),
+            TimeDelta::from_micros(1_000),
+        );
         assert!((tl[0] - 0.1).abs() < 1e-12);
         assert!((tl[1] - 0.1).abs() < 1e-12);
     }

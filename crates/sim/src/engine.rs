@@ -9,6 +9,7 @@ use rand::SeedableRng;
 use crate::context::{JobView, SchedContext, SchedEvent};
 use crate::error::SimError;
 use crate::ids::{JobId, TaskId};
+use crate::invariants::InvariantChecker;
 use crate::job::{JobOutcome, JobRecord, LiveJob};
 use crate::metrics::Metrics;
 use crate::platform_view::Platform;
@@ -145,7 +146,10 @@ impl SimConfig {
     /// Panics if `power` is negative or non-finite.
     #[must_use]
     pub fn with_idle_power(mut self, power: f64) -> Self {
-        assert!(power.is_finite() && power >= 0.0, "idle power must be non-negative");
+        assert!(
+            power.is_finite() && power >= 0.0,
+            "idle power must be non-negative"
+        );
         self.idle_power = power;
         self
     }
@@ -200,8 +204,10 @@ impl Engine {
             });
         }
         let mut rng = SmallRng::seed_from_u64(seed);
-        let traces: Vec<ArrivalTrace> =
-            patterns.iter().map(|p| p.generate(config.horizon, &mut rng)).collect();
+        let traces: Vec<ArrivalTrace> = patterns
+            .iter()
+            .map(|p| p.generate(config.horizon, &mut rng))
+            .collect();
         Self::run_core(tasks, &traces, platform, policy, config, &mut rng)
     }
 
@@ -275,9 +281,15 @@ impl Engine {
             metrics: Metrics::new(config.horizon, tasks.len()),
             trace: config.record_trace.then(ExecutionTrace::new),
             records: config.record_jobs.then(Vec::new),
+            invariants: InvariantChecker::new(tasks.len()),
         };
         state.run_loop(policy)?;
-        Ok(Outcome { metrics: state.metrics, trace: state.trace, jobs: state.records })
+        state.invariants.finish(state.metrics.energy);
+        Ok(Outcome {
+            metrics: state.metrics,
+            trace: state.trace,
+            jobs: state.records,
+        })
     }
 }
 
@@ -297,6 +309,7 @@ struct EngineState<'a> {
     metrics: Metrics,
     trace: Option<ExecutionTrace>,
     records: Option<Vec<JobRecord>>,
+    invariants: InvariantChecker,
 }
 
 impl EngineState<'_> {
@@ -353,8 +366,15 @@ impl EngineState<'_> {
                 self.advance_idle(self.next_passive_event());
                 continue;
             };
-            if !self.platform.table().as_slice().contains(&decision.frequency) {
-                return Err(SimError::UnknownFrequency { mhz: decision.frequency.as_mhz() });
+            if !self
+                .platform
+                .table()
+                .as_slice()
+                .contains(&decision.frequency)
+            {
+                return Err(SimError::UnknownFrequency {
+                    mhz: decision.frequency.as_mhz(),
+                });
             }
             let Some(job_idx) = self.live.iter().position(|j| j.id == run_id) else {
                 return Err(SimError::UnknownJob { job: run_id });
@@ -386,10 +406,13 @@ impl EngineState<'_> {
                 let delta = stop - self.now;
                 if !delta.is_zero() {
                     let cycles = freq.cycles_in(delta);
-                    self.metrics.energy += self.platform.energy().energy_for(cycles, freq);
+                    let charge = self.platform.energy().energy_for(cycles, freq);
+                    self.invariants.energy_charge(charge);
+                    self.metrics.energy += charge;
                     self.metrics.busy_time += delta;
                     self.metrics.add_residency(freq.as_mhz(), delta);
                 }
+                self.invariants.clock_advance(self.now, stop);
                 self.now = stop;
                 if stop < target {
                     // Switch interrupted by an event; re-decide there.
@@ -407,14 +430,18 @@ impl EngineState<'_> {
             // 7. Execute until the next event.
             let completion_at = {
                 let job = &self.live[job_idx];
-                self.now.saturating_add(freq.execution_time(job.actual_remaining()))
+                self.now
+                    .saturating_add(freq.execution_time(job.actual_remaining()))
             };
+            self.invariants.executing(run_id);
             let next = self.next_passive_event().min(completion_at);
             let delta = next - self.now;
             let job = &mut self.live[job_idx];
             let cycles = freq.cycles_in(delta).min(job.actual_remaining());
             job.executed += cycles;
-            self.metrics.energy += self.platform.energy().energy_for(cycles, freq);
+            let charge = self.platform.energy().energy_for(cycles, freq);
+            self.invariants.energy_charge(charge);
+            self.metrics.energy += charge;
             self.metrics.busy_time += delta;
             self.metrics.add_residency(freq.as_mhz(), delta);
             let completed = job.actual_remaining().is_zero();
@@ -428,6 +455,7 @@ impl EngineState<'_> {
                     frequency: freq,
                 });
             }
+            self.invariants.clock_advance(self.now, next);
             self.now = next;
             if completed {
                 self.complete(job_idx);
@@ -455,18 +483,27 @@ impl EngineState<'_> {
     fn advance_idle(&mut self, to: SimTime) {
         let delta = to.saturating_since(self.now);
         if !delta.is_zero() && self.config.idle_power > 0.0 {
-            self.metrics.energy += self.config.idle_power * delta.as_micros() as f64;
+            let charge = self.config.idle_power * delta.as_micros() as f64;
+            self.invariants.energy_charge(charge);
+            self.metrics.energy += charge;
         }
+        self.invariants.clock_advance(self.now, to);
         self.now = to;
     }
 
     /// The earliest upcoming event the engine controls: an arrival, a
     /// termination expiry, or the horizon itself.
     fn next_passive_event(&self) -> SimTime {
-        let next_arrival =
-            self.arrivals.get(self.cursor).map_or(SimTime::MAX, |&(t, _)| t);
-        let next_termination =
-            self.live.iter().map(|j| j.termination).min().unwrap_or(SimTime::MAX);
+        let next_arrival = self
+            .arrivals
+            .get(self.cursor)
+            .map_or(SimTime::MAX, |&(t, _)| t);
+        let next_termination = self
+            .live
+            .iter()
+            .map(|j| j.termination)
+            .min()
+            .unwrap_or(SimTime::MAX);
         next_arrival.min(next_termination).min(self.horizon_end)
     }
 
@@ -479,6 +516,12 @@ impl EngineState<'_> {
             let actual = self.demands[self.cursor];
             self.cursor += 1;
             let task = self.tasks.task(tid);
+            self.invariants.arrival(
+                tid.index(),
+                t,
+                task.uam().max_arrivals(),
+                task.uam().window(),
+            );
             let job = LiveJob {
                 id: JobId(self.next_job_id),
                 task: tid,
@@ -542,6 +585,7 @@ impl EngineState<'_> {
 
     fn finish_abort(&mut self, idx: usize, by_policy: bool) {
         let job = self.live.remove(idx);
+        self.invariants.job_aborted(job.id);
         let task = self.tasks.task(job.task);
         let tm = &mut self.metrics.per_task[job.task.index()];
         if by_policy {
@@ -554,8 +598,7 @@ impl EngineState<'_> {
         // current utility. Either way it can still satisfy its `ν`.
         let mut accrued = 0.0;
         if self.config.progress_accrual && !job.actual.is_zero() {
-            let progress =
-                (job.executed.as_f64() / job.actual.as_f64()).clamp(0.0, 1.0);
+            let progress = (job.executed.as_f64() / job.actual.as_f64()).clamp(0.0, 1.0);
             accrued = progress * task.tuf().utility(self.now.saturating_since(job.arrival));
         }
         if job.termination <= self.horizon_end {
@@ -569,7 +612,11 @@ impl EngineState<'_> {
             self.running = None;
         }
         if let Some(trace) = self.trace.as_mut() {
-            trace.push_event(TraceEvent::Abort { at: self.now, job: job.id, by_policy });
+            trace.push_event(TraceEvent::Abort {
+                at: self.now,
+                job: job.id,
+                by_policy,
+            });
         }
         if let Some(records) = self.records.as_mut() {
             records.push(JobRecord {
@@ -578,7 +625,10 @@ impl EngineState<'_> {
                 arrival: job.arrival,
                 actual_demand: job.actual,
                 executed: job.executed,
-                outcome: JobOutcome::Aborted { at: self.now, by_policy },
+                outcome: JobOutcome::Aborted {
+                    at: self.now,
+                    by_policy,
+                },
             });
         }
     }
@@ -612,7 +662,10 @@ impl EngineState<'_> {
             self.running = None;
         }
         if let Some(trace) = self.trace.as_mut() {
-            trace.push_event(TraceEvent::Completion { at: self.now, job: job.id });
+            trace.push_event(TraceEvent::Completion {
+                at: self.now,
+                job: job.id,
+            });
         }
         if let Some(records) = self.records.as_mut() {
             records.push(JobRecord {
@@ -621,7 +674,10 @@ impl EngineState<'_> {
                 arrival: job.arrival,
                 actual_demand: job.actual,
                 executed: job.executed,
-                outcome: JobOutcome::Completed { at: self.now, utility },
+                outcome: JobOutcome::Completed {
+                    at: self.now,
+                    utility,
+                },
             });
         }
     }
@@ -674,9 +730,15 @@ mod tests {
         let tasks = TaskSet::new(vec![step_task("t", 10, 100_000.0)]).unwrap();
         let patterns = vec![ArrivalPattern::periodic(ms(10)).unwrap()];
         let config = SimConfig::new(ms(100));
-        let out =
-            Engine::run(&tasks, &patterns, &platform(), &mut MaxSpeedEdf::new(), &config, 1)
-                .unwrap();
+        let out = Engine::run(
+            &tasks,
+            &patterns,
+            &platform(),
+            &mut MaxSpeedEdf::new(),
+            &config,
+            1,
+        )
+        .unwrap();
         let m = &out.metrics;
         assert_eq!(m.jobs_arrived(), 10);
         assert_eq!(m.jobs_completed(), 10);
@@ -695,32 +757,50 @@ mod tests {
         let tasks = TaskSet::new(vec![step_task("t", 10, 2_000_000.0)]).unwrap();
         let patterns = vec![ArrivalPattern::periodic(ms(10)).unwrap()];
         let config = SimConfig::new(ms(100)).with_job_records();
-        let out =
-            Engine::run(&tasks, &patterns, &platform(), &mut MaxSpeedEdf::new(), &config, 1)
-                .unwrap();
+        let out = Engine::run(
+            &tasks,
+            &patterns,
+            &platform(),
+            &mut MaxSpeedEdf::new(),
+            &config,
+            1,
+        )
+        .unwrap();
         let m = &out.metrics;
         assert_eq!(m.jobs_completed(), 0);
         assert_eq!(m.jobs_aborted(), 10);
         assert_eq!(m.total_utility, 0.0);
         let records = out.jobs.unwrap();
-        assert!(records
-            .iter()
-            .all(|r| matches!(r.outcome, JobOutcome::Aborted { by_policy: false, .. })));
+        assert!(records.iter().all(|r| matches!(
+            r.outcome,
+            JobOutcome::Aborted {
+                by_policy: false,
+                ..
+            }
+        )));
     }
 
     #[test]
     fn trace_records_serial_segments() {
-        let tasks =
-            TaskSet::new(vec![step_task("a", 10, 200_000.0), step_task("b", 20, 400_000.0)])
-                .unwrap();
+        let tasks = TaskSet::new(vec![
+            step_task("a", 10, 200_000.0),
+            step_task("b", 20, 400_000.0),
+        ])
+        .unwrap();
         let patterns = vec![
             ArrivalPattern::periodic(ms(10)).unwrap(),
             ArrivalPattern::periodic(ms(20)).unwrap(),
         ];
         let config = SimConfig::new(ms(60)).with_trace();
-        let out =
-            Engine::run(&tasks, &patterns, &platform(), &mut MaxSpeedEdf::new(), &config, 1)
-                .unwrap();
+        let out = Engine::run(
+            &tasks,
+            &patterns,
+            &platform(),
+            &mut MaxSpeedEdf::new(),
+            &config,
+            1,
+        )
+        .unwrap();
         let trace = out.trace.unwrap();
         assert!(trace.is_serial());
         assert_eq!(trace.busy_time(), out.metrics.busy_time);
@@ -765,8 +845,13 @@ mod tests {
         .unwrap();
         assert_eq!(out.metrics.preemptions, 1);
         assert_eq!(out.metrics.jobs_completed(), 2);
-        let seq: Vec<u64> =
-            out.trace.unwrap().job_sequence().iter().map(|j| j.get()).collect();
+        let seq: Vec<u64> = out
+            .trace
+            .unwrap()
+            .job_sequence()
+            .iter()
+            .map(|j| j.get())
+            .collect();
         assert_eq!(seq, vec![0, 1, 0]);
     }
 
@@ -811,8 +896,7 @@ mod tests {
         let tasks = TaskSet::new(vec![step_task("t", 10, 1_000.0)]).unwrap();
         let patterns = vec![ArrivalPattern::periodic(ms(10)).unwrap()];
         let config = SimConfig::new(ms(50));
-        let out =
-            Engine::run(&tasks, &patterns, &platform(), &mut AbortAll, &config, 1).unwrap();
+        let out = Engine::run(&tasks, &patterns, &platform(), &mut AbortAll, &config, 1).unwrap();
         assert_eq!(out.metrics.per_task[0].aborted_by_policy, 5);
         assert_eq!(out.metrics.jobs_completed(), 0);
     }
@@ -864,13 +948,34 @@ mod tests {
         let patterns =
             vec![ArrivalPattern::random_burst(UamSpec::new(2, ms(10)).unwrap()).unwrap()];
         let config = SimConfig::new(ms(500));
-        let a = Engine::run(&tasks, &patterns, &platform(), &mut MaxSpeedEdf::new(), &config, 9)
-            .unwrap();
-        let b = Engine::run(&tasks, &patterns, &platform(), &mut MaxSpeedEdf::new(), &config, 9)
-            .unwrap();
+        let a = Engine::run(
+            &tasks,
+            &patterns,
+            &platform(),
+            &mut MaxSpeedEdf::new(),
+            &config,
+            9,
+        )
+        .unwrap();
+        let b = Engine::run(
+            &tasks,
+            &patterns,
+            &platform(),
+            &mut MaxSpeedEdf::new(),
+            &config,
+            9,
+        )
+        .unwrap();
         assert_eq!(a.metrics, b.metrics);
-        let c = Engine::run(&tasks, &patterns, &platform(), &mut MaxSpeedEdf::new(), &config, 10)
-            .unwrap();
+        let c = Engine::run(
+            &tasks,
+            &patterns,
+            &platform(),
+            &mut MaxSpeedEdf::new(),
+            &config,
+            10,
+        )
+        .unwrap();
         assert_ne!(a.metrics, c.metrics);
     }
 
@@ -879,8 +984,15 @@ mod tests {
         let tasks = TaskSet::new(vec![step_task("t", 10, 1_000.0)]).unwrap();
         let patterns = vec![ArrivalPattern::periodic(ms(10)).unwrap()];
         let config = SimConfig::new(TimeDelta::ZERO);
-        let err = Engine::run(&tasks, &patterns, &platform(), &mut MaxSpeedEdf::new(), &config, 1)
-            .unwrap_err();
+        let err = Engine::run(
+            &tasks,
+            &patterns,
+            &platform(),
+            &mut MaxSpeedEdf::new(),
+            &config,
+            1,
+        )
+        .unwrap_err();
         assert_eq!(err, SimError::ZeroHorizon);
     }
 
@@ -888,27 +1000,56 @@ mod tests {
     fn pattern_count_mismatch_rejected() {
         let tasks = TaskSet::new(vec![step_task("t", 10, 1_000.0)]).unwrap();
         let config = SimConfig::new(ms(10));
-        let err = Engine::run(&tasks, &[], &platform(), &mut MaxSpeedEdf::new(), &config, 1)
-            .unwrap_err();
-        assert_eq!(err, SimError::PatternCountMismatch { tasks: 1, patterns: 0 });
+        let err = Engine::run(
+            &tasks,
+            &[],
+            &platform(),
+            &mut MaxSpeedEdf::new(),
+            &config,
+            1,
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            SimError::PatternCountMismatch {
+                tasks: 1,
+                patterns: 0
+            }
+        );
     }
 
     #[test]
     fn context_switch_overhead_consumes_time_and_energy() {
-        let tasks =
-            TaskSet::new(vec![step_task("a", 10, 100_000.0), step_task("b", 10, 100_000.0)])
-                .unwrap();
+        let tasks = TaskSet::new(vec![
+            step_task("a", 10, 100_000.0),
+            step_task("b", 10, 100_000.0),
+        ])
+        .unwrap();
         let patterns = vec![
             ArrivalPattern::periodic(ms(10)).unwrap(),
             ArrivalPattern::periodic(ms(10)).unwrap(),
         ];
         let plain = SimConfig::new(ms(100));
-        let costly = SimConfig::new(ms(100))
-            .with_context_switch_overhead(TimeDelta::from_micros(100));
-        let a = Engine::run(&tasks, &patterns, &platform(), &mut MaxSpeedEdf::new(), &plain, 1)
-            .unwrap();
-        let b = Engine::run(&tasks, &patterns, &platform(), &mut MaxSpeedEdf::new(), &costly, 1)
-            .unwrap();
+        let costly =
+            SimConfig::new(ms(100)).with_context_switch_overhead(TimeDelta::from_micros(100));
+        let a = Engine::run(
+            &tasks,
+            &patterns,
+            &platform(),
+            &mut MaxSpeedEdf::new(),
+            &plain,
+            1,
+        )
+        .unwrap();
+        let b = Engine::run(
+            &tasks,
+            &patterns,
+            &platform(),
+            &mut MaxSpeedEdf::new(),
+            &costly,
+            1,
+        )
+        .unwrap();
         assert!(b.metrics.energy > a.metrics.energy);
         assert!(b.metrics.busy_time > a.metrics.busy_time);
     }
@@ -945,7 +1086,11 @@ mod tests {
         .unwrap();
         // Executed 10 ms · 100 MHz = 1M of 2M cycles ⇒ progress 0.5; the
         // step TUF still pays its height (10) at exactly t = X.
-        assert!((b.metrics.total_utility - 5.0).abs() < 1e-9, "{}", b.metrics.total_utility);
+        assert!(
+            (b.metrics.total_utility - 5.0).abs() < 1e-9,
+            "{}",
+            b.metrics.total_utility
+        );
     }
 
     #[test]
@@ -954,11 +1099,24 @@ mod tests {
         let patterns = vec![ArrivalPattern::periodic(ms(10)).unwrap()];
         let plain = SimConfig::new(ms(100));
         let partial = SimConfig::new(ms(100)).with_progress_accrual();
-        let a = Engine::run(&tasks, &patterns, &platform(), &mut MaxSpeedEdf::new(), &plain, 1)
-            .unwrap();
-        let b =
-            Engine::run(&tasks, &patterns, &platform(), &mut MaxSpeedEdf::new(), &partial, 1)
-                .unwrap();
+        let a = Engine::run(
+            &tasks,
+            &patterns,
+            &platform(),
+            &mut MaxSpeedEdf::new(),
+            &plain,
+            1,
+        )
+        .unwrap();
+        let b = Engine::run(
+            &tasks,
+            &patterns,
+            &platform(),
+            &mut MaxSpeedEdf::new(),
+            &partial,
+            1,
+        )
+        .unwrap();
         assert_eq!(a.metrics.total_utility, b.metrics.total_utility);
     }
 
@@ -988,10 +1146,24 @@ mod tests {
         let plain = SimConfig::new(ms(100));
         let costly =
             SimConfig::new(ms(100)).with_frequency_switch_overhead(TimeDelta::from_micros(50));
-        let a = Engine::run(&tasks, &patterns, &platform(), &mut Flapper(false), &plain, 1)
-            .unwrap();
-        let b = Engine::run(&tasks, &patterns, &platform(), &mut Flapper(false), &costly, 1)
-            .unwrap();
+        let a = Engine::run(
+            &tasks,
+            &patterns,
+            &platform(),
+            &mut Flapper(false),
+            &plain,
+            1,
+        )
+        .unwrap();
+        let b = Engine::run(
+            &tasks,
+            &patterns,
+            &platform(),
+            &mut Flapper(false),
+            &costly,
+            1,
+        )
+        .unwrap();
         assert!(a.metrics.frequency_changes > 0);
         assert!(b.metrics.busy_time > a.metrics.busy_time);
         assert!(b.metrics.energy > a.metrics.energy);
@@ -1002,9 +1174,15 @@ mod tests {
         let tasks = TaskSet::new(vec![step_task("t", 10, 100_000.0)]).unwrap();
         let patterns = vec![ArrivalPattern::periodic(ms(10)).unwrap()];
         let config = SimConfig::new(ms(100));
-        let out =
-            Engine::run(&tasks, &patterns, &platform(), &mut MaxSpeedEdf::new(), &config, 1)
-                .unwrap();
+        let out = Engine::run(
+            &tasks,
+            &patterns,
+            &platform(),
+            &mut MaxSpeedEdf::new(),
+            &config,
+            1,
+        )
+        .unwrap();
         let m = &out.metrics;
         let total: TimeDelta = m.freq_residency.iter().map(|r| r.busy).sum();
         assert_eq!(total, m.busy_time);
@@ -1021,11 +1199,24 @@ mod tests {
         let patterns = vec![ArrivalPattern::periodic(ms(10)).unwrap()];
         let plain = SimConfig::new(ms(100));
         let drawing = SimConfig::new(ms(100)).with_idle_power(2.0);
-        let a = Engine::run(&tasks, &patterns, &platform(), &mut MaxSpeedEdf::new(), &plain, 1)
-            .unwrap();
-        let b =
-            Engine::run(&tasks, &patterns, &platform(), &mut MaxSpeedEdf::new(), &drawing, 1)
-                .unwrap();
+        let a = Engine::run(
+            &tasks,
+            &patterns,
+            &platform(),
+            &mut MaxSpeedEdf::new(),
+            &plain,
+            1,
+        )
+        .unwrap();
+        let b = Engine::run(
+            &tasks,
+            &patterns,
+            &platform(),
+            &mut MaxSpeedEdf::new(),
+            &drawing,
+            1,
+        )
+        .unwrap();
         let idle_us = (ms(100) - a.metrics.busy_time).as_micros() as f64;
         assert!(
             (b.metrics.energy - a.metrics.energy - 2.0 * idle_us).abs() < 1e-6,
@@ -1059,15 +1250,20 @@ mod tests {
         let tasks = TaskSet::new(vec![step_task("t", 10, 100_000.0)]).unwrap();
         let patterns = vec![ArrivalPattern::periodic(ms(10)).unwrap()];
         let config = SimConfig::new(ms(100));
-        let mut watcher = EnergyWatcher { last_seen: 0.0, monotone: true };
-        let out =
-            Engine::run(&tasks, &patterns, &platform(), &mut watcher, &config, 1).unwrap();
+        let mut watcher = EnergyWatcher {
+            last_seen: 0.0,
+            monotone: true,
+        };
+        let out = Engine::run(&tasks, &patterns, &platform(), &mut watcher, &config, 1).unwrap();
         assert!(watcher.monotone, "energy_used must be non-decreasing");
         assert!(
             watcher.last_seen <= out.metrics.energy,
             "policy view cannot exceed the final bill"
         );
-        assert!(watcher.last_seen > 0.0, "policy must observe energy accruing");
+        assert!(
+            watcher.last_seen > 0.0,
+            "policy must observe energy accruing"
+        );
     }
 
     #[test]

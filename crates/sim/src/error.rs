@@ -3,6 +3,8 @@
 use std::error::Error;
 use std::fmt;
 
+use eua_uam::UamError;
+
 use crate::ids::JobId;
 
 /// Errors produced while building or running a simulation.
@@ -42,15 +44,21 @@ pub enum SimError {
     ZeroHorizon,
     /// A replication run was requested with zero replicas.
     ZeroReplications,
-    /// A task error surfaced during construction.
-    Task(String),
+    /// A task's demand or assurance was rejected during construction.
+    Task {
+        /// The underlying demand/assurance error.
+        source: UamError,
+    },
 }
 
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::NoCriticalTime { task } => {
-                write!(f, "task {task} has no critical time for its assurance fraction")
+                write!(
+                    f,
+                    "task {task} has no critical time for its assurance fraction"
+                )
             }
             SimError::EmptyTaskSet => write!(f, "task set must contain at least one task"),
             SimError::PatternCountMismatch { tasks, patterns } => {
@@ -61,16 +69,32 @@ impl fmt::Display for SimError {
                 write!(f, "policy both runs and aborts job {job}")
             }
             SimError::UnknownFrequency { mhz } => {
-                write!(f, "policy chose frequency {mhz}MHz outside the platform table")
+                write!(
+                    f,
+                    "policy chose frequency {mhz}MHz outside the platform table"
+                )
             }
             SimError::ZeroHorizon => write!(f, "simulation horizon must be positive"),
             SimError::ZeroReplications => write!(f, "replication count must be positive"),
-            SimError::Task(msg) => write!(f, "invalid task: {msg}"),
+            SimError::Task { source } => write!(f, "invalid task: {source}"),
         }
     }
 }
 
-impl Error for SimError {}
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Task { source } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<UamError> for SimError {
+    fn from(source: UamError) -> Self {
+        SimError::Task { source }
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -81,16 +105,29 @@ mod tests {
         for e in [
             SimError::NoCriticalTime { task: "a".into() },
             SimError::EmptyTaskSet,
-            SimError::PatternCountMismatch { tasks: 2, patterns: 1 },
+            SimError::PatternCountMismatch {
+                tasks: 2,
+                patterns: 1,
+            },
             SimError::UnknownJob { job: JobId(1) },
             SimError::RunAbortConflict { job: JobId(2) },
             SimError::UnknownFrequency { mhz: 1 },
             SimError::ZeroHorizon,
             SimError::ZeroReplications,
-            SimError::Task("bad".into()),
+            SimError::Task {
+                source: UamError::ZeroWindow,
+            },
         ] {
             assert!(!e.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn task_errors_expose_their_source() {
+        let e = SimError::from(UamError::ZeroWindow);
+        let source = e.source().expect("task errors carry a source");
+        assert_eq!(source.to_string(), UamError::ZeroWindow.to_string());
+        assert!(SimError::EmptyTaskSet.source().is_none());
     }
 
     #[test]

@@ -1,0 +1,246 @@
+//! Feature-gated runtime invariant checking for the simulation engine.
+//!
+//! With the `invariant-checks` feature enabled, the engine threads every
+//! state transition through an [`InvariantChecker`] that asserts the
+//! properties the rest of the stack silently relies on:
+//!
+//! * the simulation clock never moves backwards;
+//! * admitted arrival streams respect each task's UAM window bound
+//!   (at most `a` arrivals in any half-open window of length `P`);
+//! * a job that has been aborted is never executed again;
+//! * every energy charge is finite and non-negative, and the final
+//!   energy total equals the sum of the individual charges.
+//!
+//! Violations panic with a descriptive message, which surfaces as a test
+//! failure in the suites that run with the feature on (`end_to_end`,
+//! `uam_compliance`). Without the feature the checker is a zero-sized
+//! no-op whose inlined empty methods compile away entirely, so the
+//! release simulator pays nothing.
+
+#[cfg(not(feature = "invariant-checks"))]
+pub use disabled::InvariantChecker;
+#[cfg(feature = "invariant-checks")]
+pub use enabled::InvariantChecker;
+
+/// Whether the `invariant-checks` feature is compiled into this build of
+/// the simulator.
+#[must_use]
+pub const fn invariant_checks_enabled() -> bool {
+    cfg!(feature = "invariant-checks")
+}
+
+#[cfg(feature = "invariant-checks")]
+mod enabled {
+    use std::collections::{BTreeSet, VecDeque};
+
+    use crate::ids::JobId;
+    use eua_platform::{SimTime, TimeDelta};
+
+    /// Relative tolerance for the energy-additivity check.
+    const ENERGY_REL_TOL: f64 = 1e-6;
+
+    /// Accumulated invariant state for one simulation run.
+    #[derive(Debug)]
+    pub struct InvariantChecker {
+        /// Per-task recent arrival times, pruned to the UAM window.
+        arrivals: Vec<VecDeque<SimTime>>,
+        /// Ids of every job aborted so far.
+        aborted: BTreeSet<JobId>,
+        /// Running sum of individual energy charges.
+        charged: f64,
+    }
+
+    impl InvariantChecker {
+        /// A fresh checker for a run over `num_tasks` tasks.
+        #[must_use]
+        pub fn new(num_tasks: usize) -> Self {
+            InvariantChecker {
+                arrivals: vec![VecDeque::new(); num_tasks],
+                aborted: BTreeSet::new(),
+                charged: 0.0,
+            }
+        }
+
+        /// Asserts the clock only moves forward.
+        pub fn clock_advance(&mut self, from: SimTime, to: SimTime) {
+            assert!(
+                to >= from,
+                "invariant violated: clock moved backwards from {from} to {to}"
+            );
+        }
+
+        /// Asserts the admitted arrival stream for `task` stays within
+        /// the UAM bound: at most `max_arrivals` arrivals in any
+        /// half-open window of length `window`.
+        pub fn arrival(&mut self, task: usize, at: SimTime, max_arrivals: u32, window: TimeDelta) {
+            let history = &mut self.arrivals[task];
+            if let Some(&last) = history.back() {
+                assert!(
+                    at >= last,
+                    "invariant violated: task {task} arrivals out of order ({last} then {at})"
+                );
+            }
+            history.push_back(at);
+            // Keep only arrivals with `at − P < t ≤ at`; older ones can
+            // never share a window of length P with `at` again.
+            while let Some(&front) = history.front() {
+                if front.saturating_add(window) <= at {
+                    history.pop_front();
+                } else {
+                    break;
+                }
+            }
+            assert!(
+                history.len() <= max_arrivals as usize,
+                "invariant violated: task {task} admitted {} arrivals in a {window} window \
+                 (UAM bound is {max_arrivals}); window ends at {at}",
+                history.len()
+            );
+        }
+
+        /// Records an abort.
+        pub fn job_aborted(&mut self, id: JobId) {
+            self.aborted.insert(id);
+        }
+
+        /// Asserts an aborted job is never executed.
+        pub fn executing(&mut self, id: JobId) {
+            assert!(
+                !self.aborted.contains(&id),
+                "invariant violated: aborted job {id:?} was scheduled for execution"
+            );
+        }
+
+        /// Asserts a single energy charge is sane and accumulates it.
+        pub fn energy_charge(&mut self, charge: f64) {
+            assert!(
+                charge.is_finite() && charge >= 0.0,
+                "invariant violated: energy charge {charge} is negative or non-finite"
+            );
+            self.charged += charge;
+        }
+
+        /// Asserts the final metered energy equals the sum of charges.
+        pub fn finish(&self, total_energy: f64) {
+            assert!(
+                total_energy.is_finite() && total_energy >= 0.0,
+                "invariant violated: total energy {total_energy} is negative or non-finite"
+            );
+            let tol = ENERGY_REL_TOL * self.charged.max(1.0);
+            assert!(
+                (total_energy - self.charged).abs() <= tol,
+                "invariant violated: metered energy {total_energy} differs from the sum of \
+                 charges {} by more than {tol}",
+                self.charged
+            );
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn clock_must_not_go_backwards() {
+            let mut c = InvariantChecker::new(1);
+            c.clock_advance(SimTime::from_micros(5), SimTime::from_micros(5));
+            c.clock_advance(SimTime::from_micros(5), SimTime::from_micros(9));
+            let r = std::panic::catch_unwind(move || {
+                c.clock_advance(SimTime::from_micros(9), SimTime::from_micros(8));
+            });
+            assert!(r.is_err());
+        }
+
+        #[test]
+        fn uam_window_bound_enforced() {
+            let window = TimeDelta::from_micros(100);
+            let mut c = InvariantChecker::new(1);
+            // Two arrivals per window are fine…
+            c.arrival(0, SimTime::from_micros(0), 2, window);
+            c.arrival(0, SimTime::from_micros(10), 2, window);
+            // …a third arrival 100 µs later has left the first window.
+            c.arrival(0, SimTime::from_micros(100), 2, window);
+            // But a third sharing a window with the previous two
+            // ((1, 101] holds 10, 100, and 101) trips the check.
+            let r = std::panic::catch_unwind(move || {
+                c.arrival(0, SimTime::from_micros(101), 2, window);
+            });
+            assert!(r.is_err());
+        }
+
+        #[test]
+        fn aborted_jobs_must_not_execute() {
+            let mut c = InvariantChecker::new(1);
+            c.executing(JobId(1));
+            c.job_aborted(JobId(1));
+            let r = std::panic::catch_unwind(move || c.executing(JobId(1)));
+            assert!(r.is_err());
+        }
+
+        #[test]
+        fn energy_is_additive_and_non_negative() {
+            let mut c = InvariantChecker::new(1);
+            c.energy_charge(1.5);
+            c.energy_charge(0.0);
+            c.energy_charge(2.5);
+            c.finish(4.0);
+            let r = std::panic::catch_unwind(move || c.finish(5.0));
+            assert!(r.is_err());
+            let mut c = InvariantChecker::new(1);
+            let r = std::panic::catch_unwind(move || c.energy_charge(-1.0));
+            assert!(r.is_err());
+        }
+    }
+}
+
+#[cfg(not(feature = "invariant-checks"))]
+mod disabled {
+    use crate::ids::JobId;
+    use eua_platform::{SimTime, TimeDelta};
+
+    /// Zero-sized no-op stand-in compiled when `invariant-checks` is
+    /// off; every method is an empty inline that optimizes away.
+    #[derive(Debug)]
+    pub struct InvariantChecker;
+
+    #[allow(clippy::unused_self)]
+    impl InvariantChecker {
+        /// No-op constructor.
+        #[inline(always)]
+        #[must_use]
+        pub fn new(_num_tasks: usize) -> Self {
+            InvariantChecker
+        }
+
+        /// No-op.
+        #[inline(always)]
+        pub fn clock_advance(&mut self, _from: SimTime, _to: SimTime) {}
+
+        /// No-op.
+        #[inline(always)]
+        pub fn arrival(
+            &mut self,
+            _task: usize,
+            _at: SimTime,
+            _max_arrivals: u32,
+            _window: TimeDelta,
+        ) {
+        }
+
+        /// No-op.
+        #[inline(always)]
+        pub fn job_aborted(&mut self, _id: JobId) {}
+
+        /// No-op.
+        #[inline(always)]
+        pub fn executing(&mut self, _id: JobId) {}
+
+        /// No-op.
+        #[inline(always)]
+        pub fn energy_charge(&mut self, _charge: f64) {}
+
+        /// No-op.
+        #[inline(always)]
+        pub fn finish(&self, _total_energy: f64) {}
+    }
+}

@@ -69,13 +69,23 @@ impl fmt::Display for JobRecord {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.outcome {
             JobOutcome::Completed { at, utility } => {
-                write!(f, "{} ({}): completed at {} with utility {:.3}", self.id, self.task, at, utility)
+                write!(
+                    f,
+                    "{} ({}): completed at {} with utility {:.3}",
+                    self.id, self.task, at, utility
+                )
             }
             JobOutcome::Aborted { at, by_policy } => {
                 let who = if by_policy { "policy" } else { "termination" };
-                write!(f, "{} ({}): aborted by {} at {}", self.id, self.task, who, at)
+                write!(
+                    f,
+                    "{} ({}): aborted by {} at {}",
+                    self.id, self.task, who, at
+                )
             }
-            JobOutcome::Unfinished => write!(f, "{} ({}): unfinished at horizon", self.id, self.task),
+            JobOutcome::Unfinished => {
+                write!(f, "{} ({}): unfinished at horizon", self.id, self.task)
+            }
         }
     }
 }
@@ -157,17 +167,26 @@ mod tests {
             arrival: SimTime::ZERO,
             actual_demand: Cycles::new(10),
             executed: Cycles::new(10),
-            outcome: JobOutcome::Completed { at: SimTime::from_micros(5), utility: 3.5 },
+            outcome: JobOutcome::Completed {
+                at: SimTime::from_micros(5),
+                utility: 3.5,
+            },
         };
         assert_eq!(base.utility(), 3.5);
         assert!(base.is_completed());
         let aborted = JobRecord {
-            outcome: JobOutcome::Aborted { at: SimTime::from_micros(7), by_policy: true },
+            outcome: JobOutcome::Aborted {
+                at: SimTime::from_micros(7),
+                by_policy: true,
+            },
             ..base.clone()
         };
         assert_eq!(aborted.utility(), 0.0);
         assert!(!aborted.is_completed());
-        let unfinished = JobRecord { outcome: JobOutcome::Unfinished, ..base };
+        let unfinished = JobRecord {
+            outcome: JobOutcome::Unfinished,
+            ..base
+        };
         assert_eq!(unfinished.utility(), 0.0);
     }
 
@@ -179,7 +198,10 @@ mod tests {
             arrival: SimTime::ZERO,
             actual_demand: Cycles::new(10),
             executed: Cycles::new(4),
-            outcome: JobOutcome::Aborted { at: SimTime::from_micros(9), by_policy: false },
+            outcome: JobOutcome::Aborted {
+                at: SimTime::from_micros(9),
+                by_policy: false,
+            },
         };
         assert!(r.to_string().contains("termination"));
     }

@@ -63,6 +63,7 @@ mod context;
 mod engine;
 mod error;
 mod ids;
+mod invariants;
 mod job;
 mod metrics;
 mod platform_view;
@@ -71,11 +72,14 @@ mod runner;
 mod task;
 mod trace;
 
-pub use analysis::{edf_violations, response_stats, utilization_timeline, EdfViolation, ResponseStats};
+pub use analysis::{
+    edf_violations, response_stats, utilization_timeline, EdfViolation, ResponseStats,
+};
 pub use context::{JobView, SchedContext, SchedEvent};
 pub use engine::{Engine, Outcome, SimConfig};
 pub use error::SimError;
 pub use ids::{JobId, TaskId};
+pub use invariants::{invariant_checks_enabled, InvariantChecker};
 pub use job::{JobOutcome, JobRecord};
 pub use metrics::{FrequencyResidency, Metrics, TaskMetrics};
 pub use platform_view::Platform;

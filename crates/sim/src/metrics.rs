@@ -115,7 +115,8 @@ impl Metrics {
         match self.freq_residency.binary_search_by_key(&mhz, |r| r.mhz) {
             Ok(i) => self.freq_residency[i].busy += delta,
             Err(i) => {
-                self.freq_residency.insert(i, FrequencyResidency { mhz, busy: delta });
+                self.freq_residency
+                    .insert(i, FrequencyResidency { mhz, busy: delta });
             }
         }
     }
@@ -178,17 +179,23 @@ impl Metrics {
     /// Total jobs aborted (by engine or policy).
     #[must_use]
     pub fn jobs_aborted(&self) -> u64 {
-        self.per_task.iter().map(|t| t.aborted_by_termination + t.aborted_by_policy).sum()
+        self.per_task
+            .iter()
+            .map(|t| t.aborted_by_termination + t.aborted_by_policy)
+            .sum()
     }
 
     /// `true` when every task's empirical assurance rate meets its `ρ`
     /// requirement (tasks with no observable jobs are skipped).
     #[must_use]
     pub fn meets_assurances(&self, tasks: &TaskSet) -> bool {
-        self.per_task.iter().enumerate().all(|(i, tm)| match tm.assurance_rate() {
-            Some(rate) => rate + 1e-12 >= tasks.task(TaskId(i)).assurance().rho(),
-            None => true,
-        })
+        self.per_task
+            .iter()
+            .enumerate()
+            .all(|(i, tm)| match tm.assurance_rate() {
+                Some(rate) => rate + 1e-12 >= tasks.task(TaskId(i)).assurance().rho(),
+                None => true,
+            })
     }
 
     /// The largest lateness across all tasks' completed jobs, in signed

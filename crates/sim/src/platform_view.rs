@@ -31,7 +31,11 @@ impl Platform {
     #[must_use]
     pub fn new(table: FrequencyTable, setting: EnergySetting) -> Self {
         let energy = setting.model(table.max());
-        Platform { table, setting, energy }
+        Platform {
+            table,
+            setting,
+            energy,
+        }
     }
 
     /// The paper's evaluation platform: AMD K6-2+ PowerNow! frequencies

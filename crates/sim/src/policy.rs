@@ -24,13 +24,21 @@ impl Decision {
     /// Idle until the next event.
     #[must_use]
     pub fn idle(frequency: Frequency) -> Self {
-        Decision { run: None, frequency, abort: Vec::new() }
+        Decision {
+            run: None,
+            frequency,
+            abort: Vec::new(),
+        }
     }
 
     /// Run `job` at `frequency`.
     #[must_use]
     pub fn run(job: JobId, frequency: Frequency) -> Self {
-        Decision { run: Some(job), frequency, abort: Vec::new() }
+        Decision {
+            run: Some(job),
+            frequency,
+            abort: Vec::new(),
+        }
     }
 
     /// Adds jobs to abort.

@@ -102,7 +102,10 @@ pub fn replicate<P: SchedulerPolicy + ?Sized>(
     let mut runs = Vec::with_capacity(seeds.len());
     for &seed in seeds {
         let outcome = Engine::run(tasks, patterns, platform, policy, config, seed)?;
-        runs.push(Replication { seed, metrics: outcome.metrics });
+        runs.push(Replication {
+            seed,
+            metrics: outcome.metrics,
+        });
     }
     Ok(Summary { runs })
 }
@@ -134,15 +137,27 @@ mod tests {
         let tasks = TaskSet::new(vec![task]).unwrap();
         let patterns =
             vec![ArrivalPattern::random_burst(UamSpec::new(2, ms(10)).unwrap()).unwrap()];
-        (tasks, patterns, Platform::powernow(EnergySetting::e1()), SimConfig::new(ms(300)))
+        (
+            tasks,
+            patterns,
+            Platform::powernow(EnergySetting::e1()),
+            SimConfig::new(ms(300)),
+        )
     }
 
     #[test]
     fn replicate_aggregates_all_seeds() {
         let (tasks, patterns, platform, config) = setup();
         let mut policy = MaxSpeedEdf::new();
-        let summary =
-            replicate(&tasks, &patterns, &platform, &mut policy, &config, &[1, 2, 3, 4]).unwrap();
+        let summary = replicate(
+            &tasks,
+            &patterns,
+            &platform,
+            &mut policy,
+            &config,
+            &[1, 2, 3, 4],
+        )
+        .unwrap();
         assert_eq!(summary.runs.len(), 4);
         assert!(summary.mean_utility() > 0.0);
         assert!(summary.mean_energy() > 0.0);
@@ -155,8 +170,7 @@ mod tests {
     fn single_run_has_zero_std() {
         let (tasks, patterns, platform, config) = setup();
         let mut policy = MaxSpeedEdf::new();
-        let summary =
-            replicate(&tasks, &patterns, &platform, &mut policy, &config, &[7]).unwrap();
+        let summary = replicate(&tasks, &patterns, &platform, &mut policy, &config, &[7]).unwrap();
         assert_eq!(summary.std_by(|m| m.energy), 0.0);
         assert_eq!(summary.ci95_by(|m| m.energy), 0.0);
     }
@@ -165,9 +179,15 @@ mod tests {
     fn ci95_scales_with_std() {
         let (tasks, patterns, platform, config) = setup();
         let mut policy = MaxSpeedEdf::new();
-        let summary =
-            replicate(&tasks, &patterns, &platform, &mut policy, &config, &[1, 2, 3, 4])
-                .unwrap();
+        let summary = replicate(
+            &tasks,
+            &patterns,
+            &platform,
+            &mut policy,
+            &config,
+            &[1, 2, 3, 4],
+        )
+        .unwrap();
         let std = summary.std_by(|m| m.total_utility);
         let ci = summary.ci95_by(|m| m.total_utility);
         assert!((ci - 1.96 * std / 2.0).abs() < 1e-9);
@@ -177,8 +197,7 @@ mod tests {
     fn empty_seed_list_rejected() {
         let (tasks, patterns, platform, config) = setup();
         let mut policy = MaxSpeedEdf::new();
-        let err =
-            replicate(&tasks, &patterns, &platform, &mut policy, &config, &[]).unwrap_err();
+        let err = replicate(&tasks, &patterns, &platform, &mut policy, &config, &[]).unwrap_err();
         assert_eq!(err, SimError::ZeroReplications);
     }
 }

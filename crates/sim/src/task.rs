@@ -80,10 +80,16 @@ impl Task {
         if critical_offset.is_zero() {
             return Err(SimError::NoCriticalTime { task: name });
         }
-        let allocation = demand
-            .chebyshev_allocation(assurance.rho())
-            .map_err(|e| SimError::Task(e.to_string()))?;
-        Ok(Task { name, tuf, uam, demand, assurance, allocation, critical_offset })
+        let allocation = demand.chebyshev_allocation(assurance.rho())?;
+        Ok(Task {
+            name,
+            tuf,
+            uam,
+            demand,
+            assurance,
+            allocation,
+            critical_offset,
+        })
     }
 
     /// The task's human-readable name.
@@ -288,7 +294,10 @@ impl TaskSet {
     ///
     /// Panics if `target` is not positive and finite.
     pub fn scaled_to_load(&self, target: f64, f_max: Frequency) -> Result<Self, SimError> {
-        assert!(target.is_finite() && target > 0.0, "target load must be positive");
+        assert!(
+            target.is_finite() && target > 0.0,
+            "target load must be positive"
+        );
         // c_i(k) is affine-but-not-linear in k only through Chebyshev
         // rounding, so one proportional step converges to well under the
         // per-cycle resolution; iterate twice to absorb the rounding.
@@ -399,9 +408,11 @@ mod tests {
     #[test]
     fn system_load_sums_demand_rates() {
         // Two tasks, each C/D = 100k cycles / 10 ms = 10 cycles/µs.
-        let set =
-            TaskSet::new(vec![step_task("a", 10, 100_000.0), step_task("b", 10, 100_000.0)])
-                .unwrap();
+        let set = TaskSet::new(vec![
+            step_task("a", 10, 100_000.0),
+            step_task("b", 10, 100_000.0),
+        ])
+        .unwrap();
         let load = set.system_load(Frequency::from_mhz(100));
         assert!((load - 0.2).abs() < 1e-9);
     }
@@ -415,9 +426,14 @@ mod tests {
         ])
         .unwrap();
         for target in [0.2, 0.5, 1.0, 1.5, 1.8] {
-            let scaled = set.scaled_to_load(target, Frequency::from_mhz(100)).unwrap();
+            let scaled = set
+                .scaled_to_load(target, Frequency::from_mhz(100))
+                .unwrap();
             let got = scaled.system_load(Frequency::from_mhz(100));
-            assert!((got - target).abs() / target < 1e-2, "target {target}, got {got}");
+            assert!(
+                (got - target).abs() / target < 1e-2,
+                "target {target}, got {got}"
+            );
         }
     }
 
@@ -449,10 +465,15 @@ mod tests {
 
     #[test]
     fn iteration_yields_stable_ids() {
-        let set =
-            TaskSet::new(vec![step_task("a", 10, 1_000.0), step_task("b", 20, 1_000.0)]).unwrap();
-        let names: Vec<(usize, String)> =
-            set.iter().map(|(id, t)| (id.index(), t.name().to_string())).collect();
+        let set = TaskSet::new(vec![
+            step_task("a", 10, 1_000.0),
+            step_task("b", 20, 1_000.0),
+        ])
+        .unwrap();
+        let names: Vec<(usize, String)> = set
+            .iter()
+            .map(|(id, t)| (id.index(), t.name().to_string()))
+            .collect();
         assert_eq!(names, vec![(0, "a".to_string()), (1, "b".to_string())]);
         assert_eq!(set.task(TaskId(1)).name(), "b");
     }

@@ -35,7 +35,11 @@ impl Segment {
 
 impl fmt::Display for Segment {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{}..{}) {} @ {}", self.start, self.end, self.job, self.frequency)
+        write!(
+            f,
+            "[{}..{}) {} @ {}",
+            self.start, self.end, self.job, self.frequency
+        )
     }
 }
 
@@ -203,7 +207,11 @@ mod tests {
 
     #[test]
     fn event_timestamps() {
-        let e = TraceEvent::Abort { at: SimTime::from_micros(9), job: JobId(1), by_policy: true };
+        let e = TraceEvent::Abort {
+            at: SimTime::from_micros(9),
+            job: JobId(1),
+            by_policy: true,
+        };
         assert_eq!(e.at(), SimTime::from_micros(9));
     }
 

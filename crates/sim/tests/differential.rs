@@ -1,3 +1,5 @@
+#![allow(clippy::expect_used)] // test/demo code: panicking on bad setup is the point
+
 //! Differential testing: a deliberately naive microsecond-stepped
 //! reference simulator, compared tick-for-tick against the event-driven
 //! engine on randomized (but deterministic-demand) workloads.
@@ -163,17 +165,21 @@ fn arb_ref_task() -> impl Strategy<Value = RefTaskParams> {
     (200u64..5_000, 1u64..400_000, 1.0f64..50.0, any::<bool>()).prop_flat_map(
         |(window_us, cycles, umax, step)| {
             // Arrivals respecting ⟨1, window⟩: cumulative gaps ≥ window.
-            proptest::collection::vec(0u64..window_us, 0..8).prop_map(
-                move |extras| {
-                    let mut arrivals = Vec::new();
-                    let mut t = extras.first().copied().unwrap_or(0);
-                    for &e in &extras {
-                        arrivals.push(t);
-                        t += window_us + e;
-                    }
-                    RefTaskParams { window_us, cycles, umax, step, arrivals }
-                },
-            )
+            proptest::collection::vec(0u64..window_us, 0..8).prop_map(move |extras| {
+                let mut arrivals = Vec::new();
+                let mut t = extras.first().copied().unwrap_or(0);
+                for &e in &extras {
+                    arrivals.push(t);
+                    t += window_us + e;
+                }
+                RefTaskParams {
+                    window_us,
+                    cycles,
+                    umax,
+                    step,
+                    arrivals,
+                }
+            })
         },
     )
 }

@@ -1,3 +1,5 @@
+#![allow(clippy::expect_used)] // test/demo code: panicking on bad setup is the point
+
 //! Property-based tests of simulator invariants: whatever the workload,
 //! the engine conserves time, never over-accrues utility, keeps the
 //! uniprocessor serial, and is deterministic per seed.
@@ -32,15 +34,17 @@ fn arb_task_params() -> impl Strategy<Value = TaskParams> {
         any::<bool>(),
         0.0f64..0.99,
     )
-        .prop_map(|(window_us, a, mean_cycles, umax, step, nu_step, rho)| TaskParams {
-            window_us,
-            a,
-            mean_cycles,
-            umax,
-            step,
-            nu_step,
-            rho,
-        })
+        .prop_map(
+            |(window_us, a, mean_cycles, umax, step, nu_step, rho)| TaskParams {
+                window_us,
+                a,
+                mean_cycles,
+                umax,
+                step,
+                nu_step,
+                rho,
+            },
+        )
 }
 
 fn build(params: &[TaskParams]) -> (TaskSet, Vec<ArrivalPattern>) {

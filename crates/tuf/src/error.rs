@@ -49,22 +49,34 @@ impl fmt::Display for TufError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TufError::InvalidUtility { value } => {
-                write!(f, "utility values must be finite and non-negative, got {value}")
+                write!(
+                    f,
+                    "utility values must be finite and non-negative, got {value}"
+                )
             }
             TufError::ZeroMaxUtility => write!(f, "maximum utility must be positive"),
             TufError::ZeroTermination => write!(f, "termination offset must be positive"),
             TufError::NotNonIncreasing { index } => {
-                write!(f, "tuf must be non-increasing (violated at breakpoint {index})")
+                write!(
+                    f,
+                    "tuf must be non-increasing (violated at breakpoint {index})"
+                )
             }
             TufError::UnsortedBreakpoints { index } => {
-                write!(f, "breakpoints must be strictly increasing in time (violated at index {index})")
+                write!(
+                    f,
+                    "breakpoints must be strictly increasing in time (violated at index {index})"
+                )
             }
             TufError::EmptyBreakpoints => write!(f, "piecewise tuf needs at least one breakpoint"),
             TufError::InvalidAssuranceFraction { value } => {
                 write!(f, "assurance fraction must lie in [0, 1], got {value}")
             }
             TufError::InvalidDecay { value } => {
-                write!(f, "exponential decay constant must be positive and finite, got {value}")
+                write!(
+                    f,
+                    "exponential decay constant must be positive and finite, got {value}"
+                )
             }
         }
     }

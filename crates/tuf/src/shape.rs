@@ -59,7 +59,11 @@ impl StepTuf {
             return Err(TufError::ZeroTermination);
         }
         let termination = termination.max(step_at);
-        Ok(StepTuf { height, step_at, termination })
+        Ok(StepTuf {
+            height,
+            step_at,
+            termination,
+        })
     }
 
     /// The step height (also the maximum utility).
@@ -158,10 +162,21 @@ impl PiecewiseTuf {
         if points[0].1 == 0.0 {
             return Err(TufError::ZeroMaxUtility);
         }
-        if points.last().expect("non-empty").0.is_zero() {
-            return Err(TufError::ZeroTermination);
+        if let Some(last) = points.last() {
+            if last.0.is_zero() {
+                return Err(TufError::ZeroTermination);
+            }
         }
         Ok(PiecewiseTuf { points })
+    }
+
+    /// The final breakpoint; [`PiecewiseTuf::new`] guarantees at least one.
+    #[allow(clippy::expect_used)]
+    fn last_point(&self) -> (TimeDelta, f64) {
+        *self
+            .points
+            .last()
+            .expect("points are non-empty by construction")
     }
 
     /// The breakpoints, in increasing time order.
@@ -171,7 +186,7 @@ impl PiecewiseTuf {
     }
 
     fn eval(&self, t: TimeDelta) -> f64 {
-        let last = self.points.last().expect("non-empty");
+        let last = self.last_point();
         if t > last.0 {
             return 0.0;
         }
@@ -222,7 +237,11 @@ impl ExponentialTuf {
         if termination.is_zero() {
             return Err(TufError::ZeroTermination);
         }
-        Ok(ExponentialTuf { umax, tau, termination })
+        Ok(ExponentialTuf {
+            umax,
+            tau,
+            termination,
+        })
     }
 
     /// The time constant τ.
@@ -291,9 +310,7 @@ impl Tuf {
     /// # Errors
     ///
     /// Propagates [`PiecewiseTuf::new`] errors.
-    pub fn piecewise(
-        points: impl IntoIterator<Item = (TimeDelta, f64)>,
-    ) -> Result<Self, TufError> {
+    pub fn piecewise(points: impl IntoIterator<Item = (TimeDelta, f64)>) -> Result<Self, TufError> {
         PiecewiseTuf::new(points).map(Tuf::Piecewise)
     }
 
@@ -360,7 +377,7 @@ impl Tuf {
         match self {
             Tuf::Step(s) => s.termination,
             Tuf::Linear(l) => l.termination,
-            Tuf::Piecewise(p) => p.points.last().expect("non-empty").0,
+            Tuf::Piecewise(p) => p.last_point().0,
             Tuf::Exponential(e) => e.termination,
         }
     }
@@ -414,7 +431,7 @@ impl Tuf {
 
 fn piecewise_critical(p: &PiecewiseTuf, target: f64) -> TimeDelta {
     let pts = &p.points;
-    let last = pts.last().expect("non-empty");
+    let last = p.last_point();
     if last.1 >= target {
         return last.0;
     }
@@ -504,7 +521,10 @@ mod tests {
     #[test]
     fn step_rejects_degenerate_inputs() {
         assert_eq!(Tuf::step(0.0, ms(1)).unwrap_err(), TufError::ZeroMaxUtility);
-        assert_eq!(Tuf::step(1.0, TimeDelta::ZERO).unwrap_err(), TufError::ZeroTermination);
+        assert_eq!(
+            Tuf::step(1.0, TimeDelta::ZERO).unwrap_err(),
+            TufError::ZeroTermination
+        );
         assert!(matches!(
             Tuf::step(f64::NAN, ms(1)).unwrap_err(),
             TufError::InvalidUtility { .. }
@@ -665,8 +685,17 @@ mod tests {
 
     #[test]
     fn display_names_the_shape() {
-        assert!(Tuf::step(1.0, ms(1)).unwrap().to_string().starts_with("step"));
-        assert!(Tuf::linear(1.0, ms(1)).unwrap().to_string().starts_with("linear"));
-        assert!(Tuf::exponential(1.0, ms(1), ms(1)).unwrap().to_string().starts_with("exp"));
+        assert!(Tuf::step(1.0, ms(1))
+            .unwrap()
+            .to_string()
+            .starts_with("step"));
+        assert!(Tuf::linear(1.0, ms(1))
+            .unwrap()
+            .to_string()
+            .starts_with("linear"));
+        assert!(Tuf::exponential(1.0, ms(1), ms(1))
+            .unwrap()
+            .to_string()
+            .starts_with("exp"));
     }
 }

@@ -29,7 +29,10 @@ impl Tuf {
             .map(Tuf::Step)?,
             Tuf::Linear(_) => Tuf::linear(self.max_utility() * k, self.termination())?,
             Tuf::Piecewise(p) => Tuf::piecewise(
-                p.breakpoints().iter().map(|&(t, u)| (t, u * k)).collect::<Vec<_>>(),
+                p.breakpoints()
+                    .iter()
+                    .map(|&(t, u)| (t, u * k))
+                    .collect::<Vec<_>>(),
             )?,
             Tuf::Exponential(e) => {
                 Tuf::exponential(self.max_utility() * k, e.tau(), self.termination())?
@@ -78,8 +81,7 @@ impl Tuf {
         if termination >= self.termination() {
             return Ok(self.clone());
         }
-        let mut points: Vec<(TimeDelta, f64)> =
-            vec![(TimeDelta::ZERO, self.max_utility())];
+        let mut points: Vec<(TimeDelta, f64)> = vec![(TimeDelta::ZERO, self.max_utility())];
         for (t, u) in self.sample_breakpoints() {
             if t < termination {
                 points.push((t, u));

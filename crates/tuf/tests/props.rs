@@ -1,3 +1,5 @@
+#![allow(clippy::expect_used)] // test/demo code: panicking on bad setup is the point
+
 //! Property-based tests for the TUF invariants the schedulers rely on.
 
 use eua_platform::TimeDelta;
@@ -13,8 +15,11 @@ fn arb_tuf() -> impl Strategy<Value = Tuf> {
         Tuf::exponential(u, TimeDelta::from_micros(tau), TimeDelta::from_micros(x))
             .expect("valid exp")
     });
-    let piecewise = (1u64..1_000_000, proptest::collection::vec(0.0f64..1.0, 1..6)).prop_map(
-        |(span, drops)| {
+    let piecewise = (
+        1u64..1_000_000,
+        proptest::collection::vec(0.0f64..1.0, 1..6),
+    )
+        .prop_map(|(span, drops)| {
             // Build strictly decreasing utilities over increasing times.
             let mut points = vec![(TimeDelta::ZERO, 1000.0)];
             let mut u = 1000.0;
@@ -23,8 +28,7 @@ fn arb_tuf() -> impl Strategy<Value = Tuf> {
                 points.push((TimeDelta::from_micros(span * (i as u64 + 1)), u));
             }
             Tuf::piecewise(points).expect("valid piecewise")
-        },
-    );
+        });
     prop_oneof![step, linear, exponential, piecewise]
 }
 
@@ -87,7 +91,7 @@ proptest! {
     }
 
     #[test]
-    fn invalid_nu_rejected(tuf in arb_tuf(), nu in prop_oneof![(-1e3f64..-1e-9), (1.0f64+1e-9..1e3)]) {
+    fn invalid_nu_rejected(tuf in arb_tuf(), nu in prop_oneof![-1e3f64..-1e-9, 1.0f64 + 1e-9..1e3]) {
         prop_assert_eq!(tuf.critical_time(nu), None);
     }
 }

@@ -90,9 +90,18 @@ mod tests {
             Assurance::new(-0.1, 0.5),
             Err(UamError::InvalidUtilityFraction { .. })
         ));
-        assert!(matches!(Assurance::new(1.5, 0.5), Err(UamError::InvalidUtilityFraction { .. })));
-        assert!(matches!(Assurance::new(0.5, 1.0), Err(UamError::InvalidProbability { .. })));
-        assert!(matches!(Assurance::new(0.5, -0.2), Err(UamError::InvalidProbability { .. })));
+        assert!(matches!(
+            Assurance::new(1.5, 0.5),
+            Err(UamError::InvalidUtilityFraction { .. })
+        ));
+        assert!(matches!(
+            Assurance::new(0.5, 1.0),
+            Err(UamError::InvalidProbability { .. })
+        ));
+        assert!(matches!(
+            Assurance::new(0.5, -0.2),
+            Err(UamError::InvalidProbability { .. })
+        ));
         assert!(matches!(
             Assurance::new(f64::NAN, 0.5),
             Err(UamError::InvalidUtilityFraction { .. })
@@ -109,6 +118,9 @@ mod tests {
 
     #[test]
     fn display_shows_both_fields() {
-        assert_eq!(Assurance::new(0.3, 0.9).unwrap().to_string(), "{nu=0.3, rho=0.9}");
+        assert_eq!(
+            Assurance::new(0.3, 0.9).unwrap().to_string(),
+            "{nu=0.3, rho=0.9}"
+        );
     }
 }

@@ -132,9 +132,15 @@ impl DemandModel {
     pub fn pareto(mean: f64, alpha: f64) -> Result<Self, UamError> {
         validate_param("mean", mean)?;
         if !alpha.is_finite() || alpha <= 2.0 {
-            return Err(UamError::InvalidDemandParameter { name: "alpha", value: alpha });
+            return Err(UamError::InvalidDemandParameter {
+                name: "alpha",
+                value: alpha,
+            });
         }
-        Ok(DemandModel::Pareto { scale: mean * (alpha - 1.0) / alpha, alpha })
+        Ok(DemandModel::Pareto {
+            scale: mean * (alpha - 1.0) / alpha,
+            alpha,
+        })
     }
 
     /// The mean demand `E(Y)` in cycles.
@@ -174,19 +180,29 @@ impl DemandModel {
     /// the load solver, not user input.
     #[must_use]
     pub fn scaled(&self, k: f64) -> Self {
-        assert!(k.is_finite() && k >= 0.0, "scale factor must be finite and non-negative");
+        assert!(
+            k.is_finite() && k >= 0.0,
+            "scale factor must be finite and non-negative"
+        );
         match *self {
             DemandModel::Deterministic { cycles } => {
                 DemandModel::Deterministic { cycles: cycles * k }
             }
-            DemandModel::Normal { mean, variance } => {
-                DemandModel::Normal { mean: mean * k, variance: variance * k * k }
-            }
-            DemandModel::Uniform { lo, hi } => DemandModel::Uniform { lo: lo * k, hi: hi * k },
+            DemandModel::Normal { mean, variance } => DemandModel::Normal {
+                mean: mean * k,
+                variance: variance * k * k,
+            },
+            DemandModel::Uniform { lo, hi } => DemandModel::Uniform {
+                lo: lo * k,
+                hi: hi * k,
+            },
             DemandModel::Pareto { scale, alpha } => {
                 // Pareto is scale-family: mean ×k and variance ×k² follow
                 // from scaling x_m alone.
-                DemandModel::Pareto { scale: scale * k, alpha }
+                DemandModel::Pareto {
+                    scale: scale * k,
+                    alpha,
+                }
             }
         }
     }
@@ -195,9 +211,7 @@ impl DemandModel {
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Cycles {
         let raw = match *self {
             DemandModel::Deterministic { cycles } => cycles,
-            DemandModel::Normal { mean, variance } => {
-                mean + variance.sqrt() * standard_normal(rng)
-            }
+            DemandModel::Normal { mean, variance } => mean + variance.sqrt() * standard_normal(rng),
             DemandModel::Uniform { lo, hi } => {
                 if lo == hi {
                     lo
@@ -401,7 +415,11 @@ mod tests {
         for _ in 0..50_000 {
             prof.record(m.sample(&mut rng));
         }
-        assert!((prof.mean() - 50_000.0).abs() < 50.0, "mean {}", prof.mean());
+        assert!(
+            (prof.mean() - 50_000.0).abs() < 50.0,
+            "mean {}",
+            prof.mean()
+        );
         let std_err = (prof.variance() - 250_000.0).abs() / 250_000.0;
         assert!(std_err < 0.05, "variance {}", prof.variance());
     }
@@ -463,7 +481,9 @@ mod tests {
     #[test]
     fn pareto_sampling_matches_mean_and_floors_at_scale() {
         let m = DemandModel::pareto(50_000.0, 3.0).unwrap();
-        let DemandModel::Pareto { scale, .. } = m else { panic!("pareto") };
+        let DemandModel::Pareto { scale, .. } = m else {
+            panic!("pareto")
+        };
         let mut rng = SmallRng::seed_from_u64(5);
         let mut prof = DemandProfiler::new();
         for _ in 0..100_000 {
@@ -508,8 +528,17 @@ mod tests {
 
     #[test]
     fn display_names_distributions() {
-        assert_eq!(DemandModel::deterministic(3.0).unwrap().to_string(), "det(3cy)");
-        assert_eq!(DemandModel::normal(1.0, 2.0).unwrap().to_string(), "N(1, 2)");
-        assert_eq!(DemandModel::uniform(1.0, 2.0).unwrap().to_string(), "U[1, 2]");
+        assert_eq!(
+            DemandModel::deterministic(3.0).unwrap().to_string(),
+            "det(3cy)"
+        );
+        assert_eq!(
+            DemandModel::normal(1.0, 2.0).unwrap().to_string(),
+            "N(1, 2)"
+        );
+        assert_eq!(
+            DemandModel::uniform(1.0, 2.0).unwrap().to_string(),
+            "U[1, 2]"
+        );
     }
 }

@@ -44,7 +44,10 @@ impl fmt::Display for UamError {
             UamError::ZeroArrivalBound => write!(f, "uam arrival bound a must be at least 1"),
             UamError::ZeroWindow => write!(f, "uam sliding window p must be positive"),
             UamError::InvalidDemandParameter { name, value } => {
-                write!(f, "demand parameter {name} must be finite and non-negative, got {value}")
+                write!(
+                    f,
+                    "demand parameter {name} must be finite and non-negative, got {value}"
+                )
             }
             UamError::EmptyDemandRange => write!(f, "uniform demand range must satisfy lo <= hi"),
             UamError::InvalidProbability { value } => {
@@ -71,7 +74,10 @@ mod tests {
         for e in [
             UamError::ZeroArrivalBound,
             UamError::ZeroWindow,
-            UamError::InvalidDemandParameter { name: "mean", value: -1.0 },
+            UamError::InvalidDemandParameter {
+                name: "mean",
+                value: -1.0,
+            },
             UamError::EmptyDemandRange,
             UamError::InvalidProbability { value: 1.0 },
             UamError::InvalidUtilityFraction { value: 7.0 },

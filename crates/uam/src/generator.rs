@@ -98,7 +98,10 @@ impl ArrivalPattern {
     ///
     /// Returns [`UamError::ZeroWindow`] if `period` is zero.
     pub fn periodic(period: TimeDelta) -> Result<Self, UamError> {
-        Ok(ArrivalPattern::Periodic { spec: UamSpec::periodic(period)?, phase: TimeDelta::ZERO })
+        Ok(ArrivalPattern::Periodic {
+            spec: UamSpec::periodic(period)?,
+            phase: TimeDelta::ZERO,
+        })
     }
 
     /// A strictly periodic pattern whose first arrival is at `phase`.
@@ -107,7 +110,10 @@ impl ArrivalPattern {
     ///
     /// Returns [`UamError::ZeroWindow`] if `period` is zero.
     pub fn periodic_with_phase(period: TimeDelta, phase: TimeDelta) -> Result<Self, UamError> {
-        Ok(ArrivalPattern::Periodic { spec: UamSpec::periodic(period)?, phase })
+        Ok(ArrivalPattern::Periodic {
+            spec: UamSpec::periodic(period)?,
+            phase,
+        })
     }
 
     /// A sporadic pattern with minimum separation `min_separation` and a
@@ -117,7 +123,10 @@ impl ArrivalPattern {
     ///
     /// Returns [`UamError::ZeroWindow`] if `min_separation` is zero.
     pub fn sporadic(min_separation: TimeDelta, max_extra: TimeDelta) -> Result<Self, UamError> {
-        Ok(ArrivalPattern::Sporadic { spec: UamSpec::periodic(min_separation)?, max_extra })
+        Ok(ArrivalPattern::Sporadic {
+            spec: UamSpec::periodic(min_separation)?,
+            max_extra,
+        })
     }
 
     /// The maximal adversary for `spec`: `a` simultaneous arrivals per
@@ -148,9 +157,14 @@ impl ArrivalPattern {
     /// is non-positive or non-finite.
     pub fn constrained_poisson(spec: UamSpec, rate_per_window: f64) -> Result<Self, UamError> {
         if !rate_per_window.is_finite() || rate_per_window <= 0.0 {
-            return Err(UamError::InvalidGeneratorParameter { name: "rate_per_window" });
+            return Err(UamError::InvalidGeneratorParameter {
+                name: "rate_per_window",
+            });
         }
-        Ok(ArrivalPattern::ConstrainedPoisson { spec, rate_per_window })
+        Ok(ArrivalPattern::ConstrainedPoisson {
+            spec,
+            rate_per_window,
+        })
     }
 
     /// An on/off source alternating `on_windows` maximal-burst windows
@@ -164,7 +178,11 @@ impl ArrivalPattern {
         if on_windows == 0 {
             return Err(UamError::InvalidGeneratorParameter { name: "on_windows" });
         }
-        Ok(ArrivalPattern::OnOff { spec, on_windows, off_windows })
+        Ok(ArrivalPattern::OnOff {
+            spec,
+            on_windows,
+            off_windows,
+        })
     }
 
     /// The UAM descriptor this pattern complies with.
@@ -226,8 +244,9 @@ impl ArrivalPattern {
                 {
                     // Pre-draw burst sizes so the closure below stays
                     // RNG-free; one size per window up to the horizon.
-                    let windows =
-                        horizon.as_micros().div_ceil(spec.window().as_micros().max(1));
+                    let windows = horizon
+                        .as_micros()
+                        .div_ceil(spec.window().as_micros().max(1));
                     for _ in 0..windows {
                         sizes.push(rng.gen_range(1..=a));
                     }
@@ -235,10 +254,15 @@ impl ArrivalPattern {
                 let mut it = sizes.into_iter();
                 burst_trace(spec, end, move || it.next().unwrap_or(1))
             }
-            ArrivalPattern::ConstrainedPoisson { spec, rate_per_window } => {
-                constrained_poisson(spec, *rate_per_window, end, rng)
-            }
-            ArrivalPattern::OnOff { spec, on_windows, off_windows } => {
+            ArrivalPattern::ConstrainedPoisson {
+                spec,
+                rate_per_window,
+            } => constrained_poisson(spec, *rate_per_window, end, rng),
+            ArrivalPattern::OnOff {
+                spec,
+                on_windows,
+                off_windows,
+            } => {
                 let cycle = u64::from(on_windows + off_windows);
                 let mut index = 0u64;
                 let a = spec.max_arrivals();
@@ -375,8 +399,10 @@ mod tests {
         // Each window has between 1 and 5 arrivals.
         for w in 0..100u64 {
             let start = SimTime::from_millis(w * 10);
-            let in_window =
-                trace.iter().filter(|&t| t >= start && t < start + ms(10)).count();
+            let in_window = trace
+                .iter()
+                .filter(|&t| t >= start && t < start + ms(10))
+                .count();
             assert!((1..=5).contains(&in_window), "window {w}: {in_window}");
         }
     }
@@ -422,11 +448,19 @@ mod tests {
         assert_eq!(trace.len(), 8);
         for w in [0u64, 1, 5, 6] {
             let start = SimTime::from_millis(w * 10);
-            assert_eq!(trace.iter().filter(|&t| t == start).count(), 2, "window {w}");
+            assert_eq!(
+                trace.iter().filter(|&t| t == start).count(),
+                2,
+                "window {w}"
+            );
         }
         for w in [2u64, 3, 4, 7, 8, 9] {
             let start = SimTime::from_millis(w * 10);
-            assert_eq!(trace.iter().filter(|&t| t == start).count(), 0, "window {w}");
+            assert_eq!(
+                trace.iter().filter(|&t| t == start).count(),
+                0,
+                "window {w}"
+            );
         }
     }
 

@@ -50,7 +50,10 @@ impl UamSpec {
         if window.is_zero() {
             return Err(UamError::ZeroWindow);
         }
-        Ok(UamSpec { max_arrivals, window })
+        Ok(UamSpec {
+            max_arrivals,
+            window,
+        })
     }
 
     /// The periodic special case `⟨1, period⟩`.
@@ -113,7 +116,10 @@ mod tests {
             UamSpec::new(0, TimeDelta::from_millis(1)).unwrap_err(),
             UamError::ZeroArrivalBound
         );
-        assert_eq!(UamSpec::new(1, TimeDelta::ZERO).unwrap_err(), UamError::ZeroWindow);
+        assert_eq!(
+            UamSpec::new(1, TimeDelta::ZERO).unwrap_err(),
+            UamError::ZeroWindow
+        );
     }
 
     #[test]

@@ -19,7 +19,11 @@ pub struct UamViolation {
 
 impl fmt::Display for UamViolation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} arrivals in the window starting at {}", self.count, self.window_start)
+        write!(
+            f,
+            "{} arrivals in the window starting at {}",
+            self.count, self.window_start
+        )
     }
 }
 
@@ -71,7 +75,10 @@ impl ArrivalTrace {
     /// in time order.
     pub fn push(&mut self, time: SimTime) {
         if let Some(&last) = self.times.last() {
-            assert!(time >= last, "arrivals must be pushed in non-decreasing time order");
+            assert!(
+                time >= last,
+                "arrivals must be pushed in non-decreasing time order"
+            );
         }
         self.times.push(time);
     }
@@ -117,9 +124,11 @@ impl ArrivalTrace {
             if span < p {
                 // Count everything inside [times[i], times[i] + P).
                 let end = self.times[i].saturating_add(p);
-                let count =
-                    self.times[i..].iter().take_while(|&&t| t < end).count() as u32;
-                return Err(UamViolation { window_start: self.times[i], count });
+                let count = self.times[i..].iter().take_while(|&&t| t < end).count() as u32;
+                return Err(UamViolation {
+                    window_start: self.times[i],
+                    count,
+                });
             }
         }
         Ok(())
@@ -222,8 +231,9 @@ mod tests {
     #[test]
     fn violation_window_is_first_offender() {
         let s = spec(2, 1_000);
-        let t: ArrivalTrace =
-            [us(0), us(500), us(5_000), us(5_100), us(5_200)].into_iter().collect();
+        let t: ArrivalTrace = [us(0), us(500), us(5_000), us(5_100), us(5_200)]
+            .into_iter()
+            .collect();
         let v = t.check(&s).unwrap_err();
         assert_eq!(v.window_start, us(5_000));
         assert_eq!(v.count, 3);

@@ -1,3 +1,5 @@
+#![allow(clippy::expect_used)] // test/demo code: panicking on bad setup is the point
+
 //! Property-based tests: every generator complies with its UAM spec, and
 //! the Chebyshev allocation honours its probabilistic contract.
 

@@ -194,8 +194,7 @@ impl WorkloadBuilder {
                     TufShape::Step => Tuf::step(umax, window)?,
                     TufShape::Linear => Tuf::linear(umax, window)?,
                 };
-                let mean =
-                    rng.gen_range(self.base_demand_range.0..=self.base_demand_range.1);
+                let mean = rng.gen_range(self.base_demand_range.0..=self.base_demand_range.1);
                 let demand = DemandModel::normal(mean, mean)?;
                 let task = Task::new(
                     format!("{}-{}", app.name, k),
@@ -216,7 +215,10 @@ impl WorkloadBuilder {
                 patterns.push(pattern);
             }
         }
-        Ok(Workload { tasks: TaskSet::new(tasks)?, patterns })
+        Ok(Workload {
+            tasks: TaskSet::new(tasks)?,
+            patterns,
+        })
     }
 }
 
@@ -252,7 +254,10 @@ mod tests {
 
     #[test]
     fn max_arrivals_override_applies_to_every_task() {
-        let w = WorkloadBuilder::new(table1()).max_arrivals(3).build(2).unwrap();
+        let w = WorkloadBuilder::new(table1())
+            .max_arrivals(3)
+            .build(2)
+            .unwrap();
         for (_, t) in w.tasks.iter() {
             assert_eq!(t.uam().max_arrivals(), 3);
         }
@@ -283,7 +288,10 @@ mod tests {
         for target in [0.2, 0.6, 1.0, 1.4, 1.8] {
             let scaled = w.scaled_to_load(target, f_max).unwrap();
             let got = scaled.system_load(f_max);
-            assert!((got - target).abs() / target < 0.01, "target {target}, got {got}");
+            assert!(
+                (got - target).abs() / target < 0.01,
+                "target {target}, got {got}"
+            );
         }
     }
 
@@ -315,7 +323,10 @@ mod tests {
 
     #[test]
     fn empty_apps_rejected() {
-        assert_eq!(WorkloadBuilder::new(vec![]).build(1).unwrap_err(), WorkloadError::NoApps);
+        assert_eq!(
+            WorkloadBuilder::new(vec![]).build(1).unwrap_err(),
+            WorkloadError::NoApps
+        );
     }
 
     #[test]

@@ -3,6 +3,10 @@
 use std::error::Error;
 use std::fmt;
 
+use eua_sim::SimError;
+use eua_tuf::TufError;
+use eua_uam::UamError;
+
 /// Errors produced while synthesizing workloads.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
@@ -14,10 +18,21 @@ pub enum WorkloadError {
         /// The offending value.
         value: f64,
     },
-    /// A task failed to construct (propagated from `eua-sim`).
-    Task(String),
-    /// An arrival pattern failed to construct (propagated from `eua-uam`).
-    Pattern(String),
+    /// A task failed to construct.
+    Task {
+        /// The underlying construction error.
+        source: SimError,
+    },
+    /// A synthesized TUF was rejected.
+    Tuf {
+        /// The underlying shape error.
+        source: TufError,
+    },
+    /// An arrival pattern failed to construct.
+    Pattern {
+        /// The underlying arrival-model error.
+        source: UamError,
+    },
 }
 
 impl fmt::Display for WorkloadError {
@@ -27,29 +42,39 @@ impl fmt::Display for WorkloadError {
             WorkloadError::InvalidLoad { value } => {
                 write!(f, "target load must be positive and finite, got {value}")
             }
-            WorkloadError::Task(msg) => write!(f, "task synthesis failed: {msg}"),
-            WorkloadError::Pattern(msg) => write!(f, "pattern synthesis failed: {msg}"),
+            WorkloadError::Task { source } => write!(f, "task synthesis failed: {source}"),
+            WorkloadError::Tuf { source } => write!(f, "tuf synthesis failed: {source}"),
+            WorkloadError::Pattern { source } => write!(f, "pattern synthesis failed: {source}"),
         }
     }
 }
 
-impl Error for WorkloadError {}
-
-impl From<eua_sim::SimError> for WorkloadError {
-    fn from(e: eua_sim::SimError) -> Self {
-        WorkloadError::Task(e.to_string())
+impl Error for WorkloadError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            WorkloadError::Task { source } => Some(source),
+            WorkloadError::Tuf { source } => Some(source),
+            WorkloadError::Pattern { source } => Some(source),
+            _ => None,
+        }
     }
 }
 
-impl From<eua_uam::UamError> for WorkloadError {
-    fn from(e: eua_uam::UamError) -> Self {
-        WorkloadError::Pattern(e.to_string())
+impl From<SimError> for WorkloadError {
+    fn from(source: SimError) -> Self {
+        WorkloadError::Task { source }
     }
 }
 
-impl From<eua_tuf::TufError> for WorkloadError {
-    fn from(e: eua_tuf::TufError) -> Self {
-        WorkloadError::Task(e.to_string())
+impl From<UamError> for WorkloadError {
+    fn from(source: UamError) -> Self {
+        WorkloadError::Pattern { source }
+    }
+}
+
+impl From<TufError> for WorkloadError {
+    fn from(source: TufError) -> Self {
+        WorkloadError::Tuf { source }
     }
 }
 
@@ -62,18 +87,43 @@ mod tests {
         for e in [
             WorkloadError::NoApps,
             WorkloadError::InvalidLoad { value: -1.0 },
-            WorkloadError::Task("x".into()),
-            WorkloadError::Pattern("y".into()),
+            WorkloadError::Task {
+                source: SimError::EmptyTaskSet,
+            },
+            WorkloadError::Tuf {
+                source: TufError::ZeroMaxUtility,
+            },
+            WorkloadError::Pattern {
+                source: UamError::ZeroWindow,
+            },
         ] {
             assert!(!e.to_string().is_empty());
         }
     }
 
     #[test]
-    fn conversions_wrap_messages() {
-        let e: WorkloadError = eua_sim::SimError::EmptyTaskSet.into();
-        assert!(matches!(e, WorkloadError::Task(_)));
-        let e: WorkloadError = eua_uam::UamError::ZeroWindow.into();
-        assert!(matches!(e, WorkloadError::Pattern(_)));
+    fn conversions_preserve_typed_sources() {
+        let e: WorkloadError = SimError::EmptyTaskSet.into();
+        assert!(matches!(e, WorkloadError::Task { .. }));
+        assert!(e.source().is_some());
+        let e: WorkloadError = UamError::ZeroWindow.into();
+        assert!(matches!(e, WorkloadError::Pattern { .. }));
+        assert_eq!(
+            e.source().expect("pattern source").to_string(),
+            UamError::ZeroWindow.to_string()
+        );
+        let e: WorkloadError = TufError::ZeroMaxUtility.into();
+        assert!(matches!(e, WorkloadError::Tuf { .. }));
+        assert!(WorkloadError::NoApps.source().is_none());
+    }
+
+    #[test]
+    fn sources_chain_through_layers() {
+        // uam → sim → workload: the chain stays walkable end to end.
+        let sim: SimError = UamError::ZeroWindow.into();
+        let workload: WorkloadError = sim.into();
+        let mid = workload.source().expect("sim layer");
+        let leaf = mid.source().expect("uam layer");
+        assert_eq!(leaf.to_string(), UamError::ZeroWindow.to_string());
     }
 }

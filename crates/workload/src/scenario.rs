@@ -49,7 +49,9 @@ pub fn fig3_workload(
         .shape(TufShape::Linear)
         .assurance(Assurance::linear_default())
         .max_arrivals(a)
-        .arrivals(ArrivalStyle::Poisson { rate_per_window: f64::from(a) })
+        .arrivals(ArrivalStyle::Poisson {
+            rate_per_window: f64::from(a),
+        })
         .build(seed)?
         .scaled_to_load(load, f_max)
 }
@@ -64,12 +66,11 @@ pub fn fig3_workload(
 /// # Panics
 ///
 /// Panics if `load ≥ 1` (the theorems only hold without CPU overload).
-pub fn theorem_workload(
-    load: f64,
-    seed: u64,
-    f_max: Frequency,
-) -> Result<Workload, WorkloadError> {
-    assert!(load < 1.0, "theorem conditions require the absence of overload");
+pub fn theorem_workload(load: f64, seed: u64, f_max: Frequency) -> Result<Workload, WorkloadError> {
+    assert!(
+        load < 1.0,
+        "theorem conditions require the absence of overload"
+    );
     fig2_workload(load, seed, f_max)
 }
 
@@ -111,10 +112,8 @@ mod tests {
     fn fig3_per_job_demand_shrinks_with_a() {
         let w1 = fig3_workload(0.5, 1, 13, fm()).unwrap();
         let w3 = fig3_workload(0.5, 3, 13, fm()).unwrap();
-        let mean1: f64 =
-            w1.tasks.iter().map(|(_, t)| t.demand().mean()).sum::<f64>();
-        let mean3: f64 =
-            w3.tasks.iter().map(|(_, t)| t.demand().mean()).sum::<f64>();
+        let mean1: f64 = w1.tasks.iter().map(|(_, t)| t.demand().mean()).sum::<f64>();
+        let mean3: f64 = w3.tasks.iter().map(|(_, t)| t.demand().mean()).sum::<f64>();
         assert!(
             mean3 < mean1 / 2.0,
             "per-job demand must shrink to hold the load: {mean1} vs {mean3}"

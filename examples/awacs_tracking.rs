@@ -14,9 +14,9 @@
 //!
 //! Run with: `cargo run --example awacs_tracking`
 
-use eua::core::{Eua, EdfPolicy};
+use eua::core::{EdfPolicy, Eua};
 use eua::platform::{EnergySetting, TimeDelta};
-use eua::sim::{Engine, Platform, SimConfig, SchedulerPolicy, Task, TaskId, TaskSet};
+use eua::sim::{Engine, Platform, SchedulerPolicy, SimConfig, Task, TaskId, TaskSet};
 use eua::tuf::presets;
 use eua::uam::demand::DemandModel;
 use eua::uam::generator::ArrivalPattern;
@@ -96,6 +96,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // healthy through the surge.
     let out = Engine::run(&tasks, &patterns, &platform, &mut Eua::new(), &config, 3)?;
     let track_rate = out.metrics.task(TaskId(0)).completion_rate();
-    println!("EUA* track-association completion rate through the surge: {:.0}%", 100.0 * track_rate);
+    println!(
+        "EUA* track-association completion rate through the surge: {:.0}%",
+        100.0 * track_rate
+    );
     Ok(())
 }

@@ -6,9 +6,9 @@
 //!
 //! Run with: `cargo run --example mobile_multimedia`
 
-use eua::core::{Eua, EdfPolicy};
+use eua::core::{EdfPolicy, Eua};
 use eua::platform::{EnergySetting, TimeDelta};
-use eua::sim::{Engine, Platform, SimConfig, SchedulerPolicy, Task, TaskSet};
+use eua::sim::{Engine, Platform, SchedulerPolicy, SimConfig, Task, TaskSet};
 use eua::tuf::Tuf;
 use eua::uam::demand::DemandModel;
 use eua::uam::generator::ArrivalPattern;
@@ -76,12 +76,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut eua = Eua::new();
         let mut edf = EdfPolicy::max_speed();
         let run = |p: &mut dyn SchedulerPolicy| {
-            Engine::run(&w.tasks, &w.patterns, &platform, p, &config, 17)
-                .map(|o| o.metrics)
+            Engine::run(&w.tasks, &w.patterns, &platform, p, &config, 17).map(|o| o.metrics)
         };
         let m_eua = run(&mut eua)?;
         let m_edf = run(&mut edf)?;
-        assert!(m_eua.meets_assurances(&w.tasks), "EUA* must keep the QoS contract");
+        assert!(
+            m_eua.meets_assurances(&w.tasks),
+            "EUA* must keep the QoS contract"
+        );
         let saving = 1.0 - m_eua.energy / m_edf.energy;
         // Same charge, lower average power ⇒ battery life scales with the
         // inverse energy ratio.

@@ -1,3 +1,5 @@
+#![allow(clippy::expect_used)] // test/demo code: panicking on bad setup is the point
+
 //! The domino effect, reproduced: sweep the offered load from under-load
 //! deep into overload and watch a non-aborting deadline scheduler's
 //! accrued utility collapse while EUA\* degrades gracefully.

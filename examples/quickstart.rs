@@ -3,9 +3,9 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use eua::core::{Eua, EdfPolicy};
+use eua::core::{EdfPolicy, Eua};
 use eua::platform::{EnergySetting, TimeDelta};
-use eua::sim::{Engine, Platform, SimConfig, SchedulerPolicy, Task, TaskSet};
+use eua::sim::{Engine, Platform, SchedulerPolicy, SimConfig, Task, TaskSet};
 use eua::tuf::Tuf;
 use eua::uam::demand::DemandModel;
 use eua::uam::generator::ArrivalPattern;
@@ -45,9 +45,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "\n{name}: {} of {} jobs completed, assurances {}",
             m.jobs_completed(),
             m.jobs_arrived(),
-            if m.meets_assurances(&tasks) { "MET" } else { "missed" },
+            if m.meets_assurances(&tasks) {
+                "MET"
+            } else {
+                "missed"
+            },
         );
-        println!("  accrued utility: {:.1} / {:.1}", m.total_utility, m.max_possible_utility);
+        println!(
+            "  accrued utility: {:.1} / {:.1}",
+            m.total_utility, m.max_possible_utility
+        );
         println!("  energy:          {:.3e}", m.energy);
         energies.push((name, m.energy));
     }

@@ -43,7 +43,9 @@ fn parse_args() -> Result<Args, String> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     let value = |argv: &[String], i: usize, flag: &str| -> Result<String, String> {
-        argv.get(i + 1).cloned().ok_or_else(|| format!("{flag} needs a value"))
+        argv.get(i + 1)
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
     };
     while i < argv.len() {
         match argv[i].as_str() {
@@ -62,8 +64,9 @@ fn parse_args() -> Result<Args, String> {
                 i += 2;
             }
             "--a" => {
-                args.a =
-                    value(&argv, i, "--a")?.parse().map_err(|e| format!("--a: {e}"))?;
+                args.a = value(&argv, i, "--a")?
+                    .parse()
+                    .map_err(|e| format!("--a: {e}"))?;
                 i += 2;
             }
             "--seconds" => {
@@ -154,7 +157,10 @@ fn main() {
     let m = &out.metrics;
     println!("policy:   {}", args.policy);
     println!("platform: {platform}");
-    println!("scenario: {} at load {:.2} over {} s", args.scenario, args.load, args.seconds);
+    println!(
+        "scenario: {} at load {:.2} over {} s",
+        args.scenario, args.load, args.seconds
+    );
     println!();
     println!("{m}");
     println!("utility/energy: {:.3e}", m.utility_per_energy());
@@ -167,7 +173,11 @@ fn main() {
     );
     println!(
         "assurances: {}",
-        if m.meets_assurances(&workload.tasks) { "MET for every task" } else { "violated" }
+        if m.meets_assurances(&workload.tasks) {
+            "MET for every task"
+        } else {
+            "violated"
+        }
     );
 
     if args.per_task {

@@ -18,6 +18,8 @@
 //! | [`sim`] | `eua-sim` | the discrete-event simulator, policies' [`sim::SchedulerPolicy`] contract, metrics |
 //! | [`core`] | `eua-core` | **EUA\***, EDF/CC-EDF/LA-EDF baselines, DASA, the Algorithm 2 DVS analysis |
 //! | [`workload`] | `eua-workload` | Table 1 applications, load scaling, Figure 2/3 scenarios |
+//! | [`analyze`] | `eua-analyze` | static pre-flight diagnostics over scenarios and shipped examples |
+//! | [`errors`] | — | every workspace error type gathered in one place |
 //!
 //! # Quickstart
 //!
@@ -86,4 +88,27 @@ pub mod uam {
 /// Synthetic workloads for the paper's evaluation.
 pub mod workload {
     pub use eua_workload::*;
+}
+
+/// Static pre-flight analysis: scenario specs, diagnostic passes, and
+/// the stable diagnostic-code registry behind the `eua-analyze` CLI.
+pub mod analyze {
+    pub use eua_analyze::*;
+}
+
+/// Every workspace error type in one place.
+///
+/// All of them share the same contract: lowercase `Display` messages
+/// without trailing periods, `std::error::Error` with `source()`
+/// returning the typed underlying error where one exists
+/// (`uam → sim → workload` chains stay walkable end to end), and
+/// `From` impls along the crate dependency edges so `?` propagates
+/// without stringification.
+pub mod errors {
+    pub use eua_analyze::ParseError;
+    pub use eua_platform::PlatformError;
+    pub use eua_sim::SimError;
+    pub use eua_tuf::TufError;
+    pub use eua_uam::UamError;
+    pub use eua_workload::WorkloadError;
 }

@@ -1,3 +1,5 @@
+#![allow(clippy::expect_used)] // test/demo code: panicking on bad setup is the point
+
 //! Cross-crate integration: workload synthesis → simulation → metrics for
 //! every registered policy, plus small-scale versions of the headline
 //! Figure 2 shape claims.
@@ -133,16 +135,14 @@ fn fig3_energy_rises_with_arrival_bound_underload() {
         for seed in [1, 2, 3] {
             let mut dvs = make_policy("eua").expect("known");
             let mut nodvs = make_policy("eua-nodvs").expect("known");
-            let e_dvs =
-                Engine::run(&w.tasks, &w.patterns, &platform, &mut dvs, &config, seed)
-                    .expect("run")
-                    .metrics
-                    .energy;
-            let e_nodvs =
-                Engine::run(&w.tasks, &w.patterns, &platform, &mut nodvs, &config, seed)
-                    .expect("run")
-                    .metrics
-                    .energy;
+            let e_dvs = Engine::run(&w.tasks, &w.patterns, &platform, &mut dvs, &config, seed)
+                .expect("run")
+                .metrics
+                .energy;
+            let e_nodvs = Engine::run(&w.tasks, &w.patterns, &platform, &mut nodvs, &config, seed)
+                .expect("run")
+                .metrics
+                .energy;
             ratio_sum += e_dvs / e_nodvs;
         }
         normalized.push(ratio_sum / 3.0);
@@ -151,4 +151,20 @@ fn fig3_energy_rises_with_arrival_bound_underload() {
         normalized[1] > normalized[0],
         "a=3 should cost more energy than a=1 at equal load: {normalized:?}"
     );
+}
+
+#[cfg(feature = "invariant-checks")]
+#[test]
+fn invariant_checks_are_compiled_in_and_survive_a_full_sweep() {
+    // With the feature on, every `run()` above already threads each
+    // engine transition through the invariant checker; this test makes
+    // the wiring explicit and sweeps the checker across an overload,
+    // where aborts and clock churn are most frequent.
+    assert!(eua::sim::invariant_checks_enabled());
+    for load in [0.3, 1.2] {
+        for name in eua::core::available_policies() {
+            let m = run(name, load, EnergySetting::e3(), 11);
+            assert!(m.energy >= 0.0, "{name}: negative energy at load {load}");
+        }
+    }
 }

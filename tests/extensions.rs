@@ -12,9 +12,16 @@ fn budgeted_eua_never_overdraws_materially() {
     let platform = Platform::powernow(EnergySetting::e1());
     let w = fig2_workload(0.8, 42, platform.f_max()).expect("workload");
     let config = SimConfig::new(TimeDelta::from_secs(5));
-    let full = Engine::run(&w.tasks, &w.patterns, &platform, &mut Eua::new(), &config, 3)
-        .expect("run")
-        .metrics;
+    let full = Engine::run(
+        &w.tasks,
+        &w.patterns,
+        &platform,
+        &mut Eua::new(),
+        &config,
+        3,
+    )
+    .expect("run")
+    .metrics;
     for frac in [0.2, 0.5, 0.9] {
         let budget = full.energy * frac;
         let m = Engine::run(
@@ -31,7 +38,11 @@ fn budgeted_eua_never_overdraws_materially() {
         let max_alloc = w
             .tasks
             .iter()
-            .map(|(_, t)| platform.energy().energy_for(t.allocation(), platform.f_max()))
+            .map(|(_, t)| {
+                platform
+                    .energy()
+                    .energy_for(t.allocation(), platform.f_max())
+            })
             .fold(0.0f64, f64::max);
         assert!(
             m.energy <= budget + max_alloc,
@@ -49,9 +60,16 @@ fn budgeted_eua_prefers_high_uer_work_when_rationed() {
     let platform = Platform::powernow(EnergySetting::e1());
     let w = fig2_workload(0.8, 42, platform.f_max()).expect("workload");
     let config = SimConfig::new(TimeDelta::from_secs(5));
-    let full = Engine::run(&w.tasks, &w.patterns, &platform, &mut Eua::new(), &config, 3)
-        .expect("run")
-        .metrics;
+    let full = Engine::run(
+        &w.tasks,
+        &w.patterns,
+        &platform,
+        &mut Eua::new(),
+        &config,
+        3,
+    )
+    .expect("run")
+    .metrics;
     let tight = Engine::run(
         &w.tasks,
         &w.patterns,
@@ -128,7 +146,10 @@ fn theorem1_fixed_speed_platform_meets_all_critical_times() {
     )
     .expect("run");
     for tm in &out.metrics.per_task {
-        assert_eq!(tm.completed, tm.critical_met, "critical time missed at Theorem 1 speed");
+        assert_eq!(
+            tm.completed, tm.critical_met,
+            "critical time missed at Theorem 1 speed"
+        );
         assert_eq!(tm.aborted_by_termination + tm.aborted_by_policy, 0);
     }
 }
@@ -138,9 +159,16 @@ fn frequency_residency_reflects_dvs_behavior() {
     let platform = Platform::powernow(EnergySetting::e1());
     let w = fig2_workload(0.3, 42, platform.f_max()).expect("workload");
     let config = SimConfig::new(TimeDelta::from_secs(5));
-    let eua = Engine::run(&w.tasks, &w.patterns, &platform, &mut Eua::new(), &config, 3)
-        .expect("run")
-        .metrics;
+    let eua = Engine::run(
+        &w.tasks,
+        &w.patterns,
+        &platform,
+        &mut Eua::new(),
+        &config,
+        3,
+    )
+    .expect("run")
+    .metrics;
     let edf = Engine::run(
         &w.tasks,
         &w.patterns,

@@ -3,11 +3,9 @@
 //! the EDF-order audit distinguishing deadline from utility-accrual
 //! scheduling.
 
-use eua::core::{Eua, EdfPolicy};
+use eua::core::{EdfPolicy, Eua};
 use eua::platform::{EnergySetting, FrequencyTable, TimeDelta};
-use eua::sim::{
-    edf_violations, Engine, Platform, SimConfig, Task, TaskSet,
-};
+use eua::sim::{edf_violations, Engine, Platform, SimConfig, Task, TaskSet};
 use eua::tuf::Tuf;
 use eua::uam::demand::DemandModel;
 use eua::uam::generator::ArrivalPattern;
@@ -35,8 +33,7 @@ fn cantelli_assurance_survives_heavy_tailed_demands() {
     let patterns = vec![ArrivalPattern::periodic(p).unwrap()];
     let platform = Platform::powernow(EnergySetting::e1());
     let config = SimConfig::new(TimeDelta::from_secs(20));
-    let out = Engine::run(&tasks, &patterns, &platform, &mut Eua::new(), &config, 11)
-        .expect("run");
+    let out = Engine::run(&tasks, &patterns, &platform, &mut Eua::new(), &config, 11).expect("run");
     let tm = &out.metrics.per_task[0];
     let rate = tm.assurance_rate().expect("observable jobs");
     assert!(rate >= 0.9, "assurance {rate} below rho despite under-load");
@@ -44,7 +41,11 @@ fn cantelli_assurance_survives_heavy_tailed_demands() {
     // should overrun the allocation (visible as executed > allocation
     // not being trackable here, so check that not *every* job was
     // assured — tail events exist at this alpha — or all completed).
-    assert!(tm.completed > 900, "expected ~1000 jobs, got {}", tm.completed);
+    assert!(
+        tm.completed > 900,
+        "expected ~1000 jobs, got {}",
+        tm.completed
+    );
 }
 
 #[test]
@@ -88,31 +89,54 @@ fn degenerate_single_frequency_platform_works() {
 #[test]
 fn eua_inverts_edf_order_only_during_overload() {
     let platform = Platform::powernow(EnergySetting::e1());
-    let config = SimConfig::new(TimeDelta::from_secs(5)).with_trace().with_job_records();
+    let config = SimConfig::new(TimeDelta::from_secs(5))
+        .with_trace()
+        .with_job_records();
 
     // Under-load: EUA* is critical-time ordered (Theorem 2) — no
     // inversions.
     let under = eua::workload::fig2_workload(0.6, 42, platform.f_max()).expect("workload");
-    let out = Engine::run(&under.tasks, &under.patterns, &platform, &mut Eua::new(), &config, 5)
-        .expect("run");
+    let out = Engine::run(
+        &under.tasks,
+        &under.patterns,
+        &platform,
+        &mut Eua::new(),
+        &config,
+        5,
+    )
+    .expect("run");
     let v = edf_violations(
         out.trace.as_ref().expect("trace"),
         out.jobs.as_ref().expect("records"),
         &under.tasks,
     );
-    assert!(v.is_empty(), "unexpected inversions under-load: {}", v.len());
+    assert!(
+        v.is_empty(),
+        "unexpected inversions under-load: {}",
+        v.len()
+    );
 
     // Overload: shedding low-UER jobs necessarily leaves earlier-critical
     // jobs live while more valuable later ones run.
     let over = eua::workload::fig2_workload(1.6, 42, platform.f_max()).expect("workload");
-    let out = Engine::run(&over.tasks, &over.patterns, &platform, &mut Eua::new(), &config, 5)
-        .expect("run");
+    let out = Engine::run(
+        &over.tasks,
+        &over.patterns,
+        &platform,
+        &mut Eua::new(),
+        &config,
+        5,
+    )
+    .expect("run");
     let v = edf_violations(
         out.trace.as_ref().expect("trace"),
         out.jobs.as_ref().expect("records"),
         &over.tasks,
     );
-    assert!(!v.is_empty(), "EUA* should invert EDF order during overload");
+    assert!(
+        !v.is_empty(),
+        "EUA* should invert EDF order during overload"
+    );
 
     // The deadline baseline stays EDF-ordered even overloaded (it only
     // drops infeasible jobs, which stop being live immediately).
@@ -151,8 +175,7 @@ fn maximal_uam_bursts_at_every_window_are_survivable() {
     let patterns = vec![ArrivalPattern::window_burst(spec).unwrap()];
     let platform = Platform::powernow(EnergySetting::e1());
     let config = SimConfig::new(TimeDelta::from_secs(2));
-    let out = Engine::run(&tasks, &patterns, &platform, &mut Eua::new(), &config, 7)
-        .expect("run");
+    let out = Engine::run(&tasks, &patterns, &platform, &mut Eua::new(), &config, 7).expect("run");
     // Exactly at capacity: every job completes (1M cycles / 10 ms at
     // 100 MHz), none abort.
     assert_eq!(out.metrics.jobs_completed(), out.metrics.jobs_arrived());
@@ -172,8 +195,15 @@ fn overloaded_run_with_progress_accrual_and_idle_power_stays_consistent() {
         .with_frequency_switch_overhead(TimeDelta::from_micros(50))
         .with_trace()
         .with_job_records();
-    let out = Engine::run(&w.tasks, &w.patterns, &platform, &mut Eua::new(), &config, 9)
-        .expect("run");
+    let out = Engine::run(
+        &w.tasks,
+        &w.patterns,
+        &platform,
+        &mut Eua::new(),
+        &config,
+        9,
+    )
+    .expect("run");
     let m = &out.metrics;
     assert!(m.total_utility > 0.0);
     assert!(m.total_utility <= m.max_possible_utility + 1e-6);

@@ -1,8 +1,10 @@
+#![allow(clippy::expect_used)] // test/demo code: panicking on bad setup is the point
+
 //! Integration checks of the paper's §4 timeliness properties
 //! (Theorems 2–6) under the stated conditions: periodic arrivals, no CPU
 //! overload.
 
-use eua::core::{Eua, EdfPolicy};
+use eua::core::{EdfPolicy, Eua};
 use eua::platform::{EnergySetting, TimeDelta};
 use eua::sim::{Engine, Outcome, Platform, SchedulerPolicy, SimConfig};
 use eua::workload::{fig3_workload, theorem_workload, Workload};
@@ -16,8 +18,8 @@ fn run(w: &Workload, policy: &mut dyn SchedulerPolicy, seed: u64) -> Outcome {
 #[test]
 fn theorem2_eua_matches_edf_schedule_at_fmax() {
     for load in [0.25, 0.55, 0.85] {
-        let w = theorem_workload(load, 42, eua::platform::Frequency::from_mhz(100))
-            .expect("workload");
+        let w =
+            theorem_workload(load, 42, eua::platform::Frequency::from_mhz(100)).expect("workload");
         let edf = run(&w, &mut EdfPolicy::max_speed(), 3);
         let eua = run(&w, &mut Eua::without_dvs(), 3);
         assert_eq!(
@@ -35,8 +37,8 @@ fn theorem2_eua_matches_edf_schedule_at_fmax() {
 #[test]
 fn corollary3_eua_meets_all_critical_times_underload() {
     for load in [0.25, 0.55, 0.85] {
-        let w = theorem_workload(load, 42, eua::platform::Frequency::from_mhz(100))
-            .expect("workload");
+        let w =
+            theorem_workload(load, 42, eua::platform::Frequency::from_mhz(100)).expect("workload");
         let out = run(&w, &mut Eua::new(), 3);
         for (i, tm) in out.metrics.per_task.iter().enumerate() {
             assert_eq!(
@@ -54,8 +56,7 @@ fn corollary3_eua_meets_all_critical_times_underload() {
 
 #[test]
 fn corollary4_eua_matches_edf_max_lateness() {
-    let w = theorem_workload(0.7, 42, eua::platform::Frequency::from_mhz(100))
-        .expect("workload");
+    let w = theorem_workload(0.7, 42, eua::platform::Frequency::from_mhz(100)).expect("workload");
     let edf = run(&w, &mut EdfPolicy::max_speed(), 3);
     let eua = run(&w, &mut Eua::without_dvs(), 3);
     assert_eq!(eua.metrics.max_lateness_us(), edf.metrics.max_lateness_us());
@@ -64,8 +65,8 @@ fn corollary4_eua_matches_edf_max_lateness() {
 #[test]
 fn theorem5_statistical_requirements_hold_underload() {
     for seed in [3, 17, 91] {
-        let w = theorem_workload(0.8, 42, eua::platform::Frequency::from_mhz(100))
-            .expect("workload");
+        let w =
+            theorem_workload(0.8, 42, eua::platform::Frequency::from_mhz(100)).expect("workload");
         let out = run(&w, &mut Eua::new(), seed);
         assert!(
             out.metrics.meets_assurances(&w.tasks),
@@ -78,8 +79,7 @@ fn theorem5_statistical_requirements_hold_underload() {
 fn theorem6_nonstep_tufs_meet_statistical_requirements() {
     // Linear TUFs, periodic arrivals, load < 1 — the BRH condition holds
     // for the scaled set, so the statistical requirements must be met.
-    let w = fig3_workload(0.6, 1, 42, eua::platform::Frequency::from_mhz(100))
-        .expect("workload");
+    let w = fig3_workload(0.6, 1, 42, eua::platform::Frequency::from_mhz(100)).expect("workload");
     let out = run(&w, &mut Eua::new(), 3);
     assert!(out.metrics.meets_assurances(&w.tasks));
     // The miss rate is bounded by 1 − ρ = 0.1.

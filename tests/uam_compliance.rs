@@ -14,8 +14,7 @@ use rand::SeedableRng;
 
 #[test]
 fn synthesized_patterns_comply_with_their_specs() {
-    let w = fig3_workload(0.5, 3, 7, eua::platform::Frequency::from_mhz(100))
-        .expect("workload");
+    let w = fig3_workload(0.5, 3, 7, eua::platform::Frequency::from_mhz(100)).expect("workload");
     let mut rng = SmallRng::seed_from_u64(99);
     for ((_, task), pattern) in w.tasks.iter().zip(&w.patterns) {
         let trace = pattern.generate(TimeDelta::from_secs(30), &mut rng);
@@ -48,8 +47,8 @@ fn engine_arrival_stream_respects_uam_in_job_records() {
     let platform = Platform::powernow(EnergySetting::e1());
     let config = SimConfig::new(TimeDelta::from_secs(10)).with_job_records();
     let mut policy = eua::core::Eua::new();
-    let out = Engine::run(&tasks, &patterns, &platform, &mut policy, &config, 5)
-        .expect("simulation");
+    let out =
+        Engine::run(&tasks, &patterns, &platform, &mut policy, &config, 5).expect("simulation");
     let records = out.jobs.expect("records enabled");
     let trace: ArrivalTrace = records.iter().map(|r| r.arrival).collect();
     assert!(!trace.is_empty());
@@ -82,8 +81,8 @@ fn scheduler_only_sees_believed_demand() {
     let platform = Platform::powernow(EnergySetting::e1());
     let config = SimConfig::new(TimeDelta::from_millis(100)).with_job_records();
     let mut policy = eua::core::Eua::new();
-    let out = Engine::run(&tasks, &patterns, &platform, &mut policy, &config, 5)
-        .expect("simulation");
+    let out =
+        Engine::run(&tasks, &patterns, &platform, &mut policy, &config, 5).expect("simulation");
     assert_eq!(out.metrics.jobs_completed(), 10);
     for r in out.jobs.expect("records") {
         assert_eq!(r.executed, r.actual_demand);
@@ -112,4 +111,22 @@ fn first_arrival_happens_at_time_zero_for_periodic_patterns() {
     let mut rng = SmallRng::seed_from_u64(0);
     let trace = pattern.generate(TimeDelta::from_millis(50), &mut rng);
     assert_eq!(trace.as_slice()[0], SimTime::ZERO);
+}
+
+#[cfg(feature = "invariant-checks")]
+#[test]
+fn invariant_checks_cover_bursty_admission() {
+    // The checker's UAM-window assertion sees the exact arrival stream
+    // the engine admits; a maximally bursty pattern (WindowBurst hits
+    // the bound) is the sharpest exercise of that assertion.
+    assert!(eua::sim::invariant_checks_enabled());
+    let w = WorkloadBuilder::new(eua::workload::table1())
+        .max_arrivals(4)
+        .build(3)
+        .expect("workload");
+    let platform = Platform::powernow(EnergySetting::e1());
+    let config = SimConfig::new(TimeDelta::from_secs(2));
+    let mut policy = eua::core::Eua::new();
+    Engine::run(&w.tasks, &w.patterns, &platform, &mut policy, &config, 3)
+        .expect("simulation under invariant checks");
 }
