@@ -33,14 +33,38 @@ if grep -rnE 'std::time::|Instant::now|SystemTime|Duration::from_secs' \
   exit 1
 fi
 
+step "thread-spawn lint"
+# All first-party parallelism goes through the scoped-thread pool in
+# crates/sim/src/pool.rs (deterministic ordering, panic containment,
+# --jobs / EUA_JOBS resolution). Raw std::thread use anywhere else
+# bypasses those guarantees. Vendored shims are exempt.
+if grep -rnE 'thread::(spawn|scope|Builder)' \
+    --include='*.rs' \
+    src tests examples crates \
+    | grep -v '^crates/sim/src/pool.rs:' \
+    | grep -v '^[^:]*vendor/'; then
+  echo "error: raw std::thread use outside crates/sim/src/pool.rs (see above)" >&2
+  exit 1
+fi
+
 step "cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
 step "cargo test"
 cargo test --workspace -q
 
+step "schedule differential suite (invariant checks off)"
+cargo test -q -p eua-core --test schedule_differential
+
 step "cargo test --features invariant-checks"
 cargo test --features invariant-checks -q
+
+step "schedule differential suite (invariant checks on)"
+cargo test -q -p eua-core --features eua-sim/invariant-checks \
+  --test schedule_differential
+
+step "bench smoke under --jobs 2"
+cargo run -q -p eua-bench --bin fig2 -- --quick --energy e1 --jobs 2 >/dev/null
 
 if [[ "$QUICK" == 0 ]]; then
   step "cargo build --release"

@@ -1,0 +1,70 @@
+//! Isolates the Algorithm 1 schedule-construction hot path: the
+//! incremental [`ScheduleBuilder`] (O(1) feasibility probe, fused O(n)
+//! tail update per accepted insertion) against the naive
+//! [`build_schedule_reference`] oracle (full `schedule_feasible` re-walk
+//! per insertion). The all-feasible candidate sets used here are the
+//! incremental builder's *worst* case — every insertion pays the tail
+//! update; rejected insertions would be O(1) instead of O(n).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eua_core::{build_schedule_reference, Candidate, InsertionMode, ScheduleBuilder};
+use eua_platform::{Cycles, Frequency, SimTime};
+use eua_sim::JobId;
+
+fn candidates(n: u64) -> Vec<Candidate> {
+    (0..n)
+        .map(|i| {
+            let critical = 10_000 + 5_000 * ((i * 7919) % n);
+            Candidate {
+                id: JobId(i),
+                critical: SimTime::from_micros(critical),
+                termination: SimTime::from_micros(critical + 40_000),
+                remaining: Cycles::new(50_000 + 1_000 * i),
+                key: 1.0 + (i as f64 * 13.7) % 97.0,
+            }
+        })
+        .collect()
+}
+
+fn bench_build(c: &mut Criterion) {
+    let f_m = Frequency::from_mhz(100);
+    let mut group = c.benchmark_group("schedule_build");
+    for &n in &[4u64, 16, 64, 256] {
+        let base = candidates(n);
+        let mut builder = ScheduleBuilder::new();
+        let mut buf = Vec::new();
+        group.bench_with_input(BenchmarkId::new("incremental", n), &n, |b, _| {
+            b.iter(|| {
+                buf.clear();
+                buf.extend_from_slice(&base);
+                std::hint::black_box(
+                    builder
+                        .rebuild(
+                            SimTime::ZERO,
+                            &mut buf,
+                            f_m,
+                            InsertionMode::BreakOnInfeasible,
+                        )
+                        .len(),
+                )
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+            b.iter(|| {
+                std::hint::black_box(
+                    build_schedule_reference(
+                        SimTime::ZERO,
+                        base.clone(),
+                        f_m,
+                        InsertionMode::BreakOnInfeasible,
+                    )
+                    .len(),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build);
+criterion_main!(benches);

@@ -13,11 +13,12 @@
 //!    DVS saving slightly, and idle power erodes the *relative* saving
 //!    because both policies pay it alike.
 //!
-//! Usage: `cargo run -p eua-bench --bin ablation [--quick] [--csv-dir DIR]`
+//! Usage: `cargo run -p eua-bench --bin ablation [--quick] [--csv-dir DIR]
+//! [--jobs N]`
 
 use std::path::PathBuf;
 
-use eua_bench::{run_cell, write_csv, ExperimentConfig, Table};
+use eua_bench::{jobs_from_args, run_cell, run_cells, write_csv, ExperimentConfig, Table};
 use eua_platform::{EnergySetting, Frequency};
 use eua_sim::Platform;
 use eua_uam::Assurance;
@@ -37,7 +38,8 @@ fn main() {
         ExperimentConfig::quick()
     } else {
         ExperimentConfig::standard()
-    };
+    }
+    .with_jobs(jobs_from_args(&args));
 
     // --- Ablations 1–3: policy variants across loads, E3. ---
     let platform = Platform::powernow(EnergySetting::e3());
@@ -50,10 +52,7 @@ fn main() {
     );
     for load in [0.3, 0.6, 0.9, 1.2, 1.5] {
         let w = fig2_workload(load, WORKLOAD_SEED, platform.f_max()).expect("workload");
-        let cells: Vec<_> = variants
-            .iter()
-            .map(|v| run_cell(v, &w, &platform, &config))
-            .collect();
+        let cells = run_cells(&variants, &w, &platform, &config);
         let base = &cells[0];
         let mut row = vec![format!("{load:.1}")];
         for c in &cells {

@@ -7,14 +7,15 @@
 //! spends on the cheapest, highest-UER work first) and saturates at the
 //! unconstrained level once the budget covers the full run.
 //!
-//! Usage: `cargo run -p eua-bench --bin budget [--quick] [--csv-dir DIR]`
+//! Usage: `cargo run -p eua-bench --bin budget [--quick] [--csv-dir DIR]
+//! [--jobs N]`
 
 use std::path::PathBuf;
 
-use eua_bench::{write_csv, ExperimentConfig, Table};
+use eua_bench::{jobs_from_args, write_csv, ExperimentConfig, Table};
 use eua_core::{BudgetedEua, Eua};
 use eua_platform::EnergySetting;
-use eua_sim::{Engine, Platform, SimConfig};
+use eua_sim::{replicate_parallel, Platform, SimConfig, Summary};
 use eua_workload::fig2_workload;
 
 const WORKLOAD_SEED: u64 = 42;
@@ -31,9 +32,19 @@ fn main() {
         ExperimentConfig::quick()
     } else {
         ExperimentConfig::standard()
-    };
+    }
+    .with_jobs(jobs_from_args(&args));
     let platform = Platform::powernow(EnergySetting::e1());
     let sim_config = SimConfig::new(config.horizon);
+    let totals = |summary: &Summary| {
+        summary.runs.iter().fold((0.0, 0.0, 0.0), |acc, r| {
+            (
+                acc.0 + r.metrics.total_utility,
+                acc.1 + r.metrics.energy,
+                acc.2 + r.metrics.jobs_completed() as f64,
+            )
+        })
+    };
 
     let mut table = Table::new(vec![
         "budget-frac".into(),
@@ -44,24 +55,17 @@ fn main() {
     for load in [0.5, 0.8] {
         let workload = fig2_workload(load, WORKLOAD_SEED, platform.f_max()).expect("workload");
         // Baseline: unconstrained EUA* on the same seeds.
-        let mut base_utility = 0.0;
-        let mut base_energy = 0.0;
-        let mut base_completed = 0.0;
-        for &seed in &config.seeds {
-            let m = Engine::run(
-                &workload.tasks,
-                &workload.patterns,
-                &platform,
-                &mut Eua::new(),
-                &sim_config,
-                seed,
-            )
-            .expect("run")
-            .metrics;
-            base_utility += m.total_utility;
-            base_energy += m.energy;
-            base_completed += m.jobs_completed() as f64;
-        }
+        let base = replicate_parallel(
+            &workload.tasks,
+            &workload.patterns,
+            &platform,
+            Eua::new,
+            &sim_config,
+            &config.seeds,
+            config.jobs,
+        )
+        .expect("run");
+        let (base_utility, base_energy, base_completed) = totals(&base);
 
         table.push(vec![
             format!("load={load}"),
@@ -70,25 +74,18 @@ fn main() {
             String::new(),
         ]);
         for frac in [0.1, 0.25, 0.5, 0.75, 1.0, 1.2] {
-            let mut utility = 0.0;
-            let mut energy = 0.0;
-            let mut completed = 0.0;
-            for &seed in &config.seeds {
-                let budget = frac * base_energy / config.seeds.len() as f64;
-                let m = Engine::run(
-                    &workload.tasks,
-                    &workload.patterns,
-                    &platform,
-                    &mut BudgetedEua::new(budget),
-                    &sim_config,
-                    seed,
-                )
-                .expect("run")
-                .metrics;
-                utility += m.total_utility;
-                energy += m.energy;
-                completed += m.jobs_completed() as f64;
-            }
+            let budget = frac * base_energy / config.seeds.len() as f64;
+            let bounded = replicate_parallel(
+                &workload.tasks,
+                &workload.patterns,
+                &platform,
+                || BudgetedEua::new(budget),
+                &sim_config,
+                &config.seeds,
+                config.jobs,
+            )
+            .expect("run");
+            let (utility, energy, completed) = totals(&bounded);
             table.push(vec![
                 format!("{frac:.2}"),
                 format!("{:.3}", utility / base_utility),

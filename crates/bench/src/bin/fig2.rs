@@ -7,11 +7,13 @@
 //! the highest frequency), exactly as in the paper.
 //!
 //! Usage: `cargo run -p eua-bench --bin fig2 [--quick] [--energy e1|e2|e3]...
-//! [--show-settings] [--csv-dir DIR]`
+//! [--show-settings] [--csv-dir DIR] [--jobs N]`
 
 use std::path::PathBuf;
 
-use eua_bench::{render_chart, render_svg, run_cell, write_csv, ExperimentConfig, Series, Table};
+use eua_bench::{
+    jobs_from_args, render_chart, render_svg, run_cells, write_csv, ExperimentConfig, Series, Table,
+};
 use eua_platform::EnergySetting;
 use eua_sim::Platform;
 use eua_workload::{fig2_workload, table1};
@@ -65,7 +67,8 @@ fn main() {
         ExperimentConfig::quick()
     } else {
         ExperimentConfig::standard()
-    };
+    }
+    .with_jobs(jobs_from_args(&args));
 
     for setting in settings {
         let platform = Platform::powernow(setting);
@@ -89,10 +92,7 @@ fn main() {
         for load in loads() {
             let workload =
                 fig2_workload(load, WORKLOAD_SEED, platform.f_max()).expect("workload synthesis");
-            let cells: Vec<_> = POLICIES
-                .iter()
-                .map(|p| run_cell(p, &workload, &platform, &config))
-                .collect();
+            let cells = run_cells(POLICIES, &workload, &platform, &config);
             let base = cells
                 .iter()
                 .find(|c| c.policy == BASELINE)

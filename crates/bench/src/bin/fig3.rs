@@ -8,11 +8,14 @@
 //! `a` (burstier arrivals spoil slack prediction); during overloads all
 //! curves converge (everything runs at `f_m`).
 //!
-//! Usage: `cargo run -p eua-bench --bin fig3 [--quick] [--csv-dir DIR]`
+//! Usage: `cargo run -p eua-bench --bin fig3 [--quick] [--csv-dir DIR]
+//! [--jobs N]`
 
 use std::path::PathBuf;
 
-use eua_bench::{render_chart, render_svg, run_cell, write_csv, ExperimentConfig, Series, Table};
+use eua_bench::{
+    jobs_from_args, render_chart, render_svg, run_cells, write_csv, ExperimentConfig, Series, Table,
+};
 use eua_platform::EnergySetting;
 use eua_sim::Platform;
 use eua_workload::fig3_workload;
@@ -35,7 +38,8 @@ fn main() {
         ExperimentConfig::quick()
     } else {
         ExperimentConfig::standard()
-    };
+    }
+    .with_jobs(jobs_from_args(&args));
     let platform = Platform::powernow(EnergySetting::e1());
 
     let mut table = Table::new(vec![
@@ -52,8 +56,8 @@ fn main() {
         for a in 1..=3u32 {
             let workload = fig3_workload(load, a, WORKLOAD_SEED, platform.f_max())
                 .expect("workload synthesis");
-            let dvs = run_cell("eua", &workload, &platform, &config);
-            let nodvs = run_cell("eua-nodvs", &workload, &platform, &config);
+            let cells = run_cells(&["eua", "eua-nodvs"], &workload, &platform, &config);
+            let (dvs, nodvs) = (&cells[0], &cells[1]);
             let v = dvs.energy / nodvs.energy.max(1e-12);
             row.push(format!("{v:.3}"));
             series[(a - 1) as usize].points.push((load, v));

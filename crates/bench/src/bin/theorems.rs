@@ -12,11 +12,12 @@
 //! * **Theorem 6** — the same holds for non-step, non-increasing TUFs
 //!   under the Baruah–Rosier–Howell condition (checked with linear TUFs).
 //!
-//! Usage: `cargo run -p eua-bench --bin theorems [--quick]`
+//! Usage: `cargo run -p eua-bench --bin theorems [--quick] [--jobs N]`
 
+use eua_bench::jobs_from_args;
 use eua_core::{EdfPolicy, Eua};
 use eua_platform::{EnergySetting, TimeDelta};
-use eua_sim::{Engine, Platform, SchedulerPolicy, SimConfig};
+use eua_sim::{map_parallel, Engine, Platform, SchedulerPolicy, SimConfig};
 use eua_workload::{fig3_workload, theorem_workload, Workload};
 
 fn check(label: &str, ok: bool, detail: String) -> bool {
@@ -44,7 +45,9 @@ fn run(
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let jobs = jobs_from_args(&args);
     let horizon = if quick {
         TimeDelta::from_secs(5)
     } else {
@@ -56,9 +59,22 @@ fn main() {
     for load in [0.3, 0.6, 0.9] {
         println!("load = {load} (periodic, step TUFs, under-load):");
         let w = theorem_workload(load, 42, platform.f_max()).expect("workload");
-        let edf = run(&w, &platform, &mut EdfPolicy::max_speed(), horizon, 7);
-        let eua_fm = run(&w, &platform, &mut Eua::without_dvs(), horizon, 7);
-        let eua = run(&w, &platform, &mut Eua::new(), horizon, 7);
+        // The three comparison runs are independent; fan them out.
+        let mut outs = map_parallel(jobs, vec![0usize, 1, 2], |_, which| {
+            let mut policy: Box<dyn SchedulerPolicy> = match which {
+                0 => Box::new(EdfPolicy::max_speed()),
+                1 => Box::new(Eua::without_dvs()),
+                _ => Box::new(Eua::new()),
+            };
+            run(&w, &platform, policy.as_mut(), horizon, 7)
+        })
+        .expect("theorem runs");
+        let (edf, eua_fm, eua) = {
+            let eua = outs.pop().expect("three runs");
+            let eua_fm = outs.pop().expect("three runs");
+            let edf = outs.pop().expect("three runs");
+            (edf, eua_fm, eua)
+        };
 
         // Theorem 2: identical schedules at f_m, equal utilities.
         let seq_edf = edf.trace.as_ref().expect("trace").job_sequence();

@@ -1,9 +1,10 @@
-//! Shared sweep machinery: run one `(workload, policy)` cell over several
-//! seeds and aggregate.
+//! Shared sweep machinery: run `(workload, policy)` cells over several
+//! seeds — sequentially or fanned out over the `eua_sim::pool` worker
+//! pool — and aggregate.
 
 use eua_core::make_policy;
 use eua_platform::TimeDelta;
-use eua_sim::{replicate, Platform, SimConfig, Summary};
+use eua_sim::{map_parallel, Engine, Metrics, Platform, SimConfig, Summary};
 use eua_workload::Workload;
 
 /// Sweep-wide configuration.
@@ -13,6 +14,10 @@ pub struct ExperimentConfig {
     pub horizon: TimeDelta,
     /// Seeds (one run per seed; arrival jitter and demand noise vary).
     pub seeds: Vec<u64>,
+    /// Worker threads for cell/seed fan-out; `1` runs strictly
+    /// sequentially (see `eua_sim::resolve_jobs` for the `--jobs` /
+    /// `EUA_JOBS` resolution the binaries apply).
+    pub jobs: usize,
 }
 
 impl ExperimentConfig {
@@ -24,6 +29,7 @@ impl ExperimentConfig {
         ExperimentConfig {
             horizon: TimeDelta::from_secs(20),
             seeds: vec![11, 23, 47],
+            jobs: 1,
         }
     }
 
@@ -33,12 +39,33 @@ impl ExperimentConfig {
         ExperimentConfig {
             horizon: TimeDelta::from_secs(5),
             seeds: vec![11],
+            jobs: 1,
         }
+    }
+
+    /// Sets the worker-thread count (builder style).
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
     }
 }
 
+/// Resolves the worker-thread count from a binary's CLI arguments: the
+/// value following a `--jobs` flag, else the `EUA_JOBS` environment
+/// variable, else the hardware's available parallelism.
+#[must_use]
+pub fn jobs_from_args(args: &[String]) -> usize {
+    eua_sim::resolve_jobs(
+        args.iter()
+            .position(|a| a == "--jobs")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok()),
+    )
+}
+
 /// The aggregated result of one `(workload, policy)` cell.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Cell {
     /// The policy's registry name.
     pub policy: String,
@@ -52,32 +79,7 @@ pub struct Cell {
     pub assurance_ok_rate: f64,
 }
 
-/// Runs `policy_name` (an `eua_core::make_policy` name) on `workload`
-/// under every seed and aggregates.
-///
-/// # Panics
-///
-/// Panics on an unknown policy name or a simulation error — experiment
-/// binaries treat both as fatal configuration mistakes.
-#[must_use]
-pub fn run_cell(
-    policy_name: &str,
-    workload: &Workload,
-    platform: &Platform,
-    config: &ExperimentConfig,
-) -> Cell {
-    let mut policy =
-        make_policy(policy_name).unwrap_or_else(|| panic!("unknown policy {policy_name}"));
-    let sim_config = SimConfig::new(config.horizon);
-    let summary: Summary = replicate(
-        &workload.tasks,
-        &workload.patterns,
-        platform,
-        &mut policy,
-        &sim_config,
-        &config.seeds,
-    )
-    .expect("simulation failed");
+fn cell_from_summary(policy_name: &str, workload: &Workload, summary: &Summary) -> Cell {
     let completion_rate = summary.mean_by(|m| {
         let arrived = m.jobs_arrived();
         if arrived == 0 {
@@ -113,6 +115,86 @@ pub fn run_cell(
     }
 }
 
+/// Runs every `(policy, seed)` pair of the cell block through the worker
+/// pool (`config.jobs` threads; `1` = sequential) and aggregates one
+/// [`Cell`] per policy, in the order given.
+///
+/// The flattened `(policy, seed)` item space keeps all workers busy even
+/// when one policy is far slower than the rest; each simulation is
+/// independent and deterministic, so the aggregation is bit-identical to
+/// the sequential loop's.
+///
+/// # Panics
+///
+/// Panics on an unknown policy name or a simulation error — experiment
+/// binaries treat both as fatal configuration mistakes.
+#[must_use]
+pub fn run_cells(
+    policy_names: &[&str],
+    workload: &Workload,
+    platform: &Platform,
+    config: &ExperimentConfig,
+) -> Vec<Cell> {
+    let sim_config = SimConfig::new(config.horizon);
+    let items: Vec<(usize, u64)> = policy_names
+        .iter()
+        .enumerate()
+        .flat_map(|(pi, _)| config.seeds.iter().map(move |&seed| (pi, seed)))
+        .collect();
+    let metrics: Vec<Metrics> = map_parallel(config.jobs, items, |_, (pi, seed)| {
+        let name = policy_names[pi];
+        let mut policy = make_policy(name).unwrap_or_else(|| panic!("unknown policy {name}"));
+        Engine::run(
+            &workload.tasks,
+            &workload.patterns,
+            platform,
+            &mut policy,
+            &sim_config,
+            seed,
+        )
+        .expect("simulation failed")
+        .metrics
+    })
+    .unwrap_or_else(|e| panic!("parallel sweep failed: {e}"));
+    metrics
+        .chunks(config.seeds.len())
+        .zip(policy_names)
+        .map(|(chunk, name)| {
+            let summary = Summary {
+                runs: config
+                    .seeds
+                    .iter()
+                    .zip(chunk)
+                    .map(|(&seed, m)| eua_sim::Replication {
+                        seed,
+                        metrics: m.clone(),
+                    })
+                    .collect(),
+            };
+            cell_from_summary(name, workload, &summary)
+        })
+        .collect()
+}
+
+/// Runs `policy_name` (an `eua_core::make_policy` name) on `workload`
+/// under every seed and aggregates. Single-policy form of [`run_cells`].
+///
+/// # Panics
+///
+/// Panics on an unknown policy name or a simulation error — experiment
+/// binaries treat both as fatal configuration mistakes.
+#[must_use]
+pub fn run_cell(
+    policy_name: &str,
+    workload: &Workload,
+    platform: &Platform,
+    config: &ExperimentConfig,
+) -> Cell {
+    run_cells(&[policy_name], workload, platform, config)
+        .pop()
+        .unwrap_or_else(|| unreachable!("run_cells returns one cell per policy"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -137,5 +219,21 @@ mod tests {
         let platform = Platform::powernow(EnergySetting::e1());
         let w = fig2_workload(0.4, 3, Frequency::from_mhz(100)).unwrap();
         let _ = run_cell("nope", &w, &platform, &ExperimentConfig::quick());
+    }
+
+    #[test]
+    fn parallel_cells_match_sequential_cells() {
+        let platform = Platform::powernow(EnergySetting::e1());
+        let w = fig2_workload(0.8, 3, Frequency::from_mhz(100)).unwrap();
+        let policies = ["eua", "edf", "dasa"];
+        let mut sequential = ExperimentConfig::quick();
+        sequential.seeds = vec![11, 23];
+        let parallel = sequential.clone().with_jobs(4);
+        let seq_cells: Vec<Cell> = policies
+            .iter()
+            .map(|p| run_cell(p, &w, &platform, &sequential))
+            .collect();
+        let par_cells = run_cells(&policies, &w, &platform, &parallel);
+        assert_eq!(par_cells, seq_cells);
     }
 }

@@ -22,5 +22,5 @@ pub mod experiment;
 pub mod report;
 
 pub use chart::{render_chart, render_svg, Series};
-pub use experiment::{run_cell, Cell, ExperimentConfig};
+pub use experiment::{jobs_from_args, run_cell, run_cells, Cell, ExperimentConfig};
 pub use report::{write_csv, Table};

@@ -100,7 +100,7 @@ impl SchedulerPolicy for BudgetedEua {
     }
 
     fn decide(&mut self, ctx: &SchedContext<'_>) -> Decision {
-        let (schedule, aborts, analysis) = self.inner.plan(ctx);
+        let (aborts, analysis) = self.inner.plan(ctx);
         let f_m = ctx.platform.f_max();
         let residual = (self.budget - ctx.energy_used).max(0.0);
         if residual <= 0.0 {
@@ -109,7 +109,7 @@ impl SchedulerPolicy for BudgetedEua {
         let assurance_freq = analysis
             .map(|a| select_freq(ctx.platform.table(), a.required_speed))
             .unwrap_or(f_m);
-        for cand in &schedule {
+        for cand in self.inner.planned() {
             let Some(job) = ctx.job(cand.id) else {
                 continue;
             };

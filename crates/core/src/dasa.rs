@@ -6,7 +6,7 @@
 
 use eua_sim::{Decision, SchedContext, SchedulerPolicy};
 
-use crate::candidates::{build_schedule, job_feasible, Candidate, InsertionMode};
+use crate::candidates::{job_feasible, Candidate, InsertionMode, ScheduleBuilder};
 
 /// Dependent Activity Scheduling Algorithm (independent-task form):
 /// utility-density-ordered greedy scheduling at the maximum frequency.
@@ -19,9 +19,13 @@ use crate::candidates::{build_schedule, job_feasible, Candidate, InsertionMode};
 ///
 /// assert_eq!(Dasa::new().name(), "dasa");
 /// ```
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Dasa {
-    _private: (),
+    /// Incremental schedule constructor; buffers persist across events so
+    /// the per-event hot path does not reallocate.
+    builder: ScheduleBuilder,
+    /// Reused candidate scratch, refilled every event.
+    cand_buf: Vec<Candidate>,
 }
 
 impl Dasa {
@@ -40,7 +44,7 @@ impl SchedulerPolicy for Dasa {
     fn decide(&mut self, ctx: &SchedContext<'_>) -> Decision {
         let f_m = ctx.platform.f_max();
         let mut aborts = Vec::new();
-        let mut cands = Vec::with_capacity(ctx.jobs.len());
+        self.cand_buf.clear();
         for j in ctx.jobs {
             if !job_feasible(ctx.now, j, f_m) {
                 aborts.push(j.id);
@@ -50,9 +54,15 @@ impl SchedulerPolicy for Dasa {
             let sojourn = predicted.saturating_since(j.arrival);
             let utility = ctx.tasks.task(j.task).tuf().utility(sojourn);
             // Utility density: expected utility per remaining cycle.
-            cands.push(Candidate::from_view(j, utility / j.remaining.as_f64()));
+            self.cand_buf
+                .push(Candidate::from_view(j, utility / j.remaining.as_f64()));
         }
-        let schedule = build_schedule(ctx.now, cands, f_m, InsertionMode::SkipInfeasible);
+        let schedule = self.builder.rebuild(
+            ctx.now,
+            &mut self.cand_buf,
+            f_m,
+            InsertionMode::SkipInfeasible,
+        );
         match schedule.first() {
             Some(head) => Decision::run(head.id, f_m).with_aborts(aborts),
             None => Decision::idle(f_m).with_aborts(aborts),

@@ -5,7 +5,7 @@ pub mod decide_freq;
 use eua_platform::{select_freq, Frequency};
 use eua_sim::{Decision, SchedContext, SchedulerPolicy, TaskId};
 
-use crate::candidates::{build_schedule, job_feasible, Candidate, InsertionMode};
+use crate::candidates::{job_feasible, Candidate, InsertionMode, ScheduleBuilder};
 use decide_freq::LookAheadDvs;
 
 /// Tunable switches of [`Eua`], defaulting to the paper's algorithm.
@@ -63,6 +63,14 @@ pub struct Eua {
     f_opt: Vec<Frequency>,
     /// The Algorithm 2 window-anchor state.
     dvs: LookAheadDvs,
+    /// Incremental schedule constructor; its buffers persist across
+    /// scheduling events so the per-event hot path does not reallocate.
+    builder: ScheduleBuilder,
+    /// Reused candidate scratch ([`Eua::plan`] refills it every event).
+    cand_buf: Vec<Candidate>,
+    /// Reused abort scratch; taken (and thus only reallocated on events
+    /// that actually abort) when handed to the engine.
+    abort_buf: Vec<eua_sim::JobId>,
 }
 
 impl Eua {
@@ -93,6 +101,9 @@ impl Eua {
             name,
             f_opt: Vec::new(),
             dvs: LookAheadDvs::new(),
+            builder: ScheduleBuilder::new(),
+            cand_buf: Vec::new(),
+            abort_buf: Vec::new(),
         }
     }
 
@@ -135,17 +146,19 @@ impl Eua {
         self.f_opt[task.index()]
     }
 
-    /// Algorithm 1 lines 3–18 plus the Algorithm 2 analysis: the feasible
-    /// UER-ordered schedule, the infeasible jobs to abort, and the DVS
-    /// analysis (when enabled). Shared with the energy-budgeted variant.
+    /// Algorithm 1 lines 3–18 plus the Algorithm 2 analysis: builds the
+    /// feasible UER-ordered schedule into [`Eua::planned`]'s buffer and
+    /// returns the infeasible jobs to abort plus the DVS analysis (when
+    /// enabled). Shared with the energy-budgeted variant.
+    ///
+    /// The candidate and schedule buffers live on `self` and are reused
+    /// across events, so a steady-state `plan` call performs no heap
+    /// allocation (aborting events hand their — rare — abort list to the
+    /// engine by value).
     pub(crate) fn plan(
         &mut self,
         ctx: &SchedContext<'_>,
-    ) -> (
-        Vec<Candidate>,
-        Vec<eua_sim::JobId>,
-        Option<decide_freq::DvsAnalysis>,
-    ) {
+    ) -> (Vec<eua_sim::JobId>, Option<decide_freq::DvsAnalysis>) {
         self.ensure_offline(ctx);
         let f_m = ctx.platform.f_max();
         let per_cycle_at_fm = ctx.platform.energy().energy_per_cycle(f_m);
@@ -154,12 +167,12 @@ impl Eua {
         let analysis = self.options.dvs.then(|| self.dvs.analyze(ctx));
 
         // Lines 9–11: abort infeasible jobs, compute the rest's UER.
-        let mut aborts = Vec::new();
-        let mut cands = Vec::with_capacity(ctx.jobs.len());
+        self.abort_buf.clear();
+        self.cand_buf.clear();
         for j in ctx.jobs {
             if !job_feasible(ctx.now, j, f_m) {
                 if self.options.abort_infeasible {
-                    aborts.push(j.id);
+                    self.abort_buf.push(j.id);
                 }
                 continue;
             }
@@ -167,13 +180,19 @@ impl Eua {
             let sojourn = predicted.saturating_since(j.arrival);
             let utility = ctx.tasks.task(j.task).tuf().utility(sojourn);
             let uer = utility / (per_cycle_at_fm * j.remaining.as_f64());
-            cands.push(Candidate::from_view(j, uer));
+            self.cand_buf.push(Candidate::from_view(j, uer));
         }
 
         // Lines 12–18: greedy UER-ordered construction of a feasible
         // critical-time-ordered schedule.
-        let schedule = build_schedule(ctx.now, cands, f_m, self.options.insertion);
-        (schedule, aborts, analysis)
+        self.builder
+            .rebuild(ctx.now, &mut self.cand_buf, f_m, self.options.insertion);
+        (std::mem::take(&mut self.abort_buf), analysis)
+    }
+
+    /// The schedule built by the most recent [`Eua::plan`] call.
+    pub(crate) fn planned(&self) -> &[Candidate] {
+        self.builder.schedule()
     }
 }
 
@@ -189,11 +208,11 @@ impl SchedulerPolicy for Eua {
     }
 
     fn decide(&mut self, ctx: &SchedContext<'_>) -> Decision {
-        let (schedule, aborts, analysis) = self.plan(ctx);
+        let (aborts, analysis) = self.plan(ctx);
         let f_m = ctx.platform.f_max();
 
         // Lines 19–21: execute the head at the decideFreq() frequency.
-        let Some(head) = schedule.first() else {
+        let Some(head) = self.planned().first().copied() else {
             return Decision::idle(f_m).with_aborts(aborts);
         };
         #[allow(clippy::expect_used)] // `plan` only schedules ids drawn from `ctx.jobs`

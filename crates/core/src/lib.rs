@@ -77,7 +77,10 @@ mod registry;
 
 pub use analysis::{brh_schedulable, demand_bound, sufficient_speed, theorem1_speed};
 pub use budget::BudgetedEua;
-pub use candidates::{build_schedule, job_feasible, schedule_feasible, Candidate, InsertionMode};
+pub use candidates::{
+    build_schedule, build_schedule_reference, job_feasible, schedule_feasible, Candidate,
+    InsertionMode, ScheduleBuilder,
+};
 pub use dasa::Dasa;
 pub use edf::{DvsMode, EdfPolicy};
 pub use eua::decide_freq::{decide_freq, DvsAnalysis, LookAheadDvs};

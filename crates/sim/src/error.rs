@@ -49,6 +49,11 @@ pub enum SimError {
         /// The underlying demand/assurance error.
         source: UamError,
     },
+    /// A parallel replication worker failed (see [`crate::pool`]).
+    Pool {
+        /// The underlying pool error.
+        source: crate::pool::PoolError,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -77,6 +82,7 @@ impl fmt::Display for SimError {
             SimError::ZeroHorizon => write!(f, "simulation horizon must be positive"),
             SimError::ZeroReplications => write!(f, "replication count must be positive"),
             SimError::Task { source } => write!(f, "invalid task: {source}"),
+            SimError::Pool { source } => write!(f, "parallel replication failed: {source}"),
         }
     }
 }
@@ -85,6 +91,7 @@ impl Error for SimError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             SimError::Task { source } => Some(source),
+            SimError::Pool { source } => Some(source),
             _ => None,
         }
     }
@@ -93,6 +100,12 @@ impl Error for SimError {
 impl From<UamError> for SimError {
     fn from(source: UamError) -> Self {
         SimError::Task { source }
+    }
+}
+
+impl From<crate::pool::PoolError> for SimError {
+    fn from(source: crate::pool::PoolError) -> Self {
+        SimError::Pool { source }
     }
 }
 

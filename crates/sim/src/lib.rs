@@ -68,6 +68,7 @@ mod job;
 mod metrics;
 mod platform_view;
 pub mod policy;
+pub mod pool;
 mod runner;
 mod task;
 mod trace;
@@ -84,6 +85,7 @@ pub use job::{JobOutcome, JobRecord};
 pub use metrics::{FrequencyResidency, Metrics, TaskMetrics};
 pub use platform_view::Platform;
 pub use policy::{Decision, SchedulerPolicy};
-pub use runner::{replicate, Replication, Summary};
+pub use pool::{map_parallel, map_parallel_with, resolve_jobs, PoolError};
+pub use runner::{replicate, replicate_parallel, Replication, Summary};
 pub use task::{Task, TaskSet};
 pub use trace::{ExecutionTrace, Segment, TraceEvent};

@@ -110,6 +110,61 @@ pub fn replicate<P: SchedulerPolicy + ?Sized>(
     Ok(Summary { runs })
 }
 
+/// [`replicate`] with seeds fanned out over a [`crate::pool`] worker pool.
+///
+/// Policies are constructed **per worker** through `policy_factory` (one
+/// policy value per worker thread, reset by the engine before each seed),
+/// so the factory must be `Sync` but the policy itself never crosses
+/// threads. Runs are re-assembled in the order of `seeds`, and each run
+/// is an independent deterministic simulation, so the returned
+/// [`Summary`] is **bit-identical** to the sequential [`replicate`]'s —
+/// `jobs = 1` short-circuits to the sequential code path outright.
+///
+/// # Errors
+///
+/// Returns [`SimError::ZeroReplications`] for an empty seed list, the
+/// first (in seed order) per-run error, or [`SimError::Pool`] if a
+/// worker panicked.
+pub fn replicate_parallel<P, F>(
+    tasks: &TaskSet,
+    patterns: &[ArrivalPattern],
+    platform: &Platform,
+    policy_factory: F,
+    config: &SimConfig,
+    seeds: &[u64],
+    jobs: usize,
+) -> Result<Summary, SimError>
+where
+    P: SchedulerPolicy,
+    F: Fn() -> P + Sync,
+{
+    if seeds.is_empty() {
+        return Err(SimError::ZeroReplications);
+    }
+    if jobs <= 1 {
+        let mut policy = policy_factory();
+        return replicate(tasks, patterns, platform, &mut policy, config, seeds);
+    }
+    let results = crate::pool::map_parallel_with(
+        jobs,
+        seeds.to_vec(),
+        &policy_factory,
+        |policy, _, seed| {
+            Engine::run(tasks, patterns, platform, policy, config, seed).map(|outcome| {
+                Replication {
+                    seed,
+                    metrics: outcome.metrics,
+                }
+            })
+        },
+    )?;
+    let mut runs = Vec::with_capacity(results.len());
+    for run in results {
+        runs.push(run?);
+    }
+    Ok(Summary { runs })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -198,6 +253,49 @@ mod tests {
         let (tasks, patterns, platform, config) = setup();
         let mut policy = MaxSpeedEdf::new();
         let err = replicate(&tasks, &patterns, &platform, &mut policy, &config, &[]).unwrap_err();
+        assert_eq!(err, SimError::ZeroReplications);
+    }
+
+    #[test]
+    fn parallel_replication_is_bit_identical_to_sequential() {
+        let (tasks, patterns, platform, config) = setup();
+        let seeds = [9u64, 1, 5, 3, 7, 2]; // deliberately unsorted
+        let mut policy = MaxSpeedEdf::new();
+        let sequential =
+            replicate(&tasks, &patterns, &platform, &mut policy, &config, &seeds).unwrap();
+        for jobs in [1, 2, 4, 16] {
+            let parallel = replicate_parallel(
+                &tasks,
+                &patterns,
+                &platform,
+                MaxSpeedEdf::new,
+                &config,
+                &seeds,
+                jobs,
+            )
+            .unwrap();
+            assert_eq!(parallel, sequential, "jobs = {jobs}");
+            assert_eq!(
+                parallel.runs.iter().map(|r| r.seed).collect::<Vec<_>>(),
+                seeds.to_vec(),
+                "run order must follow the seed list, jobs = {jobs}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_empty_seed_list_rejected() {
+        let (tasks, patterns, platform, config) = setup();
+        let err = replicate_parallel(
+            &tasks,
+            &patterns,
+            &platform,
+            MaxSpeedEdf::new,
+            &config,
+            &[],
+            4,
+        )
+        .unwrap_err();
         assert_eq!(err, SimError::ZeroReplications);
     }
 }

@@ -44,14 +44,25 @@ pub struct Bencher {
 
 impl Bencher {
     /// Runs `routine` repeatedly and records the median iteration time.
+    ///
+    /// Each sample times a *batch* of invocations sized so the batch runs
+    /// for roughly 100 µs, then divides by the batch size. Timing single
+    /// sub-microsecond invocations would mostly measure clock quantization
+    /// and syscall overhead, not the routine.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
-        // One warm-up iteration, then `sample_size` timed ones.
+        // Warm up and calibrate the batch size on one timed invocation.
+        let start = Instant::now();
         black_box(routine());
+        let once_ns = start.elapsed().as_nanos().max(1) as u64;
+        const TARGET_BATCH_NS: u64 = 1_000_000;
+        let batch = (TARGET_BATCH_NS / once_ns).clamp(1, 1_000_000);
         let mut samples: Vec<f64> = (0..self.sample_size)
             .map(|_| {
                 let start = Instant::now();
-                black_box(routine());
-                start.elapsed().as_nanos() as f64
+                for _ in 0..batch {
+                    black_box(routine());
+                }
+                start.elapsed().as_nanos() as f64 / batch as f64
             })
             .collect();
         samples.sort_by(|a, b| a.total_cmp(b));
