@@ -63,8 +63,18 @@ step "schedule differential suite (invariant checks on)"
 cargo test -q -p eua-core --features eua-sim/invariant-checks \
   --test schedule_differential
 
+step "fault-plan fuzz suite (reduced cases, both feature states)"
+EUA_FUZZ_CASES=12 cargo test -q --test fault_fuzz
+EUA_FUZZ_CASES=12 cargo test -q --features invariant-checks --test fault_fuzz
+
 step "bench smoke under --jobs 2"
 cargo run -q -p eua-bench --bin fig2 -- --quick --energy e1 --jobs 2 >/dev/null
+
+step "robustness sweep smoke (--jobs 2, byte round-trip)"
+# --check re-parses the emitted JSON and fails unless re-rendering it
+# reproduces the on-disk bytes exactly (first-party parser/renderer).
+cargo run -q -p eua-bench --bin robustness -- \
+  --quick --jobs 2 --out target/ci-robustness.json --check 2>&1 | tail -2
 
 if [[ "$QUICK" == 0 ]]; then
   step "cargo build --release"

@@ -112,11 +112,21 @@ pub enum DiagCode {
     /// A single task cannot finish its window demand by its critical
     /// time even running alone at `f_m`.
     AllocationExceedsCritical,
+    /// A fault stanza's demand-deviation factor or spread is negative
+    /// or non-finite.
+    FaultNegativeDeviation,
+    /// The injected DVS switch latency is at least one declared UAM
+    /// window long even at `f_m` — every window's budget burns on
+    /// relocking before any job runs.
+    FaultSwitchLatencyExceedsWindow,
+    /// The fault stanza's degraded frequency set is empty (or disjoint
+    /// from the platform table), leaving no frequency to run at.
+    FaultEmptyDegradedSet,
 }
 
 impl DiagCode {
     /// Every code, in a stable order (used by `eua-analyze codes`).
-    pub const ALL: [DiagCode; 24] = [
+    pub const ALL: [DiagCode; 27] = [
         DiagCode::NoTasks,
         DiagCode::DuplicateTaskName,
         DiagCode::TufNonPositiveUmax,
@@ -141,6 +151,9 @@ impl DiagCode {
         DiagCode::BrhDemandBound,
         DiagCode::Overload,
         DiagCode::AllocationExceedsCritical,
+        DiagCode::FaultNegativeDeviation,
+        DiagCode::FaultSwitchLatencyExceedsWindow,
+        DiagCode::FaultEmptyDegradedSet,
     ];
 
     /// The stable kebab-case identifier.
@@ -171,6 +184,9 @@ impl DiagCode {
             DiagCode::BrhDemandBound => "brh-demand-bound",
             DiagCode::Overload => "overload",
             DiagCode::AllocationExceedsCritical => "allocation-exceeds-critical",
+            DiagCode::FaultNegativeDeviation => "fault-negative-deviation",
+            DiagCode::FaultSwitchLatencyExceedsWindow => "fault-switch-latency-exceeds-window",
+            DiagCode::FaultEmptyDegradedSet => "fault-empty-degraded-set",
         }
     }
 
@@ -195,7 +211,10 @@ impl DiagCode {
             | DiagCode::UamZeroWindow
             | DiagCode::FreqTableEmpty
             | DiagCode::FreqTableInvalid
-            | DiagCode::EnergyInvalidCoefficient => Severity::Error,
+            | DiagCode::EnergyInvalidCoefficient
+            | DiagCode::FaultNegativeDeviation
+            | DiagCode::FaultSwitchLatencyExceedsWindow
+            | DiagCode::FaultEmptyDegradedSet => Severity::Error,
             DiagCode::DuplicateTaskName
             | DiagCode::UamWindowOverflow
             | DiagCode::DominatedFrequency
@@ -238,6 +257,15 @@ impl DiagCode {
             DiagCode::Overload => "sustained overload: utilization exceeds f_m",
             DiagCode::AllocationExceedsCritical => {
                 "a task overruns its critical time even alone at f_m"
+            }
+            DiagCode::FaultNegativeDeviation => {
+                "fault demand-deviation factor or spread negative or non-finite"
+            }
+            DiagCode::FaultSwitchLatencyExceedsWindow => {
+                "injected switch latency spans a whole UAM window at f_m"
+            }
+            DiagCode::FaultEmptyDegradedSet => {
+                "degraded frequency set empty or disjoint from the table"
             }
         }
     }
@@ -498,6 +526,36 @@ mod tests {
         assert_eq!(r.diagnostics[2].severity, Severity::Info);
         assert!(r.has_errors());
         assert_eq!(r.count(Severity::Warning), 1);
+    }
+
+    #[test]
+    fn fault_codes_render_in_text_and_json() {
+        let mut r = Report::new("faulty");
+        r.push(Diagnostic::new(
+            DiagCode::FaultNegativeDeviation,
+            "demand-deviation factor -1 must be finite and non-negative",
+        ));
+        r.push(Diagnostic::for_entity(
+            DiagCode::FaultSwitchLatencyExceedsWindow,
+            "plan",
+            "latency spans the shortest window",
+        ));
+        r.push(
+            Diagnostic::new(DiagCode::FaultEmptyDegradedSet, "no surviving frequency")
+                .with_suggestion("list at least one frequency"),
+        );
+        r.sort();
+        let text = r.render_text();
+        let json = r.render_json();
+        for code in [
+            "fault-negative-deviation",
+            "fault-switch-latency-exceeds-window",
+            "fault-empty-degraded-set",
+        ] {
+            assert!(text.contains(code), "text renderer must show {code}");
+            assert!(json.contains(code), "json renderer must show {code}");
+        }
+        assert!(r.has_errors(), "fault codes default to error severity");
     }
 
     #[test]

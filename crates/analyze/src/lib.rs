@@ -51,4 +51,6 @@ pub mod scenario;
 pub use diagnostic::{render_json_reports, DiagCode, Diagnostic, Report, Severity};
 pub use examples::shipped_scenarios;
 pub use passes::{analyze, Pass, PassRegistry};
-pub use scenario::{DemandSpec, EnergySpec, ParseError, ScenarioSpec, TaskSpec, TufSpec};
+pub use scenario::{
+    DemandSpec, EnergySpec, FaultSpec, ParseError, ScenarioSpec, TaskSpec, TufSpec,
+};

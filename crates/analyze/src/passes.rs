@@ -45,6 +45,7 @@ impl PassRegistry {
                 Box::new(FrequencyTablePass),
                 Box::new(EnergyModelPass),
                 Box::new(FeasibilityPass),
+                Box::new(FaultPass),
             ],
         }
     }
@@ -792,6 +793,93 @@ impl Pass for FeasibilityPass {
     }
 }
 
+/// Fault-stanza plausibility: deviation factors must be finite and
+/// non-negative, the injected DVS relock latency must leave room inside
+/// the shortest declared UAM window, and a degraded frequency set must
+/// keep at least one frequency the platform actually has.
+struct FaultPass;
+
+impl Pass for FaultPass {
+    fn name(&self) -> &'static str {
+        "faults"
+    }
+
+    fn run(&self, scenario: &ScenarioSpec, out: &mut Vec<Diagnostic>) {
+        let Some(faults) = &scenario.faults else {
+            return;
+        };
+        for (what, value) in [
+            ("demand-deviation factor", faults.demand_mean_factor),
+            ("demand-deviation spread", faults.demand_spread),
+        ] {
+            if !value.is_finite() || value < 0.0 {
+                out.push(
+                    Diagnostic::new(
+                        DiagCode::FaultNegativeDeviation,
+                        format!("{what} {value} must be finite and non-negative"),
+                    )
+                    .with_suggestion("use a factor ≥ 0 (1.0 leaves demands faithful)"),
+                );
+            }
+        }
+        if faults.switch_latency_cycles > 0 {
+            if let (Some(f_max), Some(min_window)) = (
+                scenario.f_max_mhz(),
+                scenario
+                    .tasks
+                    .iter()
+                    .map(|t| t.window_us)
+                    .filter(|&w| w > 0)
+                    .min(),
+            ) {
+                // MHz is cycles per µs, so latency/f_max is the relock
+                // time in µs even at the fastest frequency.
+                let latency_us = faults.switch_latency_cycles as f64 / f_max as f64;
+                if latency_us >= min_window as f64 {
+                    out.push(
+                        Diagnostic::new(
+                            DiagCode::FaultSwitchLatencyExceedsWindow,
+                            format!(
+                                "switch latency of {} cycles takes {latency_us:.0} µs at f_m = \
+                                 {f_max} MHz, at least the shortest UAM window ({min_window} µs)",
+                                faults.switch_latency_cycles
+                            ),
+                        )
+                        .with_suggestion(
+                            "every window would burn entirely on relocking; lower the latency \
+                             below the shortest window",
+                        ),
+                    );
+                }
+            }
+        }
+        if let Some(set) = &faults.degraded_mhz {
+            let survives = set.iter().any(|f| scenario.frequencies_mhz.contains(f));
+            if set.is_empty() {
+                out.push(
+                    Diagnostic::new(
+                        DiagCode::FaultEmptyDegradedSet,
+                        "the degraded frequency set is empty",
+                    )
+                    .with_suggestion("list at least one surviving frequency in MHz"),
+                );
+            } else if !scenario.frequencies_mhz.is_empty() && !survives {
+                out.push(
+                    Diagnostic::new(
+                        DiagCode::FaultEmptyDegradedSet,
+                        format!(
+                            "none of the degraded frequencies {set:?} appear in the platform \
+                             table {:?}",
+                            scenario.frequencies_mhz
+                        ),
+                    )
+                    .with_suggestion("the degraded set must be a subset of `frequencies`"),
+                );
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -822,6 +910,7 @@ mod tests {
             frequencies_mhz: vec![36, 55, 64, 73, 82, 91, 100],
             energy: EnergySpec::e1(),
             tasks: vec![valid_task("t")],
+            faults: None,
         }
     }
 
@@ -836,7 +925,67 @@ mod tests {
         let names = PassRegistry::with_default_passes().names();
         assert!(names.contains(&"tuf-shape"));
         assert!(names.contains(&"feasibility"));
-        assert_eq!(names.len(), 8);
+        assert!(names.contains(&"faults"));
+        assert_eq!(names.len(), 9);
+    }
+
+    #[test]
+    fn benign_fault_stanza_passes_clean() {
+        let mut s = valid_scenario();
+        s.faults = Some(crate::scenario::FaultSpec {
+            demand_mean_factor: 1.5,
+            demand_spread: 0.2,
+            switch_latency_cycles: 20_000,
+            degraded_mhz: Some(vec![36, 55]),
+            burst_extra: 2,
+            burst_every: 1,
+            abort_cost_us: 300,
+            arrival_jitter_us: 2_000,
+        });
+        let report = analyze(&s);
+        assert!(!report.has_errors(), "{}", report.render_text());
+    }
+
+    #[test]
+    fn negative_deviation_factor_flagged() {
+        let mut s = valid_scenario();
+        s.faults = Some(crate::scenario::FaultSpec {
+            demand_mean_factor: -0.5,
+            ..Default::default()
+        });
+        let report = analyze(&s);
+        assert!(report.codes().contains("fault-negative-deviation"));
+        assert!(report.has_errors());
+    }
+
+    #[test]
+    fn window_length_switch_latency_flagged() {
+        let mut s = valid_scenario();
+        // 10 ms window at 100 MHz = 1_000_000 cycles; meet it exactly.
+        s.faults = Some(crate::scenario::FaultSpec {
+            switch_latency_cycles: 1_000_000,
+            ..Default::default()
+        });
+        assert!(analyze(&s)
+            .codes()
+            .contains("fault-switch-latency-exceeds-window"));
+    }
+
+    #[test]
+    fn empty_and_disjoint_degraded_sets_flagged() {
+        let mut s = valid_scenario();
+        let f = crate::scenario::FaultSpec {
+            degraded_mhz: Some(vec![]),
+            ..Default::default()
+        };
+        s.faults = Some(f.clone());
+        assert!(analyze(&s).codes().contains("fault-empty-degraded-set"));
+
+        s.faults = Some(crate::scenario::FaultSpec {
+            degraded_mhz: Some(vec![999]),
+            ..f
+        });
+        assert!(analyze(&s).codes().contains("fault-empty-degraded-set"));
     }
 
     #[test]

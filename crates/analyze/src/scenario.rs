@@ -477,6 +477,45 @@ impl EnergySpec {
     }
 }
 
+/// Raw description of a fault-injection plan (see
+/// [`eua_sim::FaultPlan`]); nothing is validated here — the fault pass
+/// diagnoses negative deviation factors, window-length switch
+/// latencies, and unusable degraded frequency sets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSpec {
+    /// Multiplier on every sampled demand's mean (1.0 = faithful).
+    pub demand_mean_factor: f64,
+    /// Extra multiplicative noise half-width around the scaled demand.
+    pub demand_spread: f64,
+    /// DVS relock latency in cycles charged on every frequency change.
+    pub switch_latency_cycles: u64,
+    /// Surviving frequencies in MHz, if the fault restricts the table.
+    pub degraded_mhz: Option<Vec<u64>>,
+    /// Extra arrivals injected per affected UAM window.
+    pub burst_extra: u32,
+    /// Every how many windows a burst strikes (0 is diagnosed).
+    pub burst_every: u32,
+    /// Fixed processing cost of each abort, in µs.
+    pub abort_cost_us: u64,
+    /// Half-width of the uniform arrival-jitter interval, in µs.
+    pub arrival_jitter_us: u64,
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        FaultSpec {
+            demand_mean_factor: 1.0,
+            demand_spread: 0.0,
+            switch_latency_cycles: 0,
+            degraded_mhz: None,
+            burst_extra: 0,
+            burst_every: 1,
+            abort_cost_us: 0,
+            arrival_jitter_us: 0,
+        }
+    }
+}
+
 /// A complete raw scenario: platform frequencies, energy model, and
 /// tasks.
 #[derive(Debug, Clone, PartialEq)]
@@ -489,6 +528,8 @@ pub struct ScenarioSpec {
     pub energy: EnergySpec,
     /// The raw tasks.
     pub tasks: Vec<TaskSpec>,
+    /// The fault-injection stanza, if the scenario declares one.
+    pub faults: Option<FaultSpec>,
 }
 
 impl ScenarioSpec {
@@ -506,6 +547,7 @@ impl ScenarioSpec {
             frequencies_mhz: table.iter().map(|f| f.as_f64() as u64).collect(),
             energy,
             tasks: tasks.iter().map(|(_, t)| TaskSpec::from_task(t)).collect(),
+            faults: None,
         }
     }
 
@@ -532,6 +574,14 @@ impl ScenarioSpec {
     ///   uam 2 10000                  # a, window µs
     ///   demand normal 150000 150000  # also: det c | uniform lo hi | pareto scale alpha
     ///   assurance 1.0 0.96           # nu, rho
+    /// end
+    /// faults                         # optional fault-injection stanza
+    ///   demand-deviation 1.5 0.2     # mean factor, spread
+    ///   switch-latency 20000         # DVS relock cycles
+    ///   degraded-frequencies 36 55   # surviving MHz entries
+    ///   burst-extra 2 1              # extra arrivals, every n windows
+    ///   abort-cost 300               # µs per abort
+    ///   arrival-jitter 2000          # ± µs on each arrival
     /// end
     /// ```
     ///
@@ -599,6 +649,7 @@ impl<'a> Parser<'a> {
         let mut frequencies: Vec<u64> = Vec::new();
         let mut energy = EnergySpec::e1();
         let mut tasks = Vec::new();
+        let mut faults: Option<FaultSpec> = None;
 
         while self.pos < self.lines.len() {
             let (line, body) = self.lines[self.pos];
@@ -633,6 +684,12 @@ impl<'a> Parser<'a> {
                     }
                     tasks.push(self.parse_task(line, rest.join(" "))?);
                 }
+                "faults" => {
+                    if faults.is_some() {
+                        return Err(Self::err(line, "duplicate `faults` stanza"));
+                    }
+                    faults = Some(self.parse_faults(line)?);
+                }
                 other => {
                     return Err(Self::err(line, format!("unknown keyword `{other}`")));
                 }
@@ -644,7 +701,71 @@ impl<'a> Parser<'a> {
             frequencies_mhz: frequencies,
             energy,
             tasks,
+            faults,
         })
+    }
+
+    fn parse_faults(&mut self, stanza_line: usize) -> Result<FaultSpec, ParseError> {
+        let mut spec = FaultSpec::default();
+        loop {
+            let Some(&(line, body)) = self.lines.get(self.pos) else {
+                return Err(Self::err(
+                    stanza_line,
+                    "`faults` stanza is missing its `end`",
+                ));
+            };
+            self.pos += 1;
+            let mut words = body.split_whitespace();
+            let keyword = words.next().unwrap_or("");
+            let rest: Vec<&str> = words.collect();
+            match keyword {
+                "end" => break,
+                "demand-deviation" => match rest.as_slice() {
+                    [factor, spread] => {
+                        spec.demand_mean_factor = parse_f64(line, "factor", factor)?;
+                        spec.demand_spread = parse_f64(line, "spread", spread)?;
+                    }
+                    _ => {
+                        return Err(Self::err(
+                            line,
+                            "expected `demand-deviation <factor> <spread>`",
+                        ))
+                    }
+                },
+                "switch-latency" => match rest.as_slice() {
+                    [cycles] => {
+                        spec.switch_latency_cycles = parse_u64(line, "cycles", cycles)?;
+                    }
+                    _ => return Err(Self::err(line, "expected `switch-latency <cycles>`")),
+                },
+                "degraded-frequencies" => {
+                    let mut set = Vec::with_capacity(rest.len());
+                    for w in &rest {
+                        set.push(parse_u64(line, "frequency", w)?);
+                    }
+                    spec.degraded_mhz = Some(set);
+                }
+                "burst-extra" => match rest.as_slice() {
+                    [extra, every] => {
+                        spec.burst_extra = parse_u64(line, "extra", extra)? as u32;
+                        spec.burst_every = parse_u64(line, "every", every)? as u32;
+                    }
+                    _ => return Err(Self::err(line, "expected `burst-extra <extra> <every>`")),
+                },
+                "abort-cost" => match rest.as_slice() {
+                    [us] => spec.abort_cost_us = parse_u64(line, "abort cost", us)?,
+                    _ => return Err(Self::err(line, "expected `abort-cost <us>`")),
+                },
+                "arrival-jitter" => match rest.as_slice() {
+                    [us] => spec.arrival_jitter_us = parse_u64(line, "jitter", us)?,
+                    _ => return Err(Self::err(line, "expected `arrival-jitter <us>`")),
+                },
+                other => {
+                    return Err(Self::err(line, format!("unknown fault keyword `{other}`")));
+                }
+            }
+        }
+        Ok(spec)
     }
 
     fn parse_energy(line: usize, rest: &[&str]) -> Result<EnergySpec, ParseError> {
@@ -839,6 +960,48 @@ end
         let e = ScenarioSpec::parse("scenario x\nbogus 1 2\n").unwrap_err();
         assert_eq!(e.line, 2);
         assert!(e.message.contains("bogus"));
+    }
+
+    #[test]
+    fn parses_a_faults_stanza() {
+        let text = format!(
+            "{VALID}faults
+  demand-deviation 1.5 0.2
+  switch-latency 20000
+  degraded-frequencies 36 55
+  burst-extra 2 1
+  abort-cost 300
+  arrival-jitter 2000
+end
+"
+        );
+        let s = ScenarioSpec::parse(&text).expect("parses");
+        let f = s.faults.expect("faults stanza");
+        assert_eq!(f.demand_mean_factor, 1.5);
+        assert_eq!(f.demand_spread, 0.2);
+        assert_eq!(f.switch_latency_cycles, 20_000);
+        assert_eq!(f.degraded_mhz, Some(vec![36, 55]));
+        assert_eq!((f.burst_extra, f.burst_every), (2, 1));
+        assert_eq!(f.abort_cost_us, 300);
+        assert_eq!(f.arrival_jitter_us, 2_000);
+    }
+
+    #[test]
+    fn scenarios_without_faults_have_none() {
+        assert_eq!(ScenarioSpec::parse(VALID).expect("parses").faults, None);
+    }
+
+    #[test]
+    fn fault_stanza_errors_are_structural() {
+        let e = ScenarioSpec::parse("scenario x\nfaults\n  switch-latency\nend\n").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("switch-latency"));
+
+        let e = ScenarioSpec::parse("scenario x\nfaults\n  demand-deviation 1 1\n").unwrap_err();
+        assert!(e.message.contains("missing its `end`"));
+
+        let e = ScenarioSpec::parse("scenario x\nfaults\nend\nfaults\nend\n").unwrap_err();
+        assert!(e.message.contains("duplicate `faults`"));
     }
 
     #[test]

@@ -4,7 +4,7 @@
 
 use eua_core::make_policy;
 use eua_platform::TimeDelta;
-use eua_sim::{map_parallel, Engine, Metrics, Platform, SimConfig, Summary};
+use eua_sim::{map_parallel_labeled, Engine, Metrics, Platform, SimConfig, Summary};
 use eua_workload::Workload;
 
 /// Sweep-wide configuration.
@@ -141,20 +141,26 @@ pub fn run_cells(
         .enumerate()
         .flat_map(|(pi, _)| config.seeds.iter().map(move |&seed| (pi, seed)))
         .collect();
-    let metrics: Vec<Metrics> = map_parallel(config.jobs, items, |_, (pi, seed)| {
-        let name = policy_names[pi];
-        let mut policy = make_policy(name).unwrap_or_else(|| panic!("unknown policy {name}"));
-        Engine::run(
-            &workload.tasks,
-            &workload.patterns,
-            platform,
-            &mut policy,
-            &sim_config,
-            seed,
-        )
-        .expect("simulation failed")
-        .metrics
-    })
+    let metrics: Vec<Metrics> = map_parallel_labeled(
+        config.jobs,
+        items,
+        |_, &(pi, seed)| format!("policy {}, seed {seed}", policy_names[pi]),
+        || (),
+        |(), _, (pi, seed)| {
+            let name = policy_names[pi];
+            let mut policy = make_policy(name).unwrap_or_else(|| panic!("unknown policy {name}"));
+            Engine::run(
+                &workload.tasks,
+                &workload.patterns,
+                platform,
+                &mut policy,
+                &sim_config,
+                seed,
+            )
+            .expect("simulation failed")
+            .metrics
+        },
+    )
     .unwrap_or_else(|e| panic!("parallel sweep failed: {e}"));
     metrics
         .chunks(config.seeds.len())

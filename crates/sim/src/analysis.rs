@@ -157,6 +157,117 @@ pub fn utilization_timeline(
         .collect()
 }
 
+/// How a run fared against one task's requested `{ν, ρ}` assurance —
+/// the degradation oracle's verdict (see DESIGN.md §10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DegradationClass {
+    /// The delivered assurance met the requested `ρ`.
+    Met,
+    /// Below `ρ` but above the collapse fraction of it: the policy is
+    /// shedding load, not failing outright.
+    Degraded,
+    /// Below `collapse_fraction · ρ`: the assurance effectively failed.
+    Collapsed,
+}
+
+impl DegradationClass {
+    /// A stable lowercase label (used by report writers).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DegradationClass::Met => "met",
+            DegradationClass::Degraded => "degraded",
+            DegradationClass::Collapsed => "collapsed",
+        }
+    }
+}
+
+/// One task's row in a [`DegradationReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskDegradation {
+    /// The task's index.
+    pub task: TaskId,
+    /// The requested probability `ρ`.
+    pub requested_rho: f64,
+    /// The requested utility fraction `ν`.
+    pub requested_nu: f64,
+    /// The delivered assurance rate, `None` when no job of the task was
+    /// observable within the horizon (vacuously met).
+    pub delivered: Option<f64>,
+    /// The verdict.
+    pub class: DegradationClass,
+}
+
+/// The degradation oracle's full verdict for one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradationReport {
+    /// Per-task rows, in task order.
+    pub per_task: Vec<TaskDegradation>,
+    /// The worst per-task class (a run is only as good as its worst
+    /// task); [`DegradationClass::Met`] for an empty task set.
+    pub overall: DegradationClass,
+}
+
+/// The default collapse threshold: delivering less than half the
+/// requested `ρ` counts as a collapse, not graceful degradation.
+pub const DEFAULT_COLLAPSE_FRACTION: f64 = 0.5;
+
+/// Classifies a run's delivered assurance against each task's requested
+/// `{ν_i, ρ_i}`: **met** when the fraction of observable jobs that
+/// reached `ν_i · U_max` is at least `ρ_i`, **collapsed** when it fell
+/// below `collapse_fraction · ρ_i`, and **gracefully degraded** in
+/// between. Tasks with no observable jobs are vacuously met.
+///
+/// # Panics
+///
+/// Panics if `collapse_fraction` is not within `[0, 1]`, or if `metrics`
+/// was produced from a different task set (length mismatch).
+#[must_use]
+pub fn classify_degradation(
+    metrics: &crate::metrics::Metrics,
+    tasks: &TaskSet,
+    collapse_fraction: f64,
+) -> DegradationReport {
+    assert!(
+        (0.0..=1.0).contains(&collapse_fraction),
+        "collapse fraction must be within [0, 1]"
+    );
+    assert_eq!(
+        metrics.per_task.len(),
+        tasks.len(),
+        "metrics and task set disagree in length"
+    );
+    let per_task: Vec<TaskDegradation> = metrics
+        .per_task
+        .iter()
+        .enumerate()
+        .map(|(i, tm)| {
+            let task = tasks.task(TaskId(i));
+            let rho = task.assurance().rho();
+            let delivered = tm.assurance_rate();
+            let class = match delivered {
+                None => DegradationClass::Met,
+                Some(rate) if rate + 1e-12 >= rho => DegradationClass::Met,
+                Some(rate) if rate < collapse_fraction * rho - 1e-12 => DegradationClass::Collapsed,
+                Some(_) => DegradationClass::Degraded,
+            };
+            TaskDegradation {
+                task: TaskId(i),
+                requested_rho: rho,
+                requested_nu: task.assurance().nu(),
+                delivered,
+                class,
+            }
+        })
+        .collect();
+    let overall = per_task
+        .iter()
+        .map(|t| t.class)
+        .max()
+        .unwrap_or(DegradationClass::Met);
+    DegradationReport { per_task, overall }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -381,5 +492,86 @@ mod tests {
     fn zero_bucket_rejected() {
         let trace = ExecutionTrace::new();
         let _ = utilization_timeline(&trace, ms(1), TimeDelta::ZERO);
+    }
+
+    fn oracle_tasks(n: usize) -> TaskSet {
+        let tasks: Vec<Task> = (0..n)
+            .map(|i| {
+                Task::new(
+                    format!("t{i}"),
+                    Tuf::step(10.0, ms(10)).unwrap(),
+                    UamSpec::periodic(ms(10)).unwrap(),
+                    DemandModel::deterministic(100_000.0).unwrap(),
+                    Assurance::new(1.0, 0.9).unwrap(),
+                )
+                .unwrap()
+            })
+            .collect();
+        TaskSet::new(tasks).unwrap()
+    }
+
+    fn metrics_with_assured(per_task: &[(u64, u64)]) -> crate::metrics::Metrics {
+        let mut m = crate::metrics::Metrics::new(ms(100), per_task.len());
+        for (tm, &(observable, assured)) in m.per_task.iter_mut().zip(per_task) {
+            tm.arrived = observable;
+            tm.observable = observable;
+            tm.assured = assured;
+        }
+        m
+    }
+
+    #[test]
+    fn degradation_oracle_classifies_met_degraded_collapsed() {
+        // ρ = 0.9, collapse fraction 0.5 ⇒ collapse threshold 0.45.
+        let tasks = oracle_tasks(4);
+        let metrics = metrics_with_assured(&[(10, 9), (10, 5), (10, 3), (0, 0)]);
+        let report = classify_degradation(&metrics, &tasks, DEFAULT_COLLAPSE_FRACTION);
+        let classes: Vec<DegradationClass> = report.per_task.iter().map(|t| t.class).collect();
+        assert_eq!(
+            classes,
+            vec![
+                DegradationClass::Met,       // 0.9 ≥ 0.9
+                DegradationClass::Degraded,  // 0.45 ≤ 0.5 < 0.9
+                DegradationClass::Collapsed, // 0.3 < 0.45
+                DegradationClass::Met,       // vacuous: nothing observable
+            ]
+        );
+        assert_eq!(report.overall, DegradationClass::Collapsed);
+        assert_eq!(report.per_task[1].delivered, Some(0.5));
+        assert!(report.per_task[3].delivered.is_none());
+        assert!((report.per_task[0].requested_rho - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degradation_overall_is_the_worst_task() {
+        let tasks = oracle_tasks(2);
+        let all_met = metrics_with_assured(&[(10, 10), (10, 9)]);
+        assert_eq!(
+            classify_degradation(&all_met, &tasks, DEFAULT_COLLAPSE_FRACTION).overall,
+            DegradationClass::Met
+        );
+        let one_degraded = metrics_with_assured(&[(10, 10), (10, 6)]);
+        assert_eq!(
+            classify_degradation(&one_degraded, &tasks, DEFAULT_COLLAPSE_FRACTION).overall,
+            DegradationClass::Degraded
+        );
+    }
+
+    #[test]
+    fn degradation_class_labels_are_stable() {
+        assert_eq!(DegradationClass::Met.as_str(), "met");
+        assert_eq!(DegradationClass::Degraded.as_str(), "degraded");
+        assert_eq!(DegradationClass::Collapsed.as_str(), "collapsed");
+        // Report writers depend on the severity ordering.
+        assert!(DegradationClass::Met < DegradationClass::Degraded);
+        assert!(DegradationClass::Degraded < DegradationClass::Collapsed);
+    }
+
+    #[test]
+    #[should_panic(expected = "collapse fraction")]
+    fn degradation_rejects_out_of_range_fraction() {
+        let tasks = oracle_tasks(1);
+        let metrics = metrics_with_assured(&[(10, 10)]);
+        let _ = classify_degradation(&metrics, &tasks, 1.5);
     }
 }

@@ -58,7 +58,11 @@ pub struct SchedContext<'a> {
     pub jobs: &'a [JobView],
     /// The static task definitions.
     pub tasks: &'a TaskSet,
-    /// The processor and energy model.
+    /// The processor and energy model. Under a degraded-frequency fault
+    /// (see [`crate::FaultPlan`]) this is the *degraded* view — the
+    /// policy plans with, and may only pick from, the surviving
+    /// frequencies, while the engine still bills energy by the true
+    /// platform model.
     pub platform: &'a Platform,
     /// The job that was executing before this event, if still live.
     pub running: Option<JobId>,

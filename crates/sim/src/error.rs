@@ -54,6 +54,12 @@ pub enum SimError {
         /// The underlying pool error.
         source: crate::pool::PoolError,
     },
+    /// A fault plan was self-contradictory or unusable on the platform
+    /// (see [`crate::FaultPlan::validate`]).
+    InvalidFaultPlan {
+        /// Human-readable description of the rejected field.
+        reason: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -83,6 +89,9 @@ impl fmt::Display for SimError {
             SimError::ZeroReplications => write!(f, "replication count must be positive"),
             SimError::Task { source } => write!(f, "invalid task: {source}"),
             SimError::Pool { source } => write!(f, "parallel replication failed: {source}"),
+            SimError::InvalidFaultPlan { reason } => {
+                write!(f, "invalid fault plan: {reason}")
+            }
         }
     }
 }
@@ -129,6 +138,9 @@ mod tests {
             SimError::ZeroReplications,
             SimError::Task {
                 source: UamError::ZeroWindow,
+            },
+            SimError::InvalidFaultPlan {
+                reason: "demand mean factor must be finite".into(),
             },
         ] {
             assert!(!e.to_string().is_empty());

@@ -62,6 +62,7 @@ pub mod analysis;
 mod context;
 mod engine;
 mod error;
+pub mod faults;
 mod ids;
 mod invariants;
 mod job;
@@ -74,18 +75,25 @@ mod task;
 mod trace;
 
 pub use analysis::{
-    edf_violations, response_stats, utilization_timeline, EdfViolation, ResponseStats,
+    classify_degradation, edf_violations, response_stats, utilization_timeline, DegradationClass,
+    DegradationReport, EdfViolation, ResponseStats, TaskDegradation, DEFAULT_COLLAPSE_FRACTION,
 };
 pub use context::{JobView, SchedContext, SchedEvent};
 pub use engine::{Engine, Outcome, SimConfig};
 pub use error::SimError;
+pub use faults::{
+    map_to_degraded, DemandFault, DvsFault, FaultPlan, FaultStats, TimingFault, UamViolationFault,
+};
 pub use ids::{JobId, TaskId};
 pub use invariants::{invariant_checks_enabled, InvariantChecker};
 pub use job::{JobOutcome, JobRecord};
 pub use metrics::{FrequencyResidency, Metrics, TaskMetrics};
 pub use platform_view::Platform;
 pub use policy::{Decision, SchedulerPolicy};
-pub use pool::{map_parallel, map_parallel_with, resolve_jobs, PoolError};
-pub use runner::{replicate, replicate_parallel, Replication, Summary};
+pub use pool::{map_parallel, map_parallel_labeled, map_parallel_with, resolve_jobs, PoolError};
+pub use runner::{
+    replicate, replicate_parallel, replicate_parallel_with_faults, replicate_with_faults,
+    Replication, Summary,
+};
 pub use task::{Task, TaskSet};
 pub use trace::{ExecutionTrace, Segment, TraceEvent};

@@ -25,8 +25,10 @@
 //! This is the only module in the workspace allowed to spawn threads;
 //! `ci.sh` greps for `thread::spawn`/`thread::scope` elsewhere.
 
+use std::any::Any;
 use std::fmt;
 use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Mutex;
 use std::thread;
 
@@ -34,8 +36,16 @@ use std::thread;
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum PoolError {
-    /// A worker job panicked; the payload's message when it carried one.
-    WorkerPanic(String),
+    /// A worker job panicked. Carries the panic payload's message and the
+    /// failing item's label (e.g. the `(policy, seed)` cell), so a
+    /// crashed sweep cell is diagnosable from the error alone.
+    WorkerPanic {
+        /// The failing item's label, from the caller's labeler (the
+        /// default is `item {index}`).
+        label: String,
+        /// The panic payload's message, when it carried one.
+        message: String,
+    },
     /// A result slot was never filled (only reachable through a panic
     /// that was itself lost, kept as a defensive invariant check).
     MissingResult {
@@ -47,7 +57,9 @@ pub enum PoolError {
 impl fmt::Display for PoolError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            PoolError::WorkerPanic(msg) => write!(f, "worker panicked: {msg}"),
+            PoolError::WorkerPanic { label, message } => {
+                write!(f, "worker panicked while running {label}: {message}")
+            }
             PoolError::MissingResult { index } => {
                 write!(f, "no result produced for item {index}")
             }
@@ -56,6 +68,14 @@ impl fmt::Display for PoolError {
 }
 
 impl std::error::Error for PoolError {}
+
+fn panic_message(payload: Box<dyn Any + Send>) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string())
+}
 
 /// Resolves the worker count for a sweep: an explicit request (a parsed
 /// `--jobs N` flag) wins, then the `EUA_JOBS` environment variable, then
@@ -118,25 +138,71 @@ where
     I: Fn() -> S + Sync,
     F: Fn(&mut S, usize, T) -> R + Sync,
 {
+    map_parallel_labeled(jobs, items, |i, _| format!("item {i}"), init, f)
+}
+
+/// [`map_parallel_with`] with a **labeler**: `labeler(i, &items[i])`
+/// names each item (e.g. `"policy eua, seed 23"`), and that label rides
+/// on [`PoolError::WorkerPanic`] when the item's job panics — a crashed
+/// sweep cell is then diagnosable from the error alone.
+///
+/// Panics are caught **per item** (the worker rebuilds its state through
+/// `init` and keeps draining the queue), and when several items panic the
+/// error reports the lowest input index, so the returned error is
+/// deterministic across `jobs` counts.
+///
+/// # Errors
+///
+/// [`PoolError::WorkerPanic`] if any job panicked; every other item is
+/// still attempted first.
+pub fn map_parallel_labeled<S, T, R, L, I, F>(
+    jobs: usize,
+    items: Vec<T>,
+    labeler: L,
+    init: I,
+    f: F,
+) -> Result<Vec<R>, PoolError>
+where
+    T: Send,
+    R: Send,
+    L: Fn(usize, &T) -> String + Sync,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, T) -> R + Sync,
+{
     let n = items.len();
     if jobs <= 1 || n <= 1 {
         let mut state = init();
-        return Ok(items
-            .into_iter()
-            .enumerate()
-            .map(|(i, t)| f(&mut state, i, t))
-            .collect());
+        let mut out = Vec::with_capacity(n);
+        let mut first_panic: Option<(usize, String, String)> = None;
+        for (i, t) in items.into_iter().enumerate() {
+            let label = labeler(i, &t);
+            match catch_unwind(AssertUnwindSafe(|| f(&mut state, i, t))) {
+                Ok(r) => out.push(r),
+                Err(payload) => {
+                    if first_panic.is_none() {
+                        first_panic = Some((i, label, panic_message(payload)));
+                    }
+                    // The job may have torn its state mid-panic.
+                    state = init();
+                }
+            }
+        }
+        return match first_panic {
+            Some((_, label, message)) => Err(PoolError::WorkerPanic { label, message }),
+            None => Ok(out),
+        };
     }
     let workers = jobs.min(n);
     let queue = Mutex::new(items.into_iter().enumerate());
     let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    let mut panic_msg: Option<String> = None;
+    let mut panics: Vec<(usize, String, String)> = Vec::new();
     thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(|| {
                     let mut state = init();
                     let mut done: Vec<(usize, R)> = Vec::new();
+                    let mut failed: Vec<(usize, String, String)> = Vec::new();
                     loop {
                         // A poisoned queue means a sibling panicked while
                         // *taking* an item; treat the queue as drained.
@@ -145,32 +211,41 @@ where
                             Err(_) => None,
                         };
                         let Some((i, t)) = next else { break };
-                        done.push((i, f(&mut state, i, t)));
+                        let label = labeler(i, &t);
+                        match catch_unwind(AssertUnwindSafe(|| f(&mut state, i, t))) {
+                            Ok(r) => done.push((i, r)),
+                            Err(payload) => {
+                                failed.push((i, label, panic_message(payload)));
+                                state = init();
+                            }
+                        }
                     }
-                    done
+                    (done, failed)
                 })
             })
             .collect();
         for handle in handles {
             match handle.join() {
-                Ok(done) => {
+                Ok((done, failed)) => {
                     for (i, r) in done {
                         slots[i] = Some(r);
                     }
+                    panics.extend(failed);
                 }
                 Err(payload) => {
-                    let msg = payload
-                        .downcast_ref::<&str>()
-                        .map(|s| (*s).to_string())
-                        .or_else(|| payload.downcast_ref::<String>().cloned())
-                        .unwrap_or_else(|| "non-string panic payload".to_string());
-                    panic_msg.get_or_insert(msg);
+                    // Only `init` or `labeler` can get here now; report it
+                    // without an item attribution.
+                    panics.push((
+                        usize::MAX,
+                        "worker setup".to_string(),
+                        panic_message(payload),
+                    ));
                 }
             }
         }
     });
-    if let Some(msg) = panic_msg {
-        return Err(PoolError::WorkerPanic(msg));
+    if let Some((_, label, message)) = panics.into_iter().min_by(|a, b| a.0.cmp(&b.0)) {
+        return Err(PoolError::WorkerPanic { label, message });
     }
     let mut out = Vec::with_capacity(n);
     for (index, slot) in slots.into_iter().enumerate() {
@@ -216,13 +291,48 @@ mod tests {
         })
         .unwrap_err();
         match err {
-            PoolError::WorkerPanic(msg) => assert!(msg.contains("boom on five"), "msg: {msg}"),
+            PoolError::WorkerPanic { label, message } => {
+                assert_eq!(label, "item 5");
+                assert!(message.contains("boom on five"), "message: {message}");
+            }
             other => panic!("expected WorkerPanic, got {other:?}"),
         }
         // The pool is per-call: a panicked run leaves nothing behind and
         // the very next call works.
         let ok = map_parallel(2, vec![1, 2, 3], |_, x| x + 1).unwrap();
         assert_eq!(ok, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn panic_error_carries_cell_label_and_lowest_index_wins() {
+        let items: Vec<(&str, u64)> = vec![("eua", 11), ("eua", 23), ("dasa", 11), ("dasa", 23)];
+        for jobs in [1, 2, 4] {
+            let err = map_parallel_labeled(
+                jobs,
+                items.clone(),
+                |_, (policy, seed)| format!("policy {policy}, seed {seed}"),
+                || (),
+                |(), i, (policy, _)| {
+                    assert!(i == 0 || policy != "dasa", "dasa cell crashed");
+                    i
+                },
+            )
+            .unwrap_err();
+            match err {
+                PoolError::WorkerPanic {
+                    ref label,
+                    ref message,
+                } => {
+                    assert_eq!(label, "policy dasa, seed 11", "jobs = {jobs}");
+                    assert!(message.contains("dasa cell crashed"), "jobs = {jobs}");
+                }
+                ref other => panic!("expected WorkerPanic, got {other:?}"),
+            }
+            assert!(
+                err.to_string().contains("policy dasa, seed 11"),
+                "display must name the failing cell: {err}"
+            );
+        }
     }
 
     #[test]
