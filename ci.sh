@@ -67,6 +67,12 @@ step "fault-plan fuzz suite (reduced cases, both feature states)"
 EUA_FUZZ_CASES=12 cargo test -q --test fault_fuzz
 EUA_FUZZ_CASES=12 cargo test -q --features invariant-checks --test fault_fuzz
 
+step "analyzer soundness gate (reduced cases, both feature states)"
+# Semantic verdicts (Feasible / Infeasible / witness windows) checked
+# against fault-free simulation through eua-sim's pool.
+EUA_SOUNDNESS_CASES=8 cargo test -q --test analyzer_soundness
+EUA_SOUNDNESS_CASES=8 cargo test -q --features invariant-checks --test analyzer_soundness
+
 step "bench smoke under --jobs 2"
 cargo run -q -p eua-bench --bin fig2 -- --quick --energy e1 --jobs 2 >/dev/null
 
@@ -90,5 +96,11 @@ if cargo run -q -p eua-analyze -- check crates/analyze/scenarios/invalid.scn \
   echo "error: eua-analyze accepted scenarios/invalid.scn" >&2
   exit 1
 fi
+
+step "analyzer SARIF round-trip (--format sarif --check)"
+# --check fails (exit 2) unless the SARIF output byte-round-trips through
+# the first-party JSON tree and validates against the pinned 2.1.0 subset.
+cargo run -q -p eua-analyze -- check --format sarif --check \
+  crates/analyze/scenarios/valid.scn >/dev/null
 
 printf '\nCI gate passed.\n'

@@ -122,11 +122,31 @@ pub enum DiagCode {
     /// The fault stanza's degraded frequency set is empty (or disjoint
     /// from the platform table), leaving no frequency to run at.
     FaultEmptyDegradedSet,
+    /// The semantic demand-bound analysis proves the scenario infeasible
+    /// even at the top frequency `f_m`: a witness window's worst-case
+    /// demand exceeds capacity.
+    SemInfeasibleAtFmax,
+    /// The lowest frequency at which the allocation-level demand
+    /// provably fits (the scenario's static feasibility floor).
+    SemFeasibilityFloor,
+    /// The demand-bound analysis could not decide a frequency either
+    /// way (quantization gap or scan budget exhausted).
+    SemIndeterminate,
+    /// A frequency is semantically dominated: another table entry is no
+    /// worse on feasibility *and* energy per cycle, so no schedule
+    /// improves by selecting it.
+    SemDominatedFrequency,
+    /// A DVS state no EUA\* offline clamp can ever select: it lies below
+    /// every task's UER-optimal frequency.
+    SemUnreachableDvsState,
+    /// A `.scn` file declares an `allocation` inconsistent with the
+    /// Chebyshev allocation implied by its mean/variance/ρ.
+    SemChebyshevAllocationMismatch,
 }
 
 impl DiagCode {
     /// Every code, in a stable order (used by `eua-analyze codes`).
-    pub const ALL: [DiagCode; 27] = [
+    pub const ALL: [DiagCode; 33] = [
         DiagCode::NoTasks,
         DiagCode::DuplicateTaskName,
         DiagCode::TufNonPositiveUmax,
@@ -154,6 +174,12 @@ impl DiagCode {
         DiagCode::FaultNegativeDeviation,
         DiagCode::FaultSwitchLatencyExceedsWindow,
         DiagCode::FaultEmptyDegradedSet,
+        DiagCode::SemInfeasibleAtFmax,
+        DiagCode::SemFeasibilityFloor,
+        DiagCode::SemIndeterminate,
+        DiagCode::SemDominatedFrequency,
+        DiagCode::SemUnreachableDvsState,
+        DiagCode::SemChebyshevAllocationMismatch,
     ];
 
     /// The stable kebab-case identifier.
@@ -187,6 +213,12 @@ impl DiagCode {
             DiagCode::FaultNegativeDeviation => "fault-negative-deviation",
             DiagCode::FaultSwitchLatencyExceedsWindow => "fault-switch-latency-exceeds-window",
             DiagCode::FaultEmptyDegradedSet => "fault-empty-degraded-set",
+            DiagCode::SemInfeasibleAtFmax => "sem-infeasible-at-fmax",
+            DiagCode::SemFeasibilityFloor => "sem-feasibility-floor",
+            DiagCode::SemIndeterminate => "sem-indeterminate",
+            DiagCode::SemDominatedFrequency => "sem-dominated-frequency",
+            DiagCode::SemUnreachableDvsState => "sem-unreachable-dvs-state",
+            DiagCode::SemChebyshevAllocationMismatch => "sem-chebyshev-allocation-mismatch",
         }
     }
 
@@ -221,8 +253,14 @@ impl DiagCode {
             | DiagCode::Theorem1Speed
             | DiagCode::BrhDemandBound
             | DiagCode::Overload
-            | DiagCode::AllocationExceedsCritical => Severity::Warning,
-            DiagCode::EnergyKneeOutsideRange => Severity::Info,
+            | DiagCode::AllocationExceedsCritical
+            | DiagCode::SemInfeasibleAtFmax
+            | DiagCode::SemDominatedFrequency
+            | DiagCode::SemChebyshevAllocationMismatch => Severity::Warning,
+            DiagCode::EnergyKneeOutsideRange
+            | DiagCode::SemFeasibilityFloor
+            | DiagCode::SemIndeterminate
+            | DiagCode::SemUnreachableDvsState => Severity::Info,
         }
     }
 
@@ -266,6 +304,24 @@ impl DiagCode {
             }
             DiagCode::FaultEmptyDegradedSet => {
                 "degraded frequency set empty or disjoint from the table"
+            }
+            DiagCode::SemInfeasibleAtFmax => {
+                "demand-bound witness proves infeasibility even at f_m"
+            }
+            DiagCode::SemFeasibilityFloor => {
+                "lowest frequency whose demand-bound verdict is Feasible"
+            }
+            DiagCode::SemIndeterminate => {
+                "demand-bound analysis undecided at f_m (quantization gap)"
+            }
+            DiagCode::SemDominatedFrequency => {
+                "another frequency is no worse on feasibility and energy"
+            }
+            DiagCode::SemUnreachableDvsState => {
+                "below every task's UER-optimal frequency: EUA* never selects it"
+            }
+            DiagCode::SemChebyshevAllocationMismatch => {
+                "declared allocation disagrees with the Chebyshev bound"
             }
         }
     }

@@ -12,8 +12,14 @@
 //! | Module | What it holds |
 //! |--------|---------------|
 //! | [`diagnostic`] | [`DiagCode`], [`Severity`], [`Report`], text/JSON renderers |
-//! | [`scenario`] | raw specs ([`ScenarioSpec`] …), the `.scn` parser, bridges to simulator types |
-//! | [`passes`] | the checks: TUF shape, assurances, Chebyshev, UAM, frequencies, energy, feasibility |
+//! | [`scenario`] | raw specs ([`ScenarioSpec`] …), the `.scn` parser/renderer, bridges to simulator types |
+//! | [`passes`] | the checks: TUF shape, assurances, Chebyshev, UAM, frequencies, energy, feasibility, semantics |
+//! | [`ir`] | the typed analysis IR ([`AnalysisIr`]) lowered from a raw spec |
+//! | [`demand`] | UAM demand-bound verdicts per frequency ([`Verdict`], [`FrequencyVerdict`]) |
+//! | [`energy`] | UER brackets, dominated frequencies, unreachable DVS states ([`EnergyProfile`]) |
+//! | [`json`] | first-party byte-round-tripping JSON values for SARIF |
+//! | [`sarif`] | SARIF 2.1.0 rendering and subset validation |
+//! | [`fix`] | machine-applicable fixes for a subset of diagnostic codes |
 //! | [`examples`] | registry mirroring every shipped workload for `--all-examples` |
 //!
 //! # Example
@@ -43,14 +49,28 @@
 //! (or `--all-examples`), exiting nonzero when any Error-severity
 //! diagnostic is present; see the repository README.
 
+pub mod demand;
 pub mod diagnostic;
+pub mod energy;
 pub mod examples;
+pub mod fix;
+pub mod ir;
+pub mod json;
 pub mod passes;
+pub mod sarif;
 pub mod scenario;
 
+pub use demand::{
+    feasibility_floor, frequency_verdicts, verdict_at_fmax, FrequencyVerdict, Verdict,
+    WitnessWindow,
+};
 pub use diagnostic::{render_json_reports, DiagCode, Diagnostic, Report, Severity};
+pub use energy::{energy_profiles, EnergyProfile};
 pub use examples::shipped_scenarios;
+pub use fix::{apply_fixes, AppliedFix};
+pub use ir::{lower, AnalysisIr, FreqIr, TaskIr};
 pub use passes::{analyze, Pass, PassRegistry};
+pub use sarif::{render_sarif, validate_sarif};
 pub use scenario::{
     DemandSpec, EnergySpec, FaultSpec, ParseError, ScenarioSpec, TaskSpec, TufSpec,
 };

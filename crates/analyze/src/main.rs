@@ -1,19 +1,24 @@
 //! The `eua-analyze` command-line front end.
 //!
 //! ```text
-//! eua-analyze check <scenario.scn>... [--format text|json]
-//! eua-analyze check --all-examples   [--format text|json]
+//! eua-analyze check <scenario.scn>... [--format text|json|sarif] [--check]
+//! eua-analyze check --all-examples    [--format text|json|sarif]
+//! eua-analyze check --fix [--apply] <scenario.scn>...
 //! eua-analyze codes
 //! ```
 //!
 //! Exit status: `0` when no Error-severity diagnostic was produced, `1`
-//! when at least one was, `2` on usage, I/O, or parse errors.
+//! when at least one was, `2` on usage, I/O, or parse errors. The three
+//! are strictly ordered: a parse failure in any input yields `2` even if
+//! other inputs analyzed cleanly, and error diagnostics yield `1` only
+//! when every input at least parsed.
 
 use std::io::Write;
 use std::process::ExitCode;
 
 use eua_analyze::{
-    analyze, render_json_reports, shipped_scenarios, DiagCode, Report, ScenarioSpec,
+    analyze, apply_fixes, render_json_reports, render_sarif, shipped_scenarios, validate_sarif,
+    DiagCode, Report, ScenarioSpec,
 };
 
 /// Writes to stdout, exiting quietly if the reader went away (e.g. the
@@ -31,16 +36,29 @@ enum Format {
     Text,
     /// One JSON array of per-scenario report objects.
     Json,
+    /// One SARIF 2.1.0 document (single run).
+    Sarif,
 }
 
 fn usage() -> &'static str {
-    "usage: eua-analyze check [--format text|json] (--all-examples | <scenario.scn>...)\n\
+    "usage: eua-analyze check [--format text|json|sarif] [--check] \
+     (--all-examples | <scenario.scn>...)\n\
+     \x20      eua-analyze check --fix [--apply] <scenario.scn>...\n\
      \x20      eua-analyze codes\n\
      \n\
-     check  analyze scenario files (or every shipped example workload)\n\
-     codes  list every diagnostic code with its severity and meaning\n\
+     check          analyze scenario files (or every shipped example workload)\n\
+     \x20 --format sarif   emit a SARIF 2.1.0 document instead of text/json\n\
+     \x20 --check          (sarif) verify the output byte-round-trips and\n\
+     \x20                  validates against the pinned SARIF subset\n\
+     \x20 --fix            apply machine-applicable fixes; prints the fixed\n\
+     \x20                  scenario to stdout (dry run) and a summary to stderr\n\
+     \x20 --apply          with --fix: rewrite the .scn files in place\n\
+     codes          list every diagnostic code with its severity and meaning\n\
      \n\
-     exit status: 0 = clean, 1 = errors found, 2 = usage/IO/parse failure"
+     exit status (strictly ordered, worst wins):\n\
+     \x20 2  usage error, unreadable file, or scenario parse failure\n\
+     \x20 1  at least one Error-severity diagnostic\n\
+     \x20 0  every input parsed and analyzed clean of errors"
 }
 
 fn main() -> ExitCode {
@@ -67,6 +85,9 @@ fn main() -> ExitCode {
 fn run_check(args: &[String]) -> ExitCode {
     let mut format = Format::Text;
     let mut all_examples = false;
+    let mut self_check = false;
+    let mut fix = false;
+    let mut apply = false;
     let mut files: Vec<&str> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -74,12 +95,16 @@ fn run_check(args: &[String]) -> ExitCode {
             "--format" => match it.next().map(String::as_str) {
                 Some("text") => format = Format::Text,
                 Some("json") => format = Format::Json,
+                Some("sarif") => format = Format::Sarif,
                 other => {
-                    eprintln!("--format needs `text` or `json`, got {other:?}");
+                    eprintln!("--format needs `text`, `json`, or `sarif`, got {other:?}");
                     return ExitCode::from(2);
                 }
             },
             "--all-examples" => all_examples = true,
+            "--check" => self_check = true,
+            "--fix" => fix = true,
+            "--apply" => apply = true,
             flag if flag.starts_with('-') => {
                 eprintln!("unknown flag `{flag}`\n{}", usage());
                 return ExitCode::from(2);
@@ -91,34 +116,51 @@ fn run_check(args: &[String]) -> ExitCode {
         eprintln!("nothing to check\n{}", usage());
         return ExitCode::from(2);
     }
+    if self_check && format != Format::Sarif {
+        eprintln!("--check only applies to --format sarif");
+        return ExitCode::from(2);
+    }
+    if apply && !fix {
+        eprintln!("--apply only applies with --fix");
+        return ExitCode::from(2);
+    }
+    if fix && all_examples {
+        eprintln!("--fix needs explicit files (shipped examples are read-only)");
+        return ExitCode::from(2);
+    }
+    if fix {
+        return run_fix(&files, apply);
+    }
 
+    // Parse everything first, continuing past per-file failures so a bad
+    // file never hides findings in the good ones; exit precedence is
+    // 2 (any failure here) > 1 (error diagnostics) > 0.
+    let mut had_parse_failure = false;
     let mut reports: Vec<Report> = Vec::new();
+    let mut uris: Vec<Option<String>> = Vec::new();
     if all_examples {
-        let scenarios = match shipped_scenarios() {
-            Ok(s) => s,
+        match shipped_scenarios() {
+            Ok(scenarios) => {
+                reports.extend(scenarios.iter().map(analyze));
+                uris.extend(scenarios.iter().map(|_| None));
+            }
             Err(e) => {
                 eprintln!("error: {e}");
-                return ExitCode::from(2);
+                had_parse_failure = true;
             }
-        };
-        reports.extend(scenarios.iter().map(analyze));
+        }
     }
     for file in files {
-        let text = match std::fs::read_to_string(file) {
-            Ok(t) => t,
-            Err(e) => {
-                eprintln!("error: reading `{file}`: {e}");
-                return ExitCode::from(2);
+        match load_spec(file) {
+            Ok(spec) => {
+                reports.push(analyze(&spec));
+                uris.push(Some(file.to_string()));
             }
-        };
-        let spec = match ScenarioSpec::parse(&text) {
-            Ok(s) => s,
             Err(e) => {
-                eprintln!("error: `{file}`: {e}");
-                return ExitCode::from(2);
+                eprintln!("error: {e}");
+                had_parse_failure = true;
             }
-        };
-        reports.push(analyze(&spec));
+        }
     }
 
     match format {
@@ -131,8 +173,87 @@ fn run_check(args: &[String]) -> ExitCode {
             emit(&render_json_reports(&reports));
             emit("\n");
         }
+        Format::Sarif => {
+            let text = render_sarif(&reports, &uris);
+            if self_check {
+                if let Err(e) = sarif_self_check(&text) {
+                    eprintln!("error: sarif self-check failed: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+            emit(&text);
+        }
     }
-    if reports.iter().any(Report::has_errors) {
+    if had_parse_failure {
+        ExitCode::from(2)
+    } else if reports.iter().any(Report::has_errors) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Reads and parses one scenario file.
+fn load_spec(file: &str) -> Result<ScenarioSpec, String> {
+    let text = std::fs::read_to_string(file).map_err(|e| format!("reading `{file}`: {e}"))?;
+    ScenarioSpec::parse(&text).map_err(|e| format!("`{file}`: {e}"))
+}
+
+/// Asserts the SARIF output byte-round-trips through the first-party
+/// JSON tree and satisfies the pinned SARIF 2.1.0 subset.
+fn sarif_self_check(text: &str) -> Result<(), String> {
+    let reparsed = eua_analyze::json::parse(text)?;
+    if reparsed.render() != text {
+        return Err("render(parse(output)) differs from output".into());
+    }
+    validate_sarif(text)
+}
+
+/// `check --fix`: applies machine-applicable rewrites. Dry-run prints
+/// each fixed scenario to stdout; `--apply` rewrites the files in place.
+/// The summary of applied fixes goes to stderr either way, and the exit
+/// status reflects re-analysis of the fixed specs.
+fn run_fix(files: &[&str], apply: bool) -> ExitCode {
+    let mut had_parse_failure = false;
+    let mut any_errors = false;
+    for file in files {
+        let mut spec = match load_spec(file) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: {e}");
+                had_parse_failure = true;
+                continue;
+            }
+        };
+        let applied = apply_fixes(&mut spec);
+        if applied.is_empty() {
+            eprintln!("{file}: nothing to fix");
+        }
+        for f in &applied {
+            eprintln!(
+                "{file}: fixed [{}] {}: {}",
+                f.code.as_str(),
+                f.entity,
+                f.action
+            );
+        }
+        let rendered = spec.render();
+        if apply {
+            if let Err(e) = std::fs::write(file, &rendered) {
+                eprintln!("error: writing `{file}`: {e}");
+                had_parse_failure = true;
+                continue;
+            }
+        } else {
+            emit(&rendered);
+        }
+        if analyze(&spec).has_errors() {
+            any_errors = true;
+        }
+    }
+    if had_parse_failure {
+        ExitCode::from(2)
+    } else if any_errors {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
@@ -143,7 +264,7 @@ fn run_check(args: &[String]) -> ExitCode {
 fn run_codes() {
     for code in DiagCode::ALL {
         emit(&format!(
-            "{:<28} {:<8} {}\n",
+            "{:<36} {:<8} {}\n",
             code.as_str(),
             code.default_severity().as_str(),
             code.summary()

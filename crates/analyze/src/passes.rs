@@ -7,6 +7,7 @@
 //! pass owns. [`analyze`] runs the default registry in order and returns
 //! a sorted [`Report`].
 
+use crate::demand::Verdict;
 use crate::diagnostic::{DiagCode, Diagnostic, Report, Severity};
 use crate::scenario::{DemandSpec, ScenarioSpec, TaskSpec, TufSpec};
 use eua_core::{brh_schedulable, sufficient_speed, theorem1_speed};
@@ -31,8 +32,9 @@ pub struct PassRegistry {
 
 impl PassRegistry {
     /// The default pipeline: structure, TUF shapes, assurances,
-    /// Chebyshev budgets, UAM specs, frequency table, energy model, and
-    /// feasibility classification.
+    /// Chebyshev budgets, UAM specs, frequency table, energy model,
+    /// feasibility classification, fault stanzas, and the semantic
+    /// verdict pass.
     #[must_use]
     pub fn with_default_passes() -> Self {
         PassRegistry {
@@ -46,6 +48,7 @@ impl PassRegistry {
                 Box::new(EnergyModelPass),
                 Box::new(FeasibilityPass),
                 Box::new(FaultPass),
+                Box::new(SemanticPass),
             ],
         }
     }
@@ -365,6 +368,7 @@ impl Pass for ChebyshevPass {
                     "the Chebyshev allocation is not finite for these moments and ρ",
                 ));
             }
+            Self::check_declared_allocation(task, out);
         }
     }
 }
@@ -429,6 +433,35 @@ impl ChebyshevPass {
             }
         }
         ok
+    }
+
+    /// Cross-checks a declared `allocation` line against the Chebyshev
+    /// budget implied by the demand moments and ρ. Works per task, so it
+    /// fires even when the rest of the scenario cannot be lowered.
+    fn check_declared_allocation(task: &TaskSpec, out: &mut Vec<Diagnostic>) {
+        let Some(declared) = task.declared_allocation else {
+            return;
+        };
+        let Some(c) = task.chebyshev_allocation() else {
+            return;
+        };
+        let expected = c.ceil();
+        if declared.is_finite()
+            && (declared - expected).abs() <= 1.0 + crate::fix::ALLOCATION_TOL * c
+        {
+            return;
+        }
+        out.push(
+            Diagnostic::for_entity(
+                DiagCode::SemChebyshevAllocationMismatch,
+                &task.name,
+                format!(
+                    "declared allocation {declared} cycles disagrees with the Chebyshev \
+                     budget ⌈E(Y) + sqrt(ρ/(1−ρ)·Var(Y))⌉ = {expected} cycles"
+                ),
+            )
+            .with_suggestion(format!("set `allocation {expected}` (or drop the line)")),
+        );
     }
 }
 
@@ -880,6 +913,105 @@ impl Pass for FaultPass {
     }
 }
 
+/// The semantic verdict pass: lowers the spec to the analysis IR, runs
+/// the per-frequency demand-bound analysis, and reports the verdict at
+/// `f_m`, the static feasibility floor, dominated frequencies, and
+/// statically-unreachable DVS states.
+struct SemanticPass;
+
+impl Pass for SemanticPass {
+    fn name(&self) -> &'static str {
+        "semantic"
+    }
+
+    fn run(&self, scenario: &ScenarioSpec, out: &mut Vec<Diagnostic>) {
+        // Lowering fails only for conditions the lint passes have
+        // already reported; stay silent rather than double-report.
+        let Ok(ir) = crate::ir::lower(scenario) else {
+            return;
+        };
+        let verdicts = crate::demand::frequency_verdicts(&ir);
+        let Some(top) = crate::demand::verdict_at_fmax(&verdicts) else {
+            return;
+        };
+
+        match top.verdict {
+            Verdict::Infeasible => {
+                let detail = top.witness.as_ref().map_or_else(String::new, |w| {
+                    format!(
+                        ": within any {} µs window the tasks can force {:.0} cycles of \
+                         demand against {:.0} cycles of capacity",
+                        w.interval_us, w.demand_cycles, w.capacity_cycles
+                    )
+                });
+                out.push(
+                    Diagnostic::new(
+                        DiagCode::SemInfeasibleAtFmax,
+                        format!(
+                            "the demand-bound analysis proves the set infeasible even at \
+                             f_m = {} MHz{detail}",
+                            ir.f_max_mhz
+                        ),
+                    )
+                    .with_suggestion(
+                        "some jobs must miss their critical times; reduce demand, lengthen \
+                         windows, or accept best-effort operation",
+                    ),
+                );
+            }
+            Verdict::Indeterminate => {
+                out.push(Diagnostic::new(
+                    DiagCode::SemIndeterminate,
+                    format!(
+                        "the demand-bound analysis could not decide feasibility at f_m = {} \
+                         MHz (quantization gap or scan budget exhausted)",
+                        ir.f_max_mhz
+                    ),
+                ));
+            }
+            Verdict::Feasible => {
+                if let Some(floor) = crate::demand::feasibility_floor(&verdicts) {
+                    out.push(Diagnostic::new(
+                        DiagCode::SemFeasibilityFloor,
+                        format!(
+                            "the allocation-level demand provably fits at every frequency \
+                             from {floor} MHz up (static feasibility floor)"
+                        ),
+                    ));
+                }
+            }
+        }
+
+        for profile in crate::energy::energy_profiles(&ir, &verdicts) {
+            if let Some(by) = profile.dominated_by {
+                out.push(
+                    Diagnostic::for_entity(
+                        DiagCode::SemDominatedFrequency,
+                        format!("{} MHz", profile.f_mhz),
+                        format!(
+                            "{} MHz is semantically dominated by {by} MHz: no worse on \
+                             feasibility and no dearer per cycle",
+                            profile.f_mhz
+                        ),
+                    )
+                    .with_suggestion(format!("drop {} MHz from the table", profile.f_mhz)),
+                );
+            }
+            if !profile.reachable {
+                out.push(Diagnostic::for_entity(
+                    DiagCode::SemUnreachableDvsState,
+                    format!("{} MHz", profile.f_mhz),
+                    format!(
+                        "{} MHz lies below every task's UER-optimal frequency; EUA*'s \
+                         offline clamp can never select it",
+                        profile.f_mhz
+                    ),
+                ));
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -901,6 +1033,7 @@ mod tests {
             },
             nu: 1.0,
             rho: 0.96,
+            declared_allocation: None,
         }
     }
 
@@ -926,7 +1059,8 @@ mod tests {
         assert!(names.contains(&"tuf-shape"));
         assert!(names.contains(&"feasibility"));
         assert!(names.contains(&"faults"));
-        assert_eq!(names.len(), 9);
+        assert!(names.contains(&"semantic"));
+        assert_eq!(names.len(), 10);
     }
 
     #[test]

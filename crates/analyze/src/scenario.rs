@@ -304,6 +304,12 @@ pub struct TaskSpec {
     pub nu: f64,
     /// Required timeliness probability ρ (Chebyshev budget).
     pub rho: f64,
+    /// A cycle allocation declared in the `.scn` file (the optional
+    /// `allocation <cycles>` line). The analyzer cross-checks it against
+    /// the Chebyshev bound implied by the demand moments and ρ
+    /// (`sem-chebyshev-allocation-mismatch`); the simulator bridge
+    /// always derives its own allocation.
+    pub declared_allocation: Option<f64>,
 }
 
 impl TaskSpec {
@@ -318,6 +324,7 @@ impl TaskSpec {
             demand: DemandSpec::from_model(task.demand()),
             nu: task.assurance().nu(),
             rho: task.assurance().rho(),
+            declared_allocation: None,
         }
     }
 
@@ -562,6 +569,103 @@ impl ScenarioSpec {
             .filter(|&f| f > 0)
     }
 
+    /// Renders the spec back to canonical `.scn` text.
+    ///
+    /// The output re-parses to an equivalent spec ([`ScenarioSpec::parse`]
+    /// of the result reproduces every field, except that a custom energy
+    /// model's name normalizes to `custom`). Floats use Rust's
+    /// shortest-round-trip `{:?}` formatting, so no precision is lost.
+    /// This is what `eua-analyze --fix` emits after rewriting a spec.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("scenario {}\n", self.name));
+        if !self.frequencies_mhz.is_empty() {
+            out.push_str("frequencies");
+            for f in &self.frequencies_mhz {
+                out.push_str(&format!(" {f}"));
+            }
+            out.push('\n');
+        }
+        let builtin = [EnergySpec::e1(), EnergySpec::e2(), EnergySpec::e3()]
+            .into_iter()
+            .find(|b| *b == self.energy);
+        match builtin {
+            Some(b) => out.push_str(&format!("energy {}\n", b.name)),
+            None => out.push_str(&format!(
+                "energy custom {:?} {:?} {:?} {:?}\n",
+                self.energy.s3, self.energy.s2, self.energy.s1_rel, self.energy.s0_rel
+            )),
+        }
+        for t in &self.tasks {
+            out.push_str(&format!("task {}\n", t.name));
+            match &t.tuf {
+                TufSpec::Step {
+                    umax, step_at_us, ..
+                } => out.push_str(&format!("  tuf step {umax:?} {step_at_us}\n")),
+                TufSpec::Linear {
+                    umax,
+                    termination_us,
+                } => out.push_str(&format!("  tuf linear {umax:?} {termination_us}\n")),
+                TufSpec::Exponential {
+                    umax,
+                    tau_us,
+                    termination_us,
+                } => out.push_str(&format!("  tuf exp {umax:?} {tau_us} {termination_us}\n")),
+                TufSpec::Piecewise { points } => {
+                    out.push_str("  tuf piecewise");
+                    for (time, utility) in points {
+                        out.push_str(&format!(" {time}:{utility:?}"));
+                    }
+                    out.push('\n');
+                }
+            }
+            out.push_str(&format!("  uam {:?} {}\n", t.max_arrivals, t.window_us));
+            match &t.demand {
+                DemandSpec::Deterministic { cycles } => {
+                    out.push_str(&format!("  demand det {cycles:?}\n"));
+                }
+                DemandSpec::Normal { mean, variance } => {
+                    out.push_str(&format!("  demand normal {mean:?} {variance:?}\n"));
+                }
+                DemandSpec::Uniform { lo, hi } => {
+                    out.push_str(&format!("  demand uniform {lo:?} {hi:?}\n"));
+                }
+                DemandSpec::Pareto { scale, alpha } => {
+                    out.push_str(&format!("  demand pareto {scale:?} {alpha:?}\n"));
+                }
+            }
+            out.push_str(&format!("  assurance {:?} {:?}\n", t.nu, t.rho));
+            if let Some(alloc) = t.declared_allocation {
+                out.push_str(&format!("  allocation {alloc:?}\n"));
+            }
+            out.push_str("end\n");
+        }
+        if let Some(f) = &self.faults {
+            out.push_str("faults\n");
+            out.push_str(&format!(
+                "  demand-deviation {:?} {:?}\n",
+                f.demand_mean_factor, f.demand_spread
+            ));
+            out.push_str(&format!("  switch-latency {}\n", f.switch_latency_cycles));
+            if let Some(set) = &f.degraded_mhz {
+                out.push_str("  degraded-frequencies");
+                for mhz in set {
+                    out.push_str(&format!(" {mhz}"));
+                }
+                out.push('\n');
+            }
+            out.push_str(&format!(
+                "  burst-extra {} {}\n",
+                f.burst_extra, f.burst_every
+            ));
+            out.push_str(&format!("  abort-cost {}\n", f.abort_cost_us));
+            out.push_str(&format!("  arrival-jitter {}\n", f.arrival_jitter_us));
+            out.push_str("end\n");
+        }
+        out
+    }
+
     /// Parses the line-based `.scn` scenario format.
     ///
     /// ```text
@@ -574,6 +678,7 @@ impl ScenarioSpec {
     ///   uam 2 10000                  # a, window µs
     ///   demand normal 150000 150000  # also: det c | uniform lo hi | pareto scale alpha
     ///   assurance 1.0 0.96           # nu, rho
+    ///   allocation 250000            # optional declared cycle budget (cross-checked)
     /// end
     /// faults                         # optional fault-injection stanza
     ///   demand-deviation 1.5 0.2     # mean factor, spread
@@ -792,6 +897,7 @@ impl<'a> Parser<'a> {
         let mut uam: Option<(f64, u64)> = None;
         let mut demand: Option<DemandSpec> = None;
         let mut assurance: Option<(f64, f64)> = None;
+        let mut allocation: Option<f64> = None;
 
         loop {
             let Some(&(line, body)) = self.lines.get(self.pos) else {
@@ -821,6 +927,10 @@ impl<'a> Parser<'a> {
                     }
                     _ => return Err(Self::err(line, "expected `assurance <nu> <rho>`")),
                 },
+                "allocation" => match rest.as_slice() {
+                    [cycles] => allocation = Some(parse_f64(line, "allocation", cycles)?),
+                    _ => return Err(Self::err(line, "expected `allocation <cycles>`")),
+                },
                 other => {
                     return Err(Self::err(line, format!("unknown task keyword `{other}`")));
                 }
@@ -844,6 +954,7 @@ impl<'a> Parser<'a> {
             demand,
             nu,
             rho,
+            declared_allocation: allocation,
         })
     }
 
@@ -1051,6 +1162,7 @@ end
             },
             nu: 1.0,
             rho: 0.96,
+            declared_allocation: None,
         };
         let c = spec.chebyshev_allocation().expect("finite");
         let expected = 100.0 + (0.96f64 / 0.04 * 400.0).sqrt();
@@ -1076,8 +1188,115 @@ end
             },
             nu: 1.0,
             rho: 0.9,
+            declared_allocation: None,
         };
         assert_eq!(spec.chebyshev_allocation(), None);
+    }
+
+    #[test]
+    fn allocation_line_parses_and_round_trips() {
+        let text = "\
+scenario alloc-demo
+frequencies 100
+energy E1
+task t
+  tuf step 1.0 10000
+  uam 1.0 10000
+  demand det 100000.0
+  assurance 1.0 0.5
+  allocation 100000.0
+end
+";
+        let s = ScenarioSpec::parse(text).expect("parses");
+        assert_eq!(s.tasks[0].declared_allocation, Some(100_000.0));
+        // Canonical render re-parses to the same spec, byte-identically
+        // the second time around.
+        let rendered = s.render();
+        let back = ScenarioSpec::parse(&rendered).expect("canonical text parses");
+        assert_eq!(back, s);
+        assert_eq!(back.render(), rendered);
+    }
+
+    #[test]
+    fn render_round_trips_custom_energy_and_faults() {
+        let mut s = ScenarioSpec::parse(VALID).expect("parses");
+        s.energy = EnergySpec {
+            name: "custom".into(),
+            s3: 0.8,
+            s2: 0.05,
+            s1_rel: 0.2,
+            s0_rel: 0.3,
+        };
+        s.faults = Some(FaultSpec {
+            demand_mean_factor: 1.5,
+            demand_spread: 0.2,
+            switch_latency_cycles: 20_000,
+            degraded_mhz: Some(vec![36, 55]),
+            burst_extra: 2,
+            burst_every: 3,
+            abort_cost_us: 300,
+            arrival_jitter_us: 2_000,
+        });
+        let rendered = s.render();
+        let back = ScenarioSpec::parse(&rendered).expect("canonical text parses");
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn zero_variance_demand_has_zero_chebyshev_term() {
+        // Deterministic demand: Var(Y) = 0, so c = E(Y) exactly whatever ρ.
+        for rho in [0.0, 0.5, 0.96] {
+            let spec = TaskSpec {
+                name: "t".into(),
+                tuf: TufSpec::Step {
+                    umax: 1.0,
+                    step_at_us: 1_000,
+                    termination_us: 1_000,
+                },
+                max_arrivals: 1.0,
+                window_us: 1_000,
+                demand: DemandSpec::Deterministic { cycles: 123_456.0 },
+                nu: 1.0,
+                rho,
+                declared_allocation: None,
+            };
+            assert_eq!(spec.chebyshev_allocation(), Some(123_456.0));
+        }
+    }
+
+    #[test]
+    fn single_frequency_table_parses_with_fmax() {
+        let s = ScenarioSpec::parse(
+            "scenario solo\nfrequencies 64\nenergy E1\ntask t\n  tuf step 1 1000\n  uam 1 1000\n  demand det 10\n  assurance 1 0.5\nend\n",
+        )
+        .expect("parses");
+        assert_eq!(s.frequencies_mhz, vec![64]);
+        assert_eq!(s.f_max_mhz(), Some(64));
+    }
+
+    #[test]
+    fn periodic_uam_degenerates_to_classical_utilization() {
+        // ⟨1, P⟩ with a step TUF at ν = 1: D = P, so Theorem 1's speed
+        // C/D equals the classical utilization C/P.
+        let spec = TaskSpec {
+            name: "t".into(),
+            tuf: TufSpec::Step {
+                umax: 1.0,
+                step_at_us: 10_000,
+                termination_us: 10_000,
+            },
+            max_arrivals: 1.0,
+            window_us: 10_000,
+            demand: DemandSpec::Deterministic { cycles: 200_000.0 },
+            nu: 1.0,
+            rho: 0.5,
+            declared_allocation: None,
+        };
+        let task = spec.to_task().expect("valid");
+        assert_eq!(task.critical_offset().as_micros(), spec.window_us);
+        let rate = task.demand_rate();
+        let classical = 200_000.0 / 10_000.0;
+        assert!((rate - classical).abs() < 1e-9, "{rate} vs {classical}");
     }
 
     #[test]

@@ -1,0 +1,107 @@
+#![allow(clippy::expect_used)] // test code: panicking on bad setup is the point
+
+//! Golden semantic verdicts over every shipped example workload.
+//!
+//! These pins are part of the analyzer's output contract: a change to
+//! the demand-bound engine, the Chebyshev allocation, or a shipped
+//! scenario that flips one of these verdicts is a behavior change and
+//! must update this table deliberately.
+
+use eua_analyze::{
+    analyze, feasibility_floor, frequency_verdicts, lower, shipped_scenarios, verdict_at_fmax,
+    Verdict,
+};
+
+/// `(scenario, verdict at f_max, static feasibility floor in MHz)`.
+const GOLDEN: &[(&str, Verdict, Option<u64>)] = &[
+    ("quickstart", Verdict::Feasible, Some(36)),
+    ("awacs-tracking", Verdict::Infeasible, None),
+    ("mobile-multimedia-E1", Verdict::Feasible, Some(64)),
+    ("mobile-multimedia-E2", Verdict::Feasible, Some(64)),
+    ("mobile-multimedia-E3", Verdict::Feasible, Some(64)),
+    ("overload-survival-0.3", Verdict::Feasible, Some(36)),
+    ("overload-survival-0.9", Verdict::Feasible, Some(91)),
+    ("overload-survival-1.8", Verdict::Infeasible, None),
+    ("energy-budget", Verdict::Feasible, Some(73)),
+    ("fig3-linear-a2", Verdict::Feasible, Some(55)),
+    ("theorem-underload", Verdict::Feasible, Some(91)),
+];
+
+#[test]
+fn shipped_examples_match_their_pinned_verdicts() {
+    let scenarios = shipped_scenarios().expect("registry builds");
+    assert_eq!(
+        scenarios.len(),
+        GOLDEN.len(),
+        "a shipped scenario was added or removed; update the golden table"
+    );
+    for spec in &scenarios {
+        let &(_, want_verdict, want_floor) = GOLDEN
+            .iter()
+            .find(|(name, _, _)| *name == spec.name)
+            .unwrap_or_else(|| panic!("`{}` missing from the golden table", spec.name));
+        let ir = lower(spec).expect("shipped scenarios lower");
+        let verdicts = frequency_verdicts(&ir);
+        let top = verdict_at_fmax(&verdicts).expect("non-empty table");
+        assert_eq!(
+            top.verdict, want_verdict,
+            "`{}` verdict at f_m flipped",
+            spec.name
+        );
+        assert_eq!(
+            feasibility_floor(&verdicts),
+            want_floor,
+            "`{}` feasibility floor moved",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn infeasible_examples_carry_witnesses_and_warnings() {
+    for spec in shipped_scenarios().expect("registry builds") {
+        let ir = lower(&spec).expect("lowers");
+        let verdicts = frequency_verdicts(&ir);
+        let top = verdict_at_fmax(&verdicts).expect("non-empty");
+        let report = analyze(&spec);
+        match top.verdict {
+            Verdict::Infeasible => {
+                let w = top.witness.as_ref().unwrap_or_else(|| {
+                    panic!("`{}` infeasible without a witness window", spec.name)
+                });
+                assert!(
+                    w.demand_cycles > w.capacity_cycles,
+                    "`{}` witness does not overload: {w:?}",
+                    spec.name
+                );
+                assert!(
+                    report.codes().contains("sem-infeasible-at-fmax"),
+                    "`{}` must warn sem-infeasible-at-fmax",
+                    spec.name
+                );
+            }
+            Verdict::Feasible => {
+                assert!(
+                    report.codes().contains("sem-feasibility-floor"),
+                    "`{}` must report its feasibility floor",
+                    spec.name
+                );
+            }
+            Verdict::Indeterminate => {
+                assert!(
+                    report.codes().contains("sem-indeterminate"),
+                    "`{}` must report indeterminacy",
+                    spec.name
+                );
+            }
+        }
+        // The semantic pass never *adds* errors: shipped examples stay
+        // error-free even when deliberately overloaded.
+        assert!(
+            !report.has_errors(),
+            "`{}` gained errors:\n{}",
+            spec.name,
+            report.render_text()
+        );
+    }
+}

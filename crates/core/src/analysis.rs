@@ -15,6 +15,21 @@
 
 use eua_platform::Frequency;
 use eua_sim::{Task, TaskSet};
+use eua_uam::dbf::{self, DemandCurve, DemandVerdict};
+
+/// The per-task [`DemandCurve`]s of a validated task set, at
+/// allocation-level (worst-case) demand.
+#[must_use]
+pub fn demand_curves(tasks: &TaskSet) -> Vec<DemandCurve> {
+    tasks
+        .iter()
+        .map(|(_, t)| DemandCurve {
+            window_demand: t.window_demand().as_f64(),
+            critical_us: t.critical_offset().as_micros(),
+            window_us: t.uam().window().as_micros(),
+        })
+        .collect()
+}
 
 /// Theorem 1's per-task sufficient speed `C_i/D_i`, in cycles/µs.
 #[must_use]
@@ -55,18 +70,7 @@ pub fn sufficient_speed(tasks: &TaskSet) -> f64 {
 /// interval of length `L` under worst-case UAM arrivals, in cycles.
 #[must_use]
 pub fn demand_bound(tasks: &TaskSet, interval_us: u64) -> f64 {
-    tasks
-        .iter()
-        .map(|(_, t)| {
-            let d = t.critical_offset().as_micros();
-            let p = t.uam().window().as_micros();
-            if interval_us < d {
-                0.0
-            } else {
-                (((interval_us - d) / p) + 1) as f64 * t.window_demand().as_f64()
-            }
-        })
-        .sum()
+    dbf::total_demand(&demand_curves(tasks), interval_us)
 }
 
 /// The Baruah–Rosier–Howell schedulability test at speed `f`: is the
@@ -78,52 +82,10 @@ pub fn demand_bound(tasks: &TaskSet, interval_us: u64) -> f64 {
 /// help.
 #[must_use]
 pub fn brh_schedulable(tasks: &TaskSet, f: Frequency) -> bool {
-    let speed = f.as_f64();
-    // Long-run utilization must not exceed capacity, else h(L)/L → U > f.
-    let utilization: f64 = tasks
-        .iter()
-        .map(|(_, t)| t.window_demand().as_f64() / t.uam().window().as_micros() as f64)
-        .sum();
-    if utilization > speed {
-        return false;
-    }
-    // Busy-period bound: L* = Σ (P_i − D_i)·U_i / (f − U), plus every D_i.
-    let slack_mass: f64 = tasks
-        .iter()
-        .map(|(_, t)| {
-            let u = t.window_demand().as_f64() / t.uam().window().as_micros() as f64;
-            (t.uam().window().as_micros() as f64 - t.critical_offset().as_micros() as f64).max(0.0)
-                * u
-        })
-        .sum();
-    let l_star = if speed > utilization {
-        slack_mass / (speed - utilization)
-    } else {
-        0.0
-    };
-    let l_max = tasks
-        .iter()
-        .map(|(_, t)| t.critical_offset().as_micros())
-        .max()
-        .unwrap_or(0)
-        .max(l_star.ceil() as u64);
-
-    // Check every absolute critical instant L = D_i + k·P_i up to l_max.
-    for (_, t) in tasks.iter() {
-        let d = t.critical_offset().as_micros();
-        let p = t.uam().window().as_micros();
-        let mut l = d;
-        while l <= l_max {
-            if demand_bound(tasks, l) > speed * l as f64 + 1e-9 {
-                return false;
-            }
-            match l.checked_add(p) {
-                Some(next) => l = next,
-                None => break,
-            }
-        }
-    }
-    true
+    matches!(
+        dbf::demand_witness(&demand_curves(tasks), f.as_f64(), usize::MAX),
+        DemandVerdict::Fits
+    )
 }
 
 #[cfg(test)]

@@ -19,8 +19,28 @@
 use std::fmt;
 
 use crate::error::PlatformError;
-use crate::frequency::Frequency;
+use crate::frequency::{Frequency, FrequencyTable};
 use crate::units::Cycles;
+
+/// The per-cycle energy envelope of a discrete frequency table under one
+/// [`EnergyModel`]: the cheapest and dearest `E(f)` over the table, with
+/// the frequencies that attain them.
+///
+/// Because `E(f)` is non-monotonic (the `S0/f` term), the cheapest
+/// frequency is generally *interior*; static analyses use the envelope to
+/// bracket achievable utility-and-energy ratios without enumerating
+/// schedules. Ties go to the lowest frequency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyInterval {
+    /// Smallest per-cycle energy over the table.
+    pub min: f64,
+    /// Largest per-cycle energy over the table.
+    pub max: f64,
+    /// Frequency attaining `min` (lowest such, on ties).
+    pub cheapest: Frequency,
+    /// Frequency attaining `max` (lowest such, on ties).
+    pub dearest: Frequency,
+}
 
 /// Coefficients `(S3, S2, S1, S0)` of Martin's model, before binding to a
 /// concrete maximum frequency.
@@ -209,6 +229,36 @@ impl EnergyModel {
         cycles.as_f64() * self.energy_per_cycle(f)
     }
 
+    /// The per-cycle energy envelope of `table` under this model.
+    ///
+    /// Iterates the table ascending; strict comparisons mean the lowest
+    /// frequency wins ties for both ends of the interval.
+    #[must_use]
+    pub fn per_cycle_interval(&self, table: &FrequencyTable) -> EnergyInterval {
+        // Tables are non-empty by construction; seed from the slowest
+        // frequency and sweep the rest.
+        let first = table.min();
+        let e0 = self.energy_per_cycle(first);
+        let mut interval = EnergyInterval {
+            min: e0,
+            max: e0,
+            cheapest: first,
+            dearest: first,
+        };
+        for f in table.iter() {
+            let e = self.energy_per_cycle(f);
+            if e < interval.min {
+                interval.min = e;
+                interval.cheapest = f;
+            }
+            if e > interval.max {
+                interval.max = e;
+                interval.dearest = f;
+            }
+        }
+        interval
+    }
+
     /// The continuous frequency (cycles/µs) minimizing energy per cycle.
     ///
     /// Solving `dE/df = 2·S3·f + S2 − S0/f² = 0`; with `S2 = 0` this is
@@ -335,6 +385,44 @@ mod tests {
             .unwrap()
             .model(fm());
         assert!(m.energy_optimal_speed().is_infinite());
+    }
+
+    #[test]
+    fn e1_interval_is_monotone_min_to_max() {
+        // CPU-only energy grows with f: cheapest = slowest, dearest = fastest.
+        let table = FrequencyTable::powernow_k6();
+        let iv = EnergySetting::e1()
+            .model(table.max())
+            .per_cycle_interval(&table);
+        assert_eq!(iv.cheapest, table.min());
+        assert_eq!(iv.dearest, table.max());
+        assert!(iv.min < iv.max);
+    }
+
+    #[test]
+    fn e3_interval_cheapest_is_interior() {
+        // E3's optimum is ≈ 0.63·f_m, so neither table endpoint is cheapest.
+        let table = FrequencyTable::powernow_k6();
+        let iv = EnergySetting::e3()
+            .model(table.max())
+            .per_cycle_interval(&table);
+        assert_ne!(iv.cheapest, table.min());
+        assert_ne!(iv.cheapest, table.max());
+        let m = EnergySetting::e3().model(table.max());
+        for f in table.iter() {
+            let e = m.energy_per_cycle(f);
+            assert!(e >= iv.min - 1e-9 && e <= iv.max + 1e-9);
+        }
+    }
+
+    #[test]
+    fn singleton_table_interval_is_degenerate() {
+        let table = FrequencyTable::fixed(64);
+        let iv = EnergySetting::e2()
+            .model(table.max())
+            .per_cycle_interval(&table);
+        assert_eq!(iv.min, iv.max);
+        assert_eq!(iv.cheapest, iv.dearest);
     }
 
     #[test]

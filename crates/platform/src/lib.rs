@@ -45,7 +45,7 @@ pub mod frequency;
 pub mod select;
 pub mod units;
 
-pub use energy::{EnergyModel, EnergySetting};
+pub use energy::{EnergyInterval, EnergyModel, EnergySetting};
 pub use error::PlatformError;
 pub use frequency::{Frequency, FrequencyTable};
 pub use select::{optimal_uer_frequency, select_freq};

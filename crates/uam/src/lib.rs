@@ -18,7 +18,9 @@
 //!   deterministic cycle demands with mean–variance scaling, a Welford
 //!   online profiler, and the Chebyshev (Cantelli) cycle allocation
 //!   `c = E(Y) + sqrt(ρ/(1−ρ)·Var(Y))` of paper §3.1;
-//! * [`Assurance`] — the per-task statistical requirement `{ν, ρ}`.
+//! * [`Assurance`] — the per-task statistical requirement `{ν, ρ}`;
+//! * demand-bound **primitives** ([`dbf`]): the sliding-window processor
+//!   demand `h(L)` and a witness-producing Baruah–Rosier–Howell scan.
 //!
 //! # Example
 //!
@@ -47,6 +49,7 @@
 #![warn(missing_docs)]
 
 mod assurance;
+pub mod dbf;
 pub mod demand;
 mod error;
 pub mod generator;
