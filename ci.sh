@@ -47,6 +47,21 @@ if grep -rnE 'thread::(spawn|scope|Builder)' \
   exit 1
 fi
 
+step "unsafe-code audit"
+# Every first-party crate carries `#![forbid(unsafe_code)]`; this lint
+# additionally keeps the bare `unsafe` token out of first-party sources
+# entirely (code, comments, and docs alike) so the forbid can never be
+# weakened quietly in a later diff. Vendored shims are exempt.
+# (`unsafe_code` inside the forbid attribute is one token and does not
+# match the word-bounded pattern.)
+if grep -rnE '\bunsafe\b' \
+    --include='*.rs' \
+    src tests examples crates \
+    | grep -v '^[^:]*vendor/'; then
+  echo "error: \`unsafe\` token in first-party source (see above)" >&2
+  exit 1
+fi
+
 step "cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
@@ -73,14 +88,61 @@ step "analyzer soundness gate (reduced cases, both feature states)"
 EUA_SOUNDNESS_CASES=8 cargo test -q --test analyzer_soundness
 EUA_SOUNDNESS_CASES=8 cargo test -q --features invariant-checks --test analyzer_soundness
 
+step "certificate audit gate (reduced cases, both feature states)"
+# The offline translation validator: golden certificates must audit
+# clean, and the proptest gate (faulted runs only ever trip the
+# aud-* codes their FaultPlan predicts) must hold with and without the
+# engine's runtime invariant checks compiled in.
+cargo run -q -p eua-audit -- check crates/audit/tests/fixtures/*.json >/dev/null
+EUA_AUDIT_CASES=6 cargo test -q -p eua-audit --test fault_gate
+EUA_AUDIT_CASES=6 cargo test -q -p eua-audit \
+  --features eua-sim/invariant-checks --test fault_gate
+
+step "audit-code registry lint"
+# Every diagnostic code the auditor can emit must be registered in the
+# shared eua-analyze registry, so `codes` listings and SARIF rule
+# metadata stay a single source of truth across both binaries.
+analyze_codes="$(cargo run -q -p eua-analyze -- codes)"
+cargo run -q -p eua-audit -- codes | while read -r code _; do
+  if ! grep -q "^${code} " <<<"${analyze_codes}"; then
+    echo "error: ${code} is emitted by eua-audit but absent from the" \
+      "eua-analyze code registry" >&2
+    exit 1
+  fi
+done
+
+step "miri smoke (worker pool)"
+# Opt-in: EUA_MIRI=1 runs the eua-sim pool tests under miri for UB
+# detection in the scoped-thread machinery. Skipped by default (and
+# when the toolchain lacks the miri component, as this container's
+# does) because miri multiplies test runtime ~30x.
+if [[ "${EUA_MIRI:-0}" == 1 ]]; then
+  if cargo miri --version >/dev/null 2>&1; then
+    cargo miri test -p eua-sim pool
+  else
+    echo "skipped: EUA_MIRI=1 but the miri component is not installed" \
+      "(rustup component add miri)" >&2
+  fi
+else
+  echo "skipped (set EUA_MIRI=1 to enable)"
+fi
+
 step "bench smoke under --jobs 2"
 cargo run -q -p eua-bench --bin fig2 -- --quick --energy e1 --jobs 2 >/dev/null
 
-step "robustness sweep smoke (--jobs 2, byte round-trip)"
+step "robustness sweep smoke (--jobs 2, byte round-trip, certified)"
 # --check re-parses the emitted JSON and fails unless re-rendering it
 # reproduces the on-disk bytes exactly (first-party parser/renderer).
+# --certify records one eua-certificate/1 document per sweep cell; the
+# unfaulted (intensity-0) cells are then re-validated offline by the
+# auditor. Faulted cells are covered by the reduced fault gate above —
+# auditing all 48 here would dominate the gate's wall clock.
+rm -rf target/ci-robustness-certs
 cargo run -q -p eua-bench --bin robustness -- \
-  --quick --jobs 2 --out target/ci-robustness.json --check 2>&1 | tail -2
+  --quick --jobs 2 --out target/ci-robustness.json \
+  --certify target/ci-robustness-certs --check 2>&1 | tail -3
+cargo run -q -p eua-audit -- check \
+  target/ci-robustness-certs/*-i0-*.json >/dev/null
 
 if [[ "$QUICK" == 0 ]]; then
   step "cargo build --release"

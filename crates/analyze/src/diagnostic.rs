@@ -142,11 +142,38 @@ pub enum DiagCode {
     /// A `.scn` file declares an `allocation` inconsistent with the
     /// Chebyshev allocation implied by its mean/variance/ρ.
     SemChebyshevAllocationMismatch,
+    /// A decision certificate fails to parse, declares an unknown format,
+    /// or references jobs/tasks that do not exist in its own tables.
+    AudMalformedCertificate,
+    /// A certified UER disagrees with the value recomputed from the
+    /// declared TUF and the Martin energy model at `f_m`.
+    AudUerMismatch,
+    /// A certified schedule is not the one greedy non-increasing-UER
+    /// insertion reconstructs, or is not critical-time ordered.
+    AudScheduleOrder,
+    /// A certified schedule misses a termination time when its entries
+    /// are replayed back-to-back at `f_m` (its predicted finish times are
+    /// wrong or infeasible).
+    AudScheduleInfeasible,
+    /// An abort lacks a valid infeasibility witness: the job could still
+    /// have finished by its termination time at `f_m`.
+    AudAbortIllegal,
+    /// The chosen frequency violates the Algorithm 2 bound: it is not
+    /// the table's lowest frequency at or above the certified required
+    /// speed (raised by the UER clamp when active).
+    AudDvsOutOfBound,
+    /// A charge's energy disagrees with Martin's `E(f)` per-cycle model
+    /// (or the idle-power bill), or the charges do not sum to the
+    /// certified total.
+    AudEnergyMismatch,
+    /// The certified arrival stream violates a task's declared UAM
+    /// `<a, P>` bound: more than `a` arrivals inside one sliding window.
+    AudUamViolation,
 }
 
 impl DiagCode {
     /// Every code, in a stable order (used by `eua-analyze codes`).
-    pub const ALL: [DiagCode; 33] = [
+    pub const ALL: [DiagCode; 41] = [
         DiagCode::NoTasks,
         DiagCode::DuplicateTaskName,
         DiagCode::TufNonPositiveUmax,
@@ -180,6 +207,14 @@ impl DiagCode {
         DiagCode::SemDominatedFrequency,
         DiagCode::SemUnreachableDvsState,
         DiagCode::SemChebyshevAllocationMismatch,
+        DiagCode::AudMalformedCertificate,
+        DiagCode::AudUerMismatch,
+        DiagCode::AudScheduleOrder,
+        DiagCode::AudScheduleInfeasible,
+        DiagCode::AudAbortIllegal,
+        DiagCode::AudDvsOutOfBound,
+        DiagCode::AudEnergyMismatch,
+        DiagCode::AudUamViolation,
     ];
 
     /// The stable kebab-case identifier.
@@ -219,6 +254,14 @@ impl DiagCode {
             DiagCode::SemDominatedFrequency => "sem-dominated-frequency",
             DiagCode::SemUnreachableDvsState => "sem-unreachable-dvs-state",
             DiagCode::SemChebyshevAllocationMismatch => "sem-chebyshev-allocation-mismatch",
+            DiagCode::AudMalformedCertificate => "aud-malformed-certificate",
+            DiagCode::AudUerMismatch => "aud-uer-mismatch",
+            DiagCode::AudScheduleOrder => "aud-schedule-order",
+            DiagCode::AudScheduleInfeasible => "aud-schedule-infeasible",
+            DiagCode::AudAbortIllegal => "aud-abort-illegal",
+            DiagCode::AudDvsOutOfBound => "aud-dvs-out-of-bound",
+            DiagCode::AudEnergyMismatch => "aud-energy-mismatch",
+            DiagCode::AudUamViolation => "aud-uam-violation",
         }
     }
 
@@ -246,7 +289,15 @@ impl DiagCode {
             | DiagCode::EnergyInvalidCoefficient
             | DiagCode::FaultNegativeDeviation
             | DiagCode::FaultSwitchLatencyExceedsWindow
-            | DiagCode::FaultEmptyDegradedSet => Severity::Error,
+            | DiagCode::FaultEmptyDegradedSet
+            | DiagCode::AudMalformedCertificate
+            | DiagCode::AudUerMismatch
+            | DiagCode::AudScheduleOrder
+            | DiagCode::AudScheduleInfeasible
+            | DiagCode::AudAbortIllegal
+            | DiagCode::AudDvsOutOfBound
+            | DiagCode::AudEnergyMismatch
+            | DiagCode::AudUamViolation => Severity::Error,
             DiagCode::DuplicateTaskName
             | DiagCode::UamWindowOverflow
             | DiagCode::DominatedFrequency
@@ -323,6 +374,22 @@ impl DiagCode {
             DiagCode::SemChebyshevAllocationMismatch => {
                 "declared allocation disagrees with the Chebyshev bound"
             }
+            DiagCode::AudMalformedCertificate => {
+                "certificate unparsable or internally inconsistent"
+            }
+            DiagCode::AudUerMismatch => "certified UER disagrees with recomputation at f_m",
+            DiagCode::AudScheduleOrder => {
+                "schedule differs from greedy non-increasing-UER insertion"
+            }
+            DiagCode::AudScheduleInfeasible => {
+                "certified schedule misses a termination time at f_m"
+            }
+            DiagCode::AudAbortIllegal => "abort without a valid infeasibility witness",
+            DiagCode::AudDvsOutOfBound => "chosen frequency violates the look-ahead DVS bound",
+            DiagCode::AudEnergyMismatch => {
+                "charged energy disagrees with Martin's model or the total"
+            }
+            DiagCode::AudUamViolation => "certified arrivals exceed a UAM <a, P> bound",
         }
     }
 }

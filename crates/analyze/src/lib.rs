@@ -49,6 +49,8 @@
 //! (or `--all-examples`), exiting nonzero when any Error-severity
 //! diagnostic is present; see the repository README.
 
+#![forbid(unsafe_code)]
+
 pub mod demand;
 pub mod diagnostic;
 pub mod energy;
@@ -59,6 +61,7 @@ pub mod json;
 pub mod passes;
 pub mod sarif;
 pub mod scenario;
+pub mod spans;
 
 pub use demand::{
     feasibility_floor, frequency_verdicts, verdict_at_fmax, FrequencyVerdict, Verdict,
@@ -70,7 +73,8 @@ pub use examples::shipped_scenarios;
 pub use fix::{apply_fixes, AppliedFix};
 pub use ir::{lower, AnalysisIr, FreqIr, TaskIr};
 pub use passes::{analyze, Pass, PassRegistry};
-pub use sarif::{render_sarif, validate_sarif};
+pub use sarif::{render_sarif, render_sarif_with_spans, validate_sarif};
 pub use scenario::{
     DemandSpec, EnergySpec, FaultSpec, ParseError, ScenarioSpec, TaskSpec, TufSpec,
 };
+pub use spans::{SourceMap, Span};

@@ -17,8 +17,8 @@ use std::io::Write;
 use std::process::ExitCode;
 
 use eua_analyze::{
-    analyze, apply_fixes, render_json_reports, render_sarif, shipped_scenarios, validate_sarif,
-    DiagCode, Report, ScenarioSpec,
+    analyze, apply_fixes, render_json_reports, render_sarif_with_spans, shipped_scenarios,
+    validate_sarif, DiagCode, Report, ScenarioSpec, SourceMap,
 };
 
 /// Writes to stdout, exiting quietly if the reader went away (e.g. the
@@ -138,11 +138,13 @@ fn run_check(args: &[String]) -> ExitCode {
     let mut had_parse_failure = false;
     let mut reports: Vec<Report> = Vec::new();
     let mut uris: Vec<Option<String>> = Vec::new();
+    let mut maps: Vec<Option<SourceMap>> = Vec::new();
     if all_examples {
         match shipped_scenarios() {
             Ok(scenarios) => {
                 reports.extend(scenarios.iter().map(analyze));
                 uris.extend(scenarios.iter().map(|_| None));
+                maps.extend(scenarios.iter().map(|_| None));
             }
             Err(e) => {
                 eprintln!("error: {e}");
@@ -151,10 +153,11 @@ fn run_check(args: &[String]) -> ExitCode {
         }
     }
     for file in files {
-        match load_spec(file) {
-            Ok(spec) => {
+        match load_spec_with_spans(file) {
+            Ok((spec, map)) => {
                 reports.push(analyze(&spec));
                 uris.push(Some(file.to_string()));
+                maps.push(Some(map));
             }
             Err(e) => {
                 eprintln!("error: {e}");
@@ -174,7 +177,7 @@ fn run_check(args: &[String]) -> ExitCode {
             emit("\n");
         }
         Format::Sarif => {
-            let text = render_sarif(&reports, &uris);
+            let text = render_sarif_with_spans(&reports, &uris, &maps);
             if self_check {
                 if let Err(e) = sarif_self_check(&text) {
                     eprintln!("error: sarif self-check failed: {e}");
@@ -195,8 +198,14 @@ fn run_check(args: &[String]) -> ExitCode {
 
 /// Reads and parses one scenario file.
 fn load_spec(file: &str) -> Result<ScenarioSpec, String> {
+    load_spec_with_spans(file).map(|(spec, _)| spec)
+}
+
+/// Reads and parses one scenario file, keeping the token-extent map for
+/// SARIF regions.
+fn load_spec_with_spans(file: &str) -> Result<(ScenarioSpec, SourceMap), String> {
     let text = std::fs::read_to_string(file).map_err(|e| format!("reading `{file}`: {e}"))?;
-    ScenarioSpec::parse(&text).map_err(|e| format!("`{file}`: {e}"))
+    ScenarioSpec::parse_with_spans(&text).map_err(|e| format!("`{file}`: {e}"))
 }
 
 /// Asserts the SARIF output byte-round-trips through the first-party

@@ -18,6 +18,7 @@
 use crate::diagnostic::{DiagCode, Report, Severity};
 use crate::fix::is_fixable;
 use crate::json::{self, Json};
+use crate::spans::SourceMap;
 
 /// The schema URI pinned into every document this writer emits.
 pub const SCHEMA_URI: &str = "https://json.schemastore.org/sarif-2.1.0.json";
@@ -35,13 +36,30 @@ pub fn level(severity: Severity) -> &'static str {
     }
 }
 
+/// Renders reports as one SARIF 2.1.0 document (a single run), without
+/// source regions — equivalent to [`render_sarif_with_spans`] with no
+/// source maps. Kept as the plain entry point for report streams that
+/// have no backing text (certificates, `--all-examples`).
+#[must_use]
+pub fn render_sarif(reports: &[Report], uris: &[Option<String>]) -> String {
+    render_sarif_with_spans(reports, uris, &[])
+}
+
 /// Renders reports as one SARIF 2.1.0 document (a single run).
 ///
 /// `uris` pairs each report with the `.scn` file it came from, when
 /// there is one (`--all-examples` scenarios have no backing file);
-/// missing entries mean "no artifact".
+/// missing entries mean "no artifact". `maps` pairs each report with
+/// the [`SourceMap`] scanned from that file's text: where a
+/// diagnostic's entity resolves to a token extent, the result's
+/// `physicalLocation` carries a `region` with 1-based
+/// `startLine`/`startColumn`/`endLine` and exclusive `endColumn`.
 #[must_use]
-pub fn render_sarif(reports: &[Report], uris: &[Option<String>]) -> String {
+pub fn render_sarif_with_spans(
+    reports: &[Report],
+    uris: &[Option<String>],
+    maps: &[Option<SourceMap>],
+) -> String {
     // Rules: the union of codes that actually fired, in ALL order, so
     // ruleIndex is stable regardless of diagnostic ordering.
     let fired: Vec<DiagCode> = DiagCode::ALL
@@ -86,13 +104,26 @@ pub fn render_sarif(reports: &[Report], uris: &[Option<String>]) -> String {
             }
             let mut location = Vec::new();
             if let Some(uri) = uri {
-                location.push((
-                    "physicalLocation".into(),
-                    Json::Obj(vec![(
-                        "artifactLocation".into(),
-                        Json::Obj(vec![("uri".into(), Json::Str(uri.into()))]),
-                    )]),
-                ));
+                let mut physical = vec![(
+                    "artifactLocation".into(),
+                    Json::Obj(vec![("uri".into(), Json::Str(uri.into()))]),
+                )];
+                let span = maps
+                    .get(i)
+                    .and_then(Option::as_ref)
+                    .and_then(|m| m.resolve(d.entity.as_deref()));
+                if let Some(s) = span {
+                    physical.push((
+                        "region".into(),
+                        Json::Obj(vec![
+                            ("startLine".into(), Json::uint(u64::from(s.start_line))),
+                            ("startColumn".into(), Json::uint(u64::from(s.start_col))),
+                            ("endLine".into(), Json::uint(u64::from(s.end_line))),
+                            ("endColumn".into(), Json::uint(u64::from(s.end_col))),
+                        ]),
+                    ));
+                }
+                location.push(("physicalLocation".into(), Json::Obj(physical)));
             }
             location.push((
                 "logicalLocations".into(),
@@ -222,6 +253,40 @@ pub fn validate_sarif(text: &str) -> Result<(), String> {
                 result.get("message").and_then(|m| m.get("text")),
                 "result message.text",
             )?;
+            let locations = result.get("locations").and_then(Json::as_arr);
+            for location in locations.unwrap_or(&[]) {
+                let Some(region) = location
+                    .get("physicalLocation")
+                    .and_then(|p| p.get("region"))
+                else {
+                    continue;
+                };
+                let coord = |what: &str| -> Result<u64, String> {
+                    match region.get(what) {
+                        Some(Json::Num(n)) => {
+                            let v = n
+                                .parse::<u64>()
+                                .map_err(|_| format!("non-integer region {what} {n:?}"))?;
+                            if v == 0 {
+                                return Err(format!("region {what} must be 1-based"));
+                            }
+                            Ok(v)
+                        }
+                        _ => Err(format!("region missing {what}")),
+                    }
+                };
+                let (sl, sc, el, ec) = (
+                    coord("startLine")?,
+                    coord("startColumn")?,
+                    coord("endLine")?,
+                    coord("endColumn")?,
+                );
+                if el < sl || (el == sl && ec < sc) {
+                    return Err(format!(
+                        "region ends ({el}:{ec}) before it starts ({sl}:{sc})"
+                    ));
+                }
+            }
         }
     }
     Ok(())

@@ -703,6 +703,18 @@ impl ScenarioSpec {
     pub fn parse(text: &str) -> Result<Self, ParseError> {
         Parser::new(text).run()
     }
+
+    /// Like [`ScenarioSpec::parse`], additionally returning the
+    /// [`crate::SourceMap`] of token extents scanned from the same text
+    /// — the SARIF writer uses it to attach `region`s to findings.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] with the 1-based offending line.
+    pub fn parse_with_spans(text: &str) -> Result<(Self, crate::spans::SourceMap), ParseError> {
+        let spec = Self::parse(text)?;
+        Ok((spec, crate::spans::SourceMap::scan(text)))
+    }
 }
 
 /// A structural error in a scenario file, with its 1-based line number.

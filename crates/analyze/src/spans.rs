@@ -1,0 +1,210 @@
+//! Source spans for `.scn` scenario files: a lexical re-scan that maps
+//! diagnostic entities back to the token extents they came from, so
+//! SARIF output can carry precise `region`s (start/end line and column)
+//! instead of whole-file locations.
+//!
+//! The scan is deliberately independent of the parser: it only looks at
+//! line structure and whitespace-separated tokens, so it succeeds on
+//! files the parser rejects (and the map is simply sparse wherever the
+//! text is too mangled to anchor). Columns are 1-based byte offsets and
+//! `end_col` is exclusive, matching SARIF's `endColumn` convention.
+
+use std::fmt;
+
+/// One token extent in a `.scn` file. Lines and columns are 1-based;
+/// `end_col` points one past the last byte, as SARIF's `endColumn` does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// 1-based line of the first byte.
+    pub start_line: u32,
+    /// 1-based column of the first byte.
+    pub start_col: u32,
+    /// 1-based line of the last byte (always `start_line`: `.scn`
+    /// tokens never wrap).
+    pub end_line: u32,
+    /// 1-based exclusive end column.
+    pub end_col: u32,
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}-{}:{}",
+            self.start_line, self.start_col, self.end_line, self.end_col
+        )
+    }
+}
+
+/// Token extents recovered from one `.scn` text, keyed the way
+/// diagnostics name their entities (see [`SourceMap::resolve`]).
+#[derive(Debug, Clone, Default)]
+pub struct SourceMap {
+    /// The name token on the `scenario` header line.
+    scenario: Option<Span>,
+    /// `(mhz, span)` per numeric token on the `frequencies` line.
+    frequencies: Vec<(u64, Span)>,
+    /// The value token(s) on the `energy` line, merged into one span.
+    energy: Option<Span>,
+    /// `(name, span)` per `task` header name token.
+    tasks: Vec<(String, Span)>,
+}
+
+/// Whitespace-separated tokens of one line with their 1-based byte
+/// columns (`start`, exclusive `end`).
+fn tokens(line: &str) -> Vec<(u32, u32, &str)> {
+    let mut out = Vec::new();
+    let bytes = line.as_bytes();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        if bytes[i].is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        while i < bytes.len() && !bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        #[allow(clippy::cast_possible_truncation)]
+        out.push((start as u32 + 1, i as u32 + 1, &line[start..i]));
+    }
+    out
+}
+
+impl SourceMap {
+    /// Scans scenario text for anchorable tokens. Never fails: unknown
+    /// or malformed lines simply contribute nothing.
+    #[must_use]
+    pub fn scan(text: &str) -> SourceMap {
+        let mut map = SourceMap::default();
+        for (idx, line) in text.lines().enumerate() {
+            #[allow(clippy::cast_possible_truncation)]
+            let lineno = idx as u32 + 1;
+            let toks = tokens(line);
+            let span = |start: u32, end: u32| Span {
+                start_line: lineno,
+                start_col: start,
+                end_line: lineno,
+                end_col: end,
+            };
+            match toks.as_slice() {
+                [(_, _, "scenario"), (s, e, _), ..] if map.scenario.is_none() => {
+                    map.scenario = Some(span(*s, *e));
+                }
+                [(_, _, "frequencies"), rest @ ..] if map.frequencies.is_empty() => {
+                    for (s, e, tok) in rest {
+                        if let Ok(mhz) = tok.parse::<u64>() {
+                            map.frequencies.push((mhz, span(*s, *e)));
+                        }
+                    }
+                }
+                [(_, _, "energy"), rest @ ..] if map.energy.is_none() && !rest.is_empty() => {
+                    let (first, _, _) = rest[0];
+                    let (_, last, _) = rest[rest.len() - 1];
+                    map.energy = Some(span(first, last));
+                }
+                [(_, _, "task"), (s, e, name), ..] => {
+                    map.tasks.push(((*name).to_string(), span(*s, *e)));
+                }
+                _ => {}
+            }
+        }
+        map
+    }
+
+    /// Maps a diagnostic entity to its token span, following the entity
+    /// grammar the passes emit:
+    ///
+    /// * `None` → the scenario name token (the finding concerns the
+    ///   scenario as a whole);
+    /// * a bare task name → that task's header name token;
+    /// * `frequency <N> MHz` or `<N> MHz` → the matching numeric token
+    ///   on the `frequencies` line;
+    /// * `energy model <name>` → the `energy` line's value tokens.
+    ///
+    /// Returns `None` when the entity has no anchorable token (e.g. a
+    /// task name the scan never saw) — the SARIF writer then omits the
+    /// region rather than guessing.
+    #[must_use]
+    pub fn resolve(&self, entity: Option<&str>) -> Option<Span> {
+        let Some(entity) = entity else {
+            return self.scenario;
+        };
+        if entity.starts_with("energy model") {
+            return self.energy;
+        }
+        let freq_name = entity
+            .strip_prefix("frequency ")
+            .unwrap_or(entity)
+            .strip_suffix(" MHz");
+        if let Some(mhz) = freq_name.and_then(|n| n.parse::<u64>().ok()) {
+            return self
+                .frequencies
+                .iter()
+                .find(|(f, _)| *f == mhz)
+                .map(|(_, s)| *s);
+        }
+        self.tasks
+            .iter()
+            .find(|(name, _)| name == entity)
+            .map(|(_, s)| *s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+    use super::*;
+
+    const SCN: &str = "\
+scenario demo
+frequencies 36 55 100
+energy E2
+task control
+  tuf step 10 10000
+end
+task backup
+end
+";
+
+    #[test]
+    fn scan_anchors_every_entity_kind() {
+        let map = SourceMap::scan(SCN);
+        let scenario = map.resolve(None).unwrap();
+        assert_eq!(
+            (scenario.start_line, scenario.start_col, scenario.end_col),
+            (1, 10, 14)
+        );
+        let f55 = map.resolve(Some("frequency 55 MHz")).unwrap();
+        assert_eq!((f55.start_line, f55.start_col, f55.end_col), (2, 16, 18));
+        assert_eq!(map.resolve(Some("55 MHz")), Some(f55));
+        let energy = map.resolve(Some("energy model E2")).unwrap();
+        assert_eq!(
+            (energy.start_line, energy.start_col, energy.end_col),
+            (3, 8, 10)
+        );
+        let control = map.resolve(Some("control")).unwrap();
+        assert_eq!(
+            (control.start_line, control.start_col, control.end_col),
+            (4, 6, 13)
+        );
+        let backup = map.resolve(Some("backup")).unwrap();
+        assert_eq!(backup.start_line, 7);
+    }
+
+    #[test]
+    fn unknown_entities_resolve_to_nothing() {
+        let map = SourceMap::scan(SCN);
+        assert_eq!(map.resolve(Some("frequency 99 MHz")), None);
+        assert_eq!(map.resolve(Some("ghost-task")), None);
+        assert_eq!(SourceMap::scan("").resolve(None), None);
+    }
+
+    #[test]
+    fn scan_survives_mangled_text() {
+        let map = SourceMap::scan("scenario\nfrequencies x y\ntask\nenergy");
+        assert_eq!(map.resolve(None), None);
+        assert_eq!(map.resolve(Some("frequency 36 MHz")), None);
+        assert_eq!(map.resolve(Some("energy model E1")), None);
+    }
+}

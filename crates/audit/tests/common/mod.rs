@@ -1,0 +1,95 @@
+#![allow(clippy::expect_used, clippy::unwrap_used, dead_code)] // test code
+
+//! Shared bridges for the audit integration suite: shipped-scenario →
+//! simulator lowering, certified engine runs, and a minimal
+//! explanation-less EDF policy pinned to one table frequency.
+
+use eua_analyze::ScenarioSpec;
+use eua_platform::{EnergySetting, Frequency, FrequencyTable, TimeDelta};
+use eua_sim::{
+    Decision, Engine, FaultPlan, Platform, RunCertificate, SchedContext, SchedulerPolicy,
+    SimConfig, TaskSet,
+};
+use eua_uam::generator::ArrivalPattern;
+
+/// A short but non-trivial audit horizon: long enough for dozens of
+/// scheduling events per scenario, short enough to keep 11 scenarios ×
+/// 7 frequencies cheap.
+pub fn horizon() -> TimeDelta {
+    TimeDelta::from_millis(200)
+}
+
+/// Raises a shipped scenario spec into the simulator types, paired with
+/// UAM-legal window-burst arrivals per task.
+pub fn bridge(spec: &ScenarioSpec) -> (TaskSet, Vec<ArrivalPattern>, Platform) {
+    let tasks: Vec<_> = spec
+        .tasks
+        .iter()
+        .map(|t| t.to_task().expect("shipped task raises"))
+        .collect();
+    let patterns: Vec<_> = tasks
+        .iter()
+        .map(|t| ArrivalPattern::window_burst(*t.uam()).expect("legal burst"))
+        .collect();
+    let table = FrequencyTable::new(spec.frequencies_mhz.iter().copied()).expect("shipped table");
+    let setting = match spec.energy.name.as_str() {
+        "E1" => EnergySetting::e1(),
+        "E2" => EnergySetting::e2(),
+        "E3" => EnergySetting::e3(),
+        _ => EnergySetting::custom(
+            "custom",
+            spec.energy.s3,
+            spec.energy.s2,
+            spec.energy.s1_rel,
+            spec.energy.s0_rel,
+        )
+        .expect("shipped energy"),
+    };
+    let set = TaskSet::new(tasks).expect("shipped task set");
+    (set, patterns, Platform::new(table, setting))
+}
+
+/// Runs `policy` with certificate recording on and returns the recorded
+/// certificate.
+pub fn run_certified<P: SchedulerPolicy + ?Sized>(
+    tasks: &TaskSet,
+    patterns: &[ArrivalPattern],
+    platform: &Platform,
+    policy: &mut P,
+    seed: u64,
+) -> RunCertificate {
+    run_certified_with_faults(tasks, patterns, platform, policy, seed, &FaultPlan::none())
+}
+
+/// Like [`run_certified`], with a fault plan.
+pub fn run_certified_with_faults<P: SchedulerPolicy + ?Sized>(
+    tasks: &TaskSet,
+    patterns: &[ArrivalPattern],
+    platform: &Platform,
+    policy: &mut P,
+    seed: u64,
+    plan: &FaultPlan,
+) -> RunCertificate {
+    let config = SimConfig::new(horizon()).with_certificate();
+    let out = Engine::run_with_faults(tasks, patterns, platform, policy, &config, seed, plan)
+        .expect("engine runs");
+    out.certificate.expect("certificate recorded")
+}
+
+/// Earliest-critical-time-first at one fixed frequency, with no
+/// self-explanation: exercises the auditor's engine-level degradation
+/// path at every point of the frequency table.
+pub struct FixedFreq(pub Frequency);
+
+impl SchedulerPolicy for FixedFreq {
+    fn name(&self) -> &str {
+        "edf-fixed"
+    }
+
+    fn decide(&mut self, ctx: &SchedContext<'_>) -> Decision {
+        match ctx.jobs.iter().min_by_key(|j| (j.critical_time, j.id)) {
+            Some(j) => Decision::run(j.id, self.0),
+            None => Decision::idle(self.0),
+        }
+    }
+}

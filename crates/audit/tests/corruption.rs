@@ -1,0 +1,195 @@
+#![allow(clippy::expect_used, clippy::unwrap_used)] // test code
+
+//! Adversarial gates: deliberately corrupted certificates must be
+//! rejected with the *matching* `aud-*` code — a forged energy total
+//! must not masquerade as a schedule-order problem, and vice versa.
+
+mod common;
+
+use common::{bridge, run_certified};
+use eua_analyze::shipped_scenarios;
+use eua_audit::{audit, audit_text};
+use eua_core::Eua;
+use eua_platform::{Frequency, SimTime};
+use eua_sim::RunCertificate;
+
+/// A real EUA\* certificate with plenty of multi-job events to corrupt.
+fn certified() -> RunCertificate {
+    let spec = shipped_scenarios()
+        .expect("registry builds")
+        .into_iter()
+        .find(|s| s.name == "overload-survival-0.9")
+        .expect("shipped scenario");
+    let (tasks, patterns, platform) = bridge(&spec);
+    run_certified(&tasks, &patterns, &platform, &mut Eua::new(), 42)
+}
+
+/// The index of an event whose explanation certifies at least two UER
+/// entries (so order perturbations are observable).
+fn multi_uer_event(cert: &RunCertificate) -> usize {
+    cert.events
+        .iter()
+        .position(|e| e.explanation.as_ref().is_some_and(|x| x.uer.len() >= 2))
+        .expect("a multi-job decision exists in 200 ms of overload")
+}
+
+#[test]
+fn pristine_certificate_audits_clean() {
+    let report = audit(&certified());
+    assert!(!report.has_errors(), "{}", report.render_text());
+}
+
+#[test]
+fn perturbed_uer_values_are_rejected() {
+    let mut cert = certified();
+    let i = multi_uer_event(&cert);
+    let expl = cert.events[i].explanation.as_mut().unwrap();
+    // Swap two certified UER values: both now disagree with the
+    // recomputation from the declared TUFs and energy model.
+    let (a, b) = (expl.uer[0].uer, expl.uer[1].uer);
+    expl.uer[0].uer = b;
+    expl.uer[1].uer = a;
+    let report = audit(&cert);
+    assert!(
+        report.codes().contains("aud-uer-mismatch"),
+        "{}",
+        report.render_text()
+    );
+}
+
+#[test]
+fn perturbed_schedule_order_is_rejected() {
+    let mut cert = certified();
+    let i = cert
+        .events
+        .iter()
+        .position(|e| {
+            e.explanation
+                .as_ref()
+                .is_some_and(|x| x.schedule.len() >= 2)
+        })
+        .expect("a multi-entry schedule exists in 200 ms of overload");
+    let expl = cert.events[i].explanation.as_mut().unwrap();
+    // Reverse the certified insertion outcome; the greedy reconstruction
+    // no longer reproduces it.
+    expl.schedule.reverse();
+    let report = audit(&cert);
+    assert!(
+        report.codes().contains("aud-schedule-order"),
+        "{}",
+        report.render_text()
+    );
+}
+
+#[test]
+fn forged_final_energy_is_rejected() {
+    let mut cert = certified();
+    cert.final_energy *= 1.01;
+    let report = audit(&cert);
+    assert!(
+        report.codes().contains("aud-energy-mismatch"),
+        "{}",
+        report.render_text()
+    );
+}
+
+#[test]
+fn forged_per_charge_energy_is_rejected() {
+    let mut cert = certified();
+    let i = cert
+        .charges
+        .iter()
+        .position(|c| c.energy > 0.0)
+        .expect("a positive charge exists");
+    cert.charges[i].energy *= 0.5;
+    let report = audit(&cert);
+    assert!(
+        report.codes().contains("aud-energy-mismatch"),
+        "{}",
+        report.render_text()
+    );
+}
+
+#[test]
+fn smuggled_uam_violating_arrival_is_rejected() {
+    let mut cert = certified();
+    // Flood task 0's first window far past its declared `a` bound.
+    let burst = u64::from(cert.tasks[0].max_arrivals) + 1;
+    for k in 0..burst {
+        cert.arrivals.push((SimTime::from_micros(k), 0));
+    }
+    let report = audit(&cert);
+    assert!(
+        report.codes().contains("aud-uam-violation"),
+        "{}",
+        report.render_text()
+    );
+}
+
+#[test]
+fn off_table_dispatch_frequency_is_rejected() {
+    let mut cert = certified();
+    let i = cert
+        .events
+        .iter()
+        .position(|e| e.run.is_some())
+        .expect("a dispatch exists");
+    cert.events[i].frequency = Frequency::from_mhz(9_999);
+    let report = audit(&cert);
+    assert!(
+        report.codes().contains("aud-dvs-out-of-bound"),
+        "{}",
+        report.render_text()
+    );
+}
+
+#[test]
+fn illegal_abort_of_a_feasible_job_is_rejected() {
+    let mut cert = certified();
+    // Promote a feasible scheduled job into the abort list without a
+    // witness: the abort/witness agreement check must fire.
+    let i = cert
+        .events
+        .iter()
+        .position(|e| {
+            e.run.is_some() && e.explanation.as_ref().is_some_and(|x| x.aborts.is_empty())
+        })
+        .expect("a no-abort dispatch exists");
+    let victim = cert.events[i].run.unwrap();
+    cert.events[i].aborts.push(victim);
+    let report = audit(&cert);
+    assert!(
+        report.codes().contains("aud-abort-illegal"),
+        "{}",
+        report.render_text()
+    );
+}
+
+#[test]
+fn truncated_text_is_a_malformed_certificate_finding() {
+    let text = certified().render();
+    let report = audit_text("truncated", &text[..text.len() / 2]);
+    assert!(report.codes().contains("aud-malformed-certificate"));
+    assert!(report.has_errors());
+}
+
+/// Corruptions must be *attributed*, not just detected: each forged
+/// aspect yields its own code and none of the unrelated ones.
+#[test]
+fn corruption_attribution_is_specific() {
+    let mut cert = certified();
+    cert.final_energy *= 1.01;
+    let codes = audit(&cert).codes();
+    assert!(codes.contains("aud-energy-mismatch"));
+    for unrelated in [
+        "aud-uer-mismatch",
+        "aud-schedule-order",
+        "aud-schedule-infeasible",
+        "aud-abort-illegal",
+        "aud-dvs-out-of-bound",
+        "aud-uam-violation",
+        "aud-malformed-certificate",
+    ] {
+        assert!(!codes.contains(unrelated), "spurious `{unrelated}`");
+    }
+}

@@ -1,0 +1,78 @@
+#![allow(clippy::expect_used, clippy::unwrap_used)] // test code
+
+//! Golden certificate fixtures: the serialized certificate for two
+//! pinned (scenario, policy, seed) triples is part of the audit
+//! contract. A byte drift here means the certificate format, the
+//! engine's decision sequence, or the policy's explanations changed —
+//! all deliberate events that must update the fixture.
+//!
+//! Regenerate with:
+//!
+//! ```text
+//! EUA_REGEN_GOLDEN=1 cargo test -p eua-audit --test golden
+//! ```
+
+mod common;
+
+use common::{bridge, run_certified};
+use eua_analyze::shipped_scenarios;
+use eua_audit::audit;
+use eua_core::Eua;
+use eua_sim::policy::MaxSpeedEdf;
+use eua_sim::RunCertificate;
+
+fn fixture_path(name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn check_golden(name: &str, cert: &RunCertificate) {
+    let rendered = cert.render();
+    let path = fixture_path(name);
+    if std::env::var("EUA_REGEN_GOLDEN").is_ok() {
+        std::fs::write(&path, &rendered).expect("fixture written");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {}: {e} (regenerate with EUA_REGEN_GOLDEN=1)",
+            path.display()
+        )
+    });
+    assert_eq!(
+        rendered, golden,
+        "`{name}` drifted; regenerate with EUA_REGEN_GOLDEN=1 if the change is deliberate"
+    );
+    // The committed fixture must itself parse and audit clean — golden
+    // files are first-class auditor inputs, not opaque blobs.
+    let reparsed = RunCertificate::parse(&golden).expect("fixture parses");
+    let report = audit(&reparsed);
+    assert!(!report.has_errors(), "{}", report.render_text());
+}
+
+fn scenario(name: &str) -> eua_analyze::ScenarioSpec {
+    shipped_scenarios()
+        .expect("registry builds")
+        .into_iter()
+        .find(|s| s.name == name)
+        .expect("shipped scenario")
+}
+
+/// EUA\* on the quickstart workload: full Algorithm 1/2 explanations.
+#[test]
+fn quickstart_eua_certificate_is_golden() {
+    let (tasks, patterns, platform) = bridge(&scenario("quickstart"));
+    let cert = run_certified(&tasks, &patterns, &platform, &mut Eua::new(), 3);
+    check_golden("quickstart-eua-seed3.json", &cert);
+}
+
+/// The explanation-less reference policy on an overload: engine-level
+/// records only (`explanation: null` throughout).
+#[test]
+fn overload_edf_certificate_is_golden() {
+    let (tasks, patterns, platform) = bridge(&scenario("overload-survival-0.9"));
+    let cert = run_certified(&tasks, &patterns, &platform, &mut MaxSpeedEdf::new(), 5);
+    assert!(cert.events.iter().all(|e| e.explanation.is_none()));
+    check_golden("overload-edf-seed5.json", &cert);
+}

@@ -5,12 +5,18 @@
 //! abort-cost/jitter timing faults.
 //!
 //! Usage: `cargo run -p eua-bench --bin robustness [--quick] [--jobs N]
-//! [--load X] [--out PATH] [--check]`
+//! [--load X] [--out PATH] [--certify DIR] [--check]`
 //!
 //! The report goes to `results/robustness.json` (first-party JSON; the
 //! document is byte-identical for any `--jobs` count). `--check`
 //! re-parses the written file and fails unless rendering it reproduces
-//! the bytes on disk exactly.
+//! the bytes on disk exactly. `--certify DIR` additionally records an
+//! `eua-certificate/1` document per `(family, intensity, policy, seed)`
+//! cell into `DIR` so the sweep can be validated offline:
+//!
+//! ```text
+//! eua-audit check DIR/*.json
+//! ```
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -27,6 +33,11 @@ fn main() -> ExitCode {
         .and_then(|i| args.get(i + 1))
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("results/robustness.json"));
+    let certify_dir: Option<PathBuf> = args
+        .iter()
+        .position(|a| a == "--certify")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from);
 
     let mut config = if quick {
         RobustnessConfig::quick()
@@ -42,6 +53,7 @@ fn main() -> ExitCode {
     {
         config.load = load;
     }
+    config.certify = certify_dir.is_some();
 
     eprintln!(
         "robustness sweep: load {}, {} intensities x {} policies x {} seeds, {} worker(s)",
@@ -88,6 +100,25 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     eprintln!("wrote {}", out.display());
+
+    if let Some(dir) = &certify_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+        for (name, cert) in &report.certificates {
+            if let Err(e) = std::fs::write(dir.join(name), cert) {
+                eprintln!("cannot write {}: {e}", dir.join(name).display());
+                return ExitCode::FAILURE;
+            }
+        }
+        eprintln!(
+            "wrote {} certificate(s) to {} (validate with: eua-audit check {}/*.json)",
+            report.certificates.len(),
+            dir.display(),
+            dir.display(),
+        );
+    }
 
     if check {
         let on_disk = match std::fs::read_to_string(&out) {

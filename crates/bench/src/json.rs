@@ -1,379 +1,9 @@
-//! A minimal first-party JSON tree: deterministic rendering plus a
-//! strict parser, so result files can be asserted to **round-trip**
-//! byte-for-byte (`render(parse(s)) == s`) without external crates —
-//! the build environment is offline, so there is no `serde`.
+//! First-party byte-round-tripping JSON values for result files.
 //!
-//! Numbers are kept as their literal token text ([`Json::Num`] wraps a
-//! `String`), which is what makes the round-trip exact: a parsed file
-//! re-renders to the same bytes because nothing is ever re-formatted
-//! through `f64`.
+//! The implementation lives in [`eua_sim::json`] — one JSON tree is
+//! shared by every serializer in the workspace (decision certificates,
+//! SARIF, bench result files) so their byte-round-trip guarantees come
+//! from a single renderer/parser pair. This module re-exports it under
+//! the `crate::json` path the report writers and `--check` flags use.
 
-use std::fmt::Write as _;
-
-/// A JSON value. Object keys keep insertion order (no sorting), so a
-/// writer fully controls the byte layout.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    /// `null`.
-    Null,
-    /// `true` / `false`.
-    Bool(bool),
-    /// A number, stored as its literal token text.
-    Num(String),
-    /// A string (unescaped content).
-    Str(String),
-    /// An array.
-    Arr(Vec<Json>),
-    /// An object, in insertion order.
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    /// A number from an `f64`, via Rust's shortest-roundtrip `{:?}`
-    /// formatting (deterministic across platforms). Non-finite values
-    /// have no JSON representation and are rendered as `null`.
-    #[must_use]
-    pub fn num(v: f64) -> Json {
-        if v.is_finite() {
-            Json::Num(format!("{v:?}"))
-        } else {
-            Json::Null
-        }
-    }
-
-    /// A number from an unsigned integer.
-    #[must_use]
-    pub fn uint(v: u64) -> Json {
-        Json::Num(v.to_string())
-    }
-
-    /// Renders the tree as pretty-printed JSON (2-space indent, `\n`
-    /// newlines, trailing newline). The layout is fully deterministic:
-    /// rendering a parsed render reproduces the bytes exactly.
-    #[must_use]
-    pub fn render(&self) -> String {
-        let mut out = String::new();
-        self.write(&mut out, 0);
-        out.push('\n');
-        out
-    }
-
-    fn write(&self, out: &mut String, indent: usize) {
-        match self {
-            Json::Null => out.push_str("null"),
-            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-            Json::Num(n) => out.push_str(n),
-            Json::Str(s) => write_escaped(out, s),
-            Json::Arr(items) => {
-                if items.is_empty() {
-                    out.push_str("[]");
-                    return;
-                }
-                out.push('[');
-                for (i, item) in items.iter().enumerate() {
-                    out.push('\n');
-                    push_indent(out, indent + 1);
-                    item.write(out, indent + 1);
-                    if i + 1 < items.len() {
-                        out.push(',');
-                    }
-                }
-                out.push('\n');
-                push_indent(out, indent);
-                out.push(']');
-            }
-            Json::Obj(fields) => {
-                if fields.is_empty() {
-                    out.push_str("{}");
-                    return;
-                }
-                out.push('{');
-                for (i, (key, value)) in fields.iter().enumerate() {
-                    out.push('\n');
-                    push_indent(out, indent + 1);
-                    write_escaped(out, key);
-                    out.push_str(": ");
-                    value.write(out, indent + 1);
-                    if i + 1 < fields.len() {
-                        out.push(',');
-                    }
-                }
-                out.push('\n');
-                push_indent(out, indent);
-                out.push('}');
-            }
-        }
-    }
-}
-
-fn push_indent(out: &mut String, indent: usize) {
-    for _ in 0..indent {
-        out.push_str("  ");
-    }
-}
-
-fn write_escaped(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
-/// Parses a JSON document (the subset this module renders: no exotic
-/// escapes beyond `\" \\ \/ \n \r \t \uXXXX`).
-///
-/// # Errors
-///
-/// A human-readable message naming the byte offset of the first
-/// malformed token, or trailing garbage after the document.
-pub fn parse(input: &str) -> Result<Json, String> {
-    let bytes = input.as_bytes();
-    let mut pos = 0usize;
-    let value = parse_value(bytes, &mut pos)?;
-    skip_ws(bytes, &mut pos);
-    if pos != bytes.len() {
-        return Err(format!("trailing data at byte {pos}"));
-    }
-    Ok(value)
-}
-
-fn skip_ws(bytes: &[u8], pos: &mut usize) {
-    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
-        *pos += 1;
-    }
-}
-
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
-    skip_ws(bytes, pos);
-    match bytes.get(*pos) {
-        None => Err("unexpected end of input".to_string()),
-        Some(b'{') => parse_object(bytes, pos),
-        Some(b'[') => parse_array(bytes, pos),
-        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
-        Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
-        Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
-        Some(b'n') => parse_literal(bytes, pos, "null", Json::Null),
-        Some(_) => parse_number(bytes, pos),
-    }
-}
-
-fn parse_literal(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
-    if bytes[*pos..].starts_with(lit.as_bytes()) {
-        *pos += lit.len();
-        Ok(value)
-    } else {
-        Err(format!("malformed literal at byte {pos}", pos = *pos))
-    }
-}
-
-fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
-    let start = *pos;
-    if bytes.get(*pos) == Some(&b'-') {
-        *pos += 1;
-    }
-    let digits_start = *pos;
-    while *pos < bytes.len()
-        && matches!(bytes[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
-    {
-        *pos += 1;
-    }
-    if *pos == digits_start {
-        return Err(format!("expected a number at byte {start}"));
-    }
-    let text = std::str::from_utf8(&bytes[start..*pos])
-        .map_err(|_| format!("invalid utf-8 in number at byte {start}"))?;
-    // Validate through Rust's float parser without re-formatting.
-    text.parse::<f64>()
-        .map_err(|_| format!("malformed number {text:?} at byte {start}"))?;
-    Ok(Json::Num(text.to_string()))
-}
-
-fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
-    debug_assert_eq!(bytes[*pos], b'"');
-    *pos += 1;
-    let mut out = String::new();
-    loop {
-        match bytes.get(*pos) {
-            None => return Err("unterminated string".to_string()),
-            Some(b'"') => {
-                *pos += 1;
-                return Ok(out);
-            }
-            Some(b'\\') => {
-                *pos += 1;
-                match bytes.get(*pos) {
-                    Some(b'"') => out.push('"'),
-                    Some(b'\\') => out.push('\\'),
-                    Some(b'/') => out.push('/'),
-                    Some(b'n') => out.push('\n'),
-                    Some(b'r') => out.push('\r'),
-                    Some(b't') => out.push('\t'),
-                    Some(b'u') => {
-                        let hex = bytes
-                            .get(*pos + 1..*pos + 5)
-                            .ok_or_else(|| "truncated \\u escape".to_string())?;
-                        let hex = std::str::from_utf8(hex)
-                            .map_err(|_| "invalid utf-8 in \\u escape".to_string())?;
-                        let code = u32::from_str_radix(hex, 16)
-                            .map_err(|_| format!("malformed \\u escape {hex:?}"))?;
-                        out.push(
-                            char::from_u32(code)
-                                .ok_or_else(|| format!("invalid codepoint \\u{hex}"))?,
-                        );
-                        *pos += 4;
-                    }
-                    _ => return Err(format!("unknown escape at byte {pos}", pos = *pos)),
-                }
-                *pos += 1;
-            }
-            Some(_) => {
-                // Consume one UTF-8 scalar (multi-byte safe).
-                let rest = std::str::from_utf8(&bytes[*pos..])
-                    .map_err(|_| format!("invalid utf-8 at byte {pos}", pos = *pos))?;
-                let c = rest
-                    .chars()
-                    .next()
-                    .ok_or_else(|| "unterminated string".to_string())?;
-                out.push(c);
-                *pos += c.len_utf8();
-            }
-        }
-    }
-}
-
-fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
-    *pos += 1; // consume '['
-    let mut items = Vec::new();
-    skip_ws(bytes, pos);
-    if bytes.get(*pos) == Some(&b']') {
-        *pos += 1;
-        return Ok(Json::Arr(items));
-    }
-    loop {
-        items.push(parse_value(bytes, pos)?);
-        skip_ws(bytes, pos);
-        match bytes.get(*pos) {
-            Some(b',') => *pos += 1,
-            Some(b']') => {
-                *pos += 1;
-                return Ok(Json::Arr(items));
-            }
-            _ => return Err(format!("expected ',' or ']' at byte {pos}", pos = *pos)),
-        }
-    }
-}
-
-fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
-    *pos += 1; // consume '{'
-    let mut fields = Vec::new();
-    skip_ws(bytes, pos);
-    if bytes.get(*pos) == Some(&b'}') {
-        *pos += 1;
-        return Ok(Json::Obj(fields));
-    }
-    loop {
-        skip_ws(bytes, pos);
-        if bytes.get(*pos) != Some(&b'"') {
-            return Err(format!("expected a key at byte {pos}", pos = *pos));
-        }
-        let key = parse_string(bytes, pos)?;
-        skip_ws(bytes, pos);
-        if bytes.get(*pos) != Some(&b':') {
-            return Err(format!("expected ':' at byte {pos}", pos = *pos));
-        }
-        *pos += 1;
-        let value = parse_value(bytes, pos)?;
-        fields.push((key, value));
-        skip_ws(bytes, pos);
-        match bytes.get(*pos) {
-            Some(b',') => *pos += 1,
-            Some(b'}') => {
-                *pos += 1;
-                return Ok(Json::Obj(fields));
-            }
-            _ => return Err(format!("expected ',' or '}}' at byte {pos}", pos = *pos)),
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn render_then_parse_round_trips_bytes() {
-        let doc = Json::Obj(vec![
-            ("name".into(), Json::Str("robustness \"sweep\"".into())),
-            ("load".into(), Json::num(0.8)),
-            ("count".into(), Json::uint(42)),
-            ("flag".into(), Json::Bool(true)),
-            ("missing".into(), Json::Null),
-            (
-                "points".into(),
-                Json::Arr(vec![Json::num(0.1), Json::num(1.0 / 3.0), Json::uint(7)]),
-            ),
-            ("empty_arr".into(), Json::Arr(vec![])),
-            ("empty_obj".into(), Json::Obj(vec![])),
-        ]);
-        let text = doc.render();
-        let parsed = parse(&text).expect("render output must parse");
-        assert_eq!(parsed.render(), text, "byte-exact round-trip");
-    }
-
-    #[test]
-    fn numbers_keep_their_literal_text() {
-        let parsed = parse("[1e3, 0.5, -2, 10]").unwrap();
-        let Json::Arr(items) = parsed else {
-            panic!("expected an array")
-        };
-        let texts: Vec<&str> = items
-            .iter()
-            .map(|v| match v {
-                Json::Num(n) => n.as_str(),
-                other => panic!("expected numbers, got {other:?}"),
-            })
-            .collect();
-        assert_eq!(texts, vec!["1e3", "0.5", "-2", "10"]);
-    }
-
-    #[test]
-    fn escapes_survive_round_trip() {
-        let doc = Json::Str("tab\there\nnewline \\ quote\" ctrl\u{1}".into());
-        let text = doc.render();
-        assert_eq!(parse(&text).unwrap(), doc);
-    }
-
-    #[test]
-    fn malformed_documents_are_rejected() {
-        for bad in [
-            "",
-            "{",
-            "[1,]",
-            "{\"a\" 1}",
-            "\"unterminated",
-            "nul",
-            "12 34",
-            "{\"a\": 1} trailing",
-        ] {
-            assert!(parse(bad).is_err(), "{bad:?} must be rejected");
-        }
-    }
-
-    #[test]
-    fn non_finite_floats_render_as_null() {
-        assert_eq!(Json::num(f64::NAN), Json::Null);
-        assert_eq!(Json::num(f64::INFINITY), Json::Null);
-        assert_eq!(Json::num(1.5), Json::Num("1.5".into()));
-    }
-}
+pub use eua_sim::json::{parse, Json};

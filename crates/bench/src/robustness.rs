@@ -121,6 +121,11 @@ pub struct RobustnessConfig {
     pub intensities: Vec<f64>,
     /// Policies to sweep (`eua_core::make_policy` names).
     pub policies: Vec<String>,
+    /// Record a decision certificate per cell (see
+    /// [`RobustnessReport::certificates`]); off by default — certified
+    /// runs carry every scheduling event, so the sweep output grows by
+    /// orders of magnitude.
+    pub certify: bool,
 }
 
 impl RobustnessConfig {
@@ -141,6 +146,7 @@ impl RobustnessConfig {
             load: 0.8,
             intensities: vec![0.0, 0.25, 0.5, 0.75, 1.0],
             policies: Self::policies(),
+            certify: false,
         }
     }
 
@@ -154,6 +160,7 @@ impl RobustnessConfig {
             load: 0.8,
             intensities: vec![0.0, 0.5, 1.0],
             policies: Self::policies(),
+            certify: false,
         }
     }
 
@@ -198,6 +205,12 @@ pub struct RobustnessReport {
     pub config: RobustnessConfig,
     /// All points, ordered by (family, intensity, policy).
     pub points: Vec<RobustnessPoint>,
+    /// Rendered `eua-certificate/1` documents, one `(file name, text)`
+    /// pair per `(family, intensity, policy, seed)` cell in grid order;
+    /// empty unless [`RobustnessConfig::certify`] was set. The sweep
+    /// report itself ([`Self::to_json`]) never embeds them — callers
+    /// write them next to the report for `eua-audit check`.
+    pub certificates: Vec<(String, String)>,
 }
 
 /// Runs the full sweep: every `(family, intensity, policy, seed)` cell
@@ -216,7 +229,11 @@ pub fn run_robustness(config: &RobustnessConfig) -> Result<RobustnessReport, Sim
                 reason: format!("workload synthesis failed: {e}"),
             }
         })?;
-    let sim_config = SimConfig::new(config.horizon);
+    let sim_config = if config.certify {
+        SimConfig::new(config.horizon).with_certificate()
+    } else {
+        SimConfig::new(config.horizon)
+    };
 
     // Flatten the whole grid so the pool keeps every worker busy even
     // when one policy is far slower than the rest.
@@ -227,10 +244,18 @@ pub fn run_robustness(config: &RobustnessConfig) -> Result<RobustnessReport, Sim
         seed: u64,
     }
     let mut items: Vec<GridItem> = Vec::new();
+    let mut cell_names: Vec<String> = Vec::new();
     for &family in &FaultFamily::ALL {
         for &intensity in &config.intensities {
             for policy_idx in 0..config.policies.len() {
                 for &seed in &config.seeds {
+                    cell_names.push(format!(
+                        "{}-i{}-{}-s{}.json",
+                        family.key(),
+                        intensity,
+                        config.policies[policy_idx],
+                        seed
+                    ));
                     items.push(GridItem {
                         family,
                         intensity,
@@ -242,7 +267,7 @@ pub fn run_robustness(config: &RobustnessConfig) -> Result<RobustnessReport, Sim
         }
     }
 
-    let runs: Vec<Result<Metrics, SimError>> = map_parallel_labeled(
+    let runs: Vec<Result<(Metrics, Option<String>), SimError>> = map_parallel_labeled(
         config.jobs,
         items,
         |_, item| {
@@ -268,13 +293,32 @@ pub fn run_robustness(config: &RobustnessConfig) -> Result<RobustnessReport, Sim
                 item.seed,
                 &plan,
             )
-            .map(|outcome| outcome.metrics)
+            .map(|outcome| {
+                let cert = outcome.certificate.as_ref().map(|c| c.render());
+                (outcome.metrics, cert)
+            })
         },
     )?;
 
+    // Split certificates out in grid order so the chunked aggregation
+    // below sees plain metrics.
+    let mut certificates = Vec::new();
+    let mut metric_runs: Vec<Result<Metrics, SimError>> = Vec::with_capacity(runs.len());
+    for (name, run) in cell_names.iter().zip(runs) {
+        match run {
+            Ok((metrics, cert)) => {
+                if let Some(text) = cert {
+                    certificates.push((name.clone(), text));
+                }
+                metric_runs.push(Ok(metrics));
+            }
+            Err(e) => metric_runs.push(Err(e)),
+        }
+    }
+
     let per_point = config.seeds.len();
     let mut points = Vec::new();
-    let mut chunks = runs.chunks(per_point);
+    let mut chunks = metric_runs.chunks(per_point);
     for &family in &FaultFamily::ALL {
         for &intensity in &config.intensities {
             for policy in &config.policies {
@@ -290,6 +334,7 @@ pub fn run_robustness(config: &RobustnessConfig) -> Result<RobustnessReport, Sim
     Ok(RobustnessReport {
         config: config.clone(),
         points,
+        certificates,
     })
 }
 
@@ -449,6 +494,39 @@ mod tests {
                 "zero-fault point must be bit-identical for {name}"
             );
         }
+    }
+
+    #[test]
+    fn certified_sweep_cells_audit_clean() {
+        // Every certificate a certified sweep emits must pass the
+        // offline translation validator: the sweep's hot path is the
+        // same engine the audit crate re-checks event by event.
+        let mut config = RobustnessConfig::quick();
+        config.policies = vec!["eua".into()];
+        config.intensities = vec![0.0];
+        config.certify = true;
+        let report = run_robustness(&config).expect("sweep");
+        assert_eq!(
+            report.certificates.len(),
+            FaultFamily::ALL.len(),
+            "one certificate per grid cell"
+        );
+        for (name, text) in &report.certificates {
+            let audit = eua_audit::audit_text(name, text);
+            assert!(
+                !audit.has_errors(),
+                "{name} failed audit:\n{}",
+                audit.render_text()
+            );
+        }
+        // Without the flag the sweep stays certificate-free.
+        config.certify = false;
+        let plain = run_robustness(&config).expect("sweep");
+        assert!(plain.certificates.is_empty());
+        assert_eq!(
+            plain.points, report.points,
+            "certifying never perturbs metrics"
+        );
     }
 
     #[test]

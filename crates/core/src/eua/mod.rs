@@ -3,9 +3,14 @@
 pub mod decide_freq;
 
 use eua_platform::{select_freq, Frequency};
-use eua_sim::{Decision, SchedContext, SchedulerPolicy, TaskId};
+use eua_sim::{
+    AbortWitness, Decision, DecisionExplanation, DvsExplanation, SchedContext, ScheduleEntry,
+    SchedulerPolicy, TaskId, UerEntry,
+};
 
-use crate::candidates::{job_feasible, Candidate, InsertionMode, ScheduleBuilder};
+use crate::candidates::{
+    build_schedule_reference, job_feasible, Candidate, InsertionMode, ScheduleBuilder,
+};
 use decide_freq::LookAheadDvs;
 
 /// Tunable switches of [`Eua`], defaulting to the paper's algorithm.
@@ -26,6 +31,11 @@ pub struct EuaOptions {
     pub uer_clamp: bool,
     /// Greedy insertion behaviour on an infeasible insertion.
     pub insertion: InsertionMode,
+    /// Construct schedules with the naive [`build_schedule_reference`]
+    /// oracle instead of the incremental [`ScheduleBuilder`]. Slower and
+    /// semantically identical — exists so certificate tests can force both
+    /// construction paths through the same audit.
+    pub reference_builder: bool,
 }
 
 impl Default for EuaOptions {
@@ -35,6 +45,7 @@ impl Default for EuaOptions {
             abort_infeasible: true,
             uer_clamp: true,
             insertion: InsertionMode::BreakOnInfeasible,
+            reference_builder: false,
         }
     }
 }
@@ -71,6 +82,12 @@ pub struct Eua {
     /// Reused abort scratch; taken (and thus only reallocated on events
     /// that actually abort) when handed to the engine.
     abort_buf: Vec<eua_sim::JobId>,
+    /// Schedule storage for [`EuaOptions::reference_builder`] mode.
+    reference_schedule: Vec<Candidate>,
+    /// Whether the engine asked for per-decision explanations.
+    certifying: bool,
+    /// The explanation of the most recent decision, while certifying.
+    explanation: Option<DecisionExplanation>,
 }
 
 impl Eua {
@@ -104,6 +121,9 @@ impl Eua {
             builder: ScheduleBuilder::new(),
             cand_buf: Vec::new(),
             abort_buf: Vec::new(),
+            reference_schedule: Vec::new(),
+            certifying: false,
+            explanation: None,
         }
     }
 
@@ -167,12 +187,23 @@ impl Eua {
         let analysis = self.options.dvs.then(|| self.dvs.analyze(ctx));
 
         // Lines 9–11: abort infeasible jobs, compute the rest's UER.
+        let mut expl = self.certifying.then(DecisionExplanation::default);
         self.abort_buf.clear();
         self.cand_buf.clear();
         for j in ctx.jobs {
             if !job_feasible(ctx.now, j, f_m) {
                 if self.options.abort_infeasible {
                     self.abort_buf.push(j.id);
+                    if let Some(expl) = expl.as_mut() {
+                        expl.aborts.push(AbortWitness {
+                            job: j.id,
+                            remaining: j.remaining,
+                            termination: j.termination,
+                            predicted_finish: ctx
+                                .now
+                                .saturating_add(f_m.execution_time(j.remaining)),
+                        });
+                    }
                 }
                 continue;
             }
@@ -180,19 +211,47 @@ impl Eua {
             let sojourn = predicted.saturating_since(j.arrival);
             let utility = ctx.tasks.task(j.task).tuf().utility(sojourn);
             let uer = utility / (per_cycle_at_fm * j.remaining.as_f64());
+            if let Some(expl) = expl.as_mut() {
+                expl.uer.push(UerEntry { job: j.id, uer });
+            }
             self.cand_buf.push(Candidate::from_view(j, uer));
         }
 
         // Lines 12–18: greedy UER-ordered construction of a feasible
         // critical-time-ordered schedule.
-        self.builder
-            .rebuild(ctx.now, &mut self.cand_buf, f_m, self.options.insertion);
+        if self.options.reference_builder {
+            let cands = std::mem::take(&mut self.cand_buf);
+            self.reference_schedule =
+                build_schedule_reference(ctx.now, cands, f_m, self.options.insertion);
+        } else {
+            self.builder
+                .rebuild(ctx.now, &mut self.cand_buf, f_m, self.options.insertion);
+        }
+
+        if let Some(expl) = expl.as_mut() {
+            expl.skip_infeasible = self.options.insertion == InsertionMode::SkipInfeasible;
+            // The schedule's own feasibility witness: back-to-back finish
+            // times at `f_m` starting now.
+            let mut t = ctx.now;
+            for c in self.planned() {
+                t = t.saturating_add(f_m.execution_time(c.remaining));
+                expl.schedule.push(ScheduleEntry {
+                    job: c.id,
+                    predicted_finish: t,
+                });
+            }
+        }
+        self.explanation = expl;
         (std::mem::take(&mut self.abort_buf), analysis)
     }
 
     /// The schedule built by the most recent [`Eua::plan`] call.
     pub(crate) fn planned(&self) -> &[Candidate] {
-        self.builder.schedule()
+        if self.options.reference_builder {
+            &self.reference_schedule
+        } else {
+            self.builder.schedule()
+        }
     }
 }
 
@@ -231,12 +290,34 @@ impl SchedulerPolicy for Eua {
             }
             None => f_m,
         };
+        if self.explanation.is_some() {
+            let clamp =
+                (self.options.uer_clamp && analysis.is_some()).then(|| self.uer_optimal(head_task));
+            if let Some(expl) = self.explanation.as_mut() {
+                expl.dvs = analysis.map(|a| DvsExplanation {
+                    required_speed: a.required_speed,
+                    must_run_cycles: a.must_run_cycles,
+                    earliest_critical: a.earliest_critical,
+                    clamp,
+                });
+            }
+        }
         Decision::run(head.id, frequency).with_aborts(aborts)
     }
 
     fn reset(&mut self) {
         self.f_opt.clear();
         self.dvs.reset();
+        self.explanation = None;
+    }
+
+    fn certify(&mut self, on: bool) {
+        self.certifying = on;
+        self.explanation = None;
+    }
+
+    fn explain(&self) -> Option<DecisionExplanation> {
+        self.explanation.clone()
     }
 }
 

@@ -164,6 +164,15 @@ impl EnergySetting {
         self.name
     }
 
+    /// The unbound coefficients `(S3, S2, S1/fm², S0/fm³)` — the exact
+    /// values [`EnergySetting::model`] scales by `f_max`. Recording these
+    /// (rather than the bound model) lets an offline auditor rebind the
+    /// same setting to a different table's maximum frequency.
+    #[must_use]
+    pub fn relative_coefficients(&self) -> (f64, f64, f64, f64) {
+        (self.s3, self.s2, self.s1_rel, self.s0_rel)
+    }
+
     /// Binds the setting to a platform's maximum frequency, producing a
     /// concrete [`EnergyModel`].
     #[must_use]

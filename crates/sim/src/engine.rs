@@ -6,6 +6,9 @@ use eua_uam::ArrivalTrace;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
+use crate::certificate::{
+    ChargeKind, ChargeRecord, EventRecord, JobSnapshot, RunCertificate, TaskDecl,
+};
 use crate::context::{JobView, SchedContext, SchedEvent};
 use crate::error::SimError;
 use crate::faults::{map_to_degraded, FaultPlan, FaultStats};
@@ -36,6 +39,7 @@ pub struct SimConfig {
     horizon: TimeDelta,
     record_trace: bool,
     record_jobs: bool,
+    record_certificate: bool,
     context_switch: TimeDelta,
     frequency_switch: TimeDelta,
     progress_accrual: bool,
@@ -51,6 +55,7 @@ impl SimConfig {
             horizon,
             record_trace: false,
             record_jobs: false,
+            record_certificate: false,
             context_switch: TimeDelta::ZERO,
             frequency_switch: TimeDelta::ZERO,
             progress_accrual: false,
@@ -69,6 +74,16 @@ impl SimConfig {
     #[must_use]
     pub fn with_job_records(mut self) -> Self {
         self.record_jobs = true;
+        self
+    }
+
+    /// Enables recording of the run's decision certificate: every
+    /// scheduling decision (with the policy's self-explanation, when it
+    /// provides one) and every energy charge, auditable offline by
+    /// `eua-audit`. See [`crate::certificate`].
+    #[must_use]
+    pub fn with_certificate(mut self) -> Self {
+        self.record_certificate = true;
         self
     }
 
@@ -117,6 +132,12 @@ impl SimConfig {
     #[must_use]
     pub fn record_jobs(&self) -> bool {
         self.record_jobs
+    }
+
+    /// Whether the decision certificate is recorded.
+    #[must_use]
+    pub fn record_certificate(&self) -> bool {
+        self.record_certificate
     }
 
     /// The context-switch overhead.
@@ -172,6 +193,9 @@ pub struct Outcome {
     pub trace: Option<ExecutionTrace>,
     /// Per-job records, when [`SimConfig::with_job_records`] was set.
     pub jobs: Option<Vec<JobRecord>>,
+    /// The decision certificate, when [`SimConfig::with_certificate`]
+    /// was set.
+    pub certificate: Option<RunCertificate>,
     /// What the run's [`FaultPlan`] actually injected (all zero without
     /// one; kept out of [`Metrics`] so zero-fault metrics stay
     /// bit-identical to the unfaulted engine).
@@ -377,6 +401,30 @@ impl Engine {
         }
 
         policy.reset();
+        // Told unconditionally so a policy reused across runs drops any
+        // stale certification state when recording is off.
+        policy.certify(config.record_certificate);
+        let cert = config.record_certificate.then(|| RunCertificate {
+            policy: policy.name().to_string(),
+            seed,
+            horizon: config.horizon,
+            frequencies_mhz: platform.table().iter().map(|f| f.as_mhz()).collect(),
+            policy_frequencies_mhz: policy_platform
+                .as_ref()
+                .unwrap_or(platform)
+                .table()
+                .iter()
+                .map(|f| f.as_mhz())
+                .collect(),
+            energy_name: platform.setting().name().to_string(),
+            energy_rel: platform.setting().relative_coefficients(),
+            idle_power: config.idle_power,
+            tasks: tasks.iter().map(|(_, t)| TaskDecl::from_task(t)).collect(),
+            arrivals: arrivals.iter().map(|&(t, tid)| (t, tid.index())).collect(),
+            events: Vec::new(),
+            charges: Vec::new(),
+            final_energy: 0.0,
+        });
         let mut state = EngineState {
             tasks,
             platform,
@@ -402,14 +450,19 @@ impl Engine {
             metrics: Metrics::new(config.horizon, tasks.len()),
             trace: config.record_trace.then(ExecutionTrace::new),
             records: config.record_jobs.then(Vec::new),
+            cert,
             invariants: InvariantChecker::new(tasks.len()),
         };
         state.run_loop(policy)?;
         state.invariants.finish(state.metrics.energy);
+        if let Some(cert) = state.cert.as_mut() {
+            cert.final_energy = state.metrics.energy;
+        }
         Ok(Outcome {
             metrics: state.metrics,
             trace: state.trace,
             jobs: state.records,
+            certificate: state.cert,
             faults: state.stats,
         })
     }
@@ -441,6 +494,8 @@ struct EngineState<'a> {
     metrics: Metrics,
     trace: Option<ExecutionTrace>,
     records: Option<Vec<JobRecord>>,
+    /// The decision certificate under construction, when recording.
+    cert: Option<RunCertificate>,
     invariants: InvariantChecker,
 }
 
@@ -486,8 +541,8 @@ impl EngineState<'_> {
             // 5. Ask the policy. Under a degraded-frequency fault the
             // policy sees (and budgets against) only the surviving
             // frequencies.
+            let views: Vec<JobView> = self.live.iter().map(job_view).collect();
             let decision = {
-                let views: Vec<JobView> = self.live.iter().map(job_view).collect();
                 let ctx = SchedContext {
                     now: self.now,
                     event,
@@ -499,6 +554,20 @@ impl EngineState<'_> {
                 };
                 policy.decide(&ctx)
             };
+            // Certificate: every decision is recorded at its instant —
+            // including ones later discarded by a costly-abort clock jump,
+            // which were still valid when taken.
+            if let Some(cert) = self.cert.as_mut() {
+                cert.events.push(EventRecord {
+                    at: self.now,
+                    trigger: event,
+                    ready: views.iter().map(JobSnapshot::from_view).collect(),
+                    run: decision.run,
+                    frequency: decision.frequency,
+                    aborts: decision.abort.clone(),
+                    explanation: policy.explain(),
+                });
+            }
             event = SchedEvent::Start; // consumed; will be overwritten below
             if let Some(aborted) = self.apply_policy_aborts(&decision)? {
                 if !self.plan.timing.abort_cost.is_zero() {
@@ -585,6 +654,7 @@ impl EngineState<'_> {
                     self.metrics.energy += charge;
                     self.metrics.busy_time += delta;
                     self.metrics.add_residency(freq.as_mhz(), delta);
+                    self.record_charge(ChargeKind::Switch, freq.as_mhz(), cycles, delta, charge);
                 }
                 self.invariants.clock_advance(self.now, stop);
                 self.now = stop;
@@ -620,6 +690,7 @@ impl EngineState<'_> {
             self.metrics.add_residency(freq.as_mhz(), delta);
             let completed = job.actual_remaining().is_zero();
             let (job_id, task_id) = (job.id, job.task);
+            self.record_charge(ChargeKind::Execute, freq.as_mhz(), cycles, delta, charge);
             if let Some(trace) = self.trace.as_mut() {
                 trace.push_segment(Segment {
                     job: job_id,
@@ -660,9 +731,37 @@ impl EngineState<'_> {
             let charge = self.config.idle_power * delta.as_micros() as f64;
             self.invariants.energy_charge(charge);
             self.metrics.energy += charge;
+            self.record_charge(ChargeKind::Idle, 0, Cycles::ZERO, delta, charge);
         }
         self.invariants.clock_advance(self.now, to);
         self.now = to;
+    }
+
+    /// Mirrors one `metrics.energy` charge into the certificate, when
+    /// recording. Empty charges (no cycles, no time, no energy) are
+    /// dropped to keep certificates minimal.
+    fn record_charge(
+        &mut self,
+        kind: ChargeKind,
+        frequency_mhz: u64,
+        cycles: Cycles,
+        delta: TimeDelta,
+        energy: f64,
+    ) {
+        let Some(cert) = self.cert.as_mut() else {
+            return;
+        };
+        if cycles.is_zero() && delta.is_zero() && energy == 0.0 {
+            return;
+        }
+        cert.charges.push(ChargeRecord {
+            at: self.now,
+            kind,
+            frequency_mhz,
+            cycles,
+            micros: delta.as_micros(),
+            energy,
+        });
     }
 
     /// The earliest upcoming event the engine controls: an arrival, a
@@ -833,6 +932,13 @@ impl EngineState<'_> {
             self.metrics.energy += charge;
             self.metrics.busy_time += cost;
             self.metrics.add_residency(freq.as_mhz(), cost);
+            self.record_charge(
+                ChargeKind::AbortCost,
+                freq.as_mhz(),
+                freq.cycles_in(cost),
+                cost,
+                charge,
+            );
             self.invariants.clock_advance(self.now, stop);
             self.now = stop;
             self.stats.costly_aborts += 1;

@@ -59,6 +59,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod certificate;
 mod context;
 mod engine;
 mod error;
@@ -66,6 +67,7 @@ pub mod faults;
 mod ids;
 mod invariants;
 mod job;
+pub mod json;
 mod metrics;
 mod platform_view;
 pub mod policy;
@@ -77,6 +79,10 @@ mod trace;
 pub use analysis::{
     classify_degradation, edf_violations, response_stats, utilization_timeline, DegradationClass,
     DegradationReport, EdfViolation, ResponseStats, TaskDegradation, DEFAULT_COLLAPSE_FRACTION,
+};
+pub use certificate::{
+    AbortWitness, ChargeKind, ChargeRecord, DecisionExplanation, DvsExplanation, EventRecord,
+    JobSnapshot, RunCertificate, ScheduleEntry, TaskDecl, TufDecl, UerEntry, CERT_FORMAT,
 };
 pub use context::{JobView, SchedContext, SchedEvent};
 pub use engine::{Engine, Outcome, SimConfig};

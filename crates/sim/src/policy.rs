@@ -2,6 +2,7 @@
 
 use eua_platform::Frequency;
 
+use crate::certificate::DecisionExplanation;
 use crate::context::SchedContext;
 use crate::ids::JobId;
 
@@ -64,6 +65,23 @@ pub trait SchedulerPolicy {
     /// Clears any internal state so the policy can be reused for another
     /// run (called by the replication driver before each seed).
     fn reset(&mut self) {}
+
+    /// Tells the policy whether the engine is recording a decision
+    /// certificate for this run (called once before the run starts, after
+    /// [`SchedulerPolicy::reset`]). Certifying policies should record a
+    /// [`DecisionExplanation`] per decision while `on`; the default
+    /// ignores the toggle.
+    fn certify(&mut self, on: bool) {
+        let _ = on;
+    }
+
+    /// The policy's self-explanation for its *most recent* decision, when
+    /// certifying. Policies that cannot justify their decisions (or were
+    /// not asked to via [`SchedulerPolicy::certify`]) return `None`, and
+    /// the auditor degrades to engine-level checks for their events.
+    fn explain(&self) -> Option<DecisionExplanation> {
+        None
+    }
 }
 
 impl<P: SchedulerPolicy + ?Sized> SchedulerPolicy for &mut P {
@@ -76,6 +94,12 @@ impl<P: SchedulerPolicy + ?Sized> SchedulerPolicy for &mut P {
     fn reset(&mut self) {
         (**self).reset();
     }
+    fn certify(&mut self, on: bool) {
+        (**self).certify(on);
+    }
+    fn explain(&self) -> Option<DecisionExplanation> {
+        (**self).explain()
+    }
 }
 
 impl SchedulerPolicy for Box<dyn SchedulerPolicy> {
@@ -87,6 +111,12 @@ impl SchedulerPolicy for Box<dyn SchedulerPolicy> {
     }
     fn reset(&mut self) {
         (**self).reset();
+    }
+    fn certify(&mut self, on: bool) {
+        (**self).certify(on);
+    }
+    fn explain(&self) -> Option<DecisionExplanation> {
+        (**self).explain()
     }
 }
 

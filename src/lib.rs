@@ -19,6 +19,7 @@
 //! | [`core`] | `eua-core` | **EUA\***, EDF/CC-EDF/LA-EDF baselines, DASA, the Algorithm 2 DVS analysis |
 //! | [`workload`] | `eua-workload` | Table 1 applications, load scaling, Figure 2/3 scenarios |
 //! | [`analyze`] | `eua-analyze` | static pre-flight diagnostics over scenarios and shipped examples |
+//! | [`audit`] | `eua-audit` | offline translation validation of engine decision certificates |
 //! | [`errors`] | — | every workspace error type gathered in one place |
 //!
 //! # Quickstart
@@ -94,6 +95,12 @@ pub mod workload {
 /// the stable diagnostic-code registry behind the `eua-analyze` CLI.
 pub mod analyze {
     pub use eua_analyze::*;
+}
+
+/// Offline translation validation of decision certificates: the checks
+/// behind the `eua-audit` CLI.
+pub mod audit {
+    pub use eua_audit::*;
 }
 
 /// Every workspace error type in one place.
