@@ -169,11 +169,39 @@ pub enum DiagCode {
     /// The certified arrival stream violates a task's declared UAM
     /// `<a, P>` bound: more than `a` arrivals inside one sliding window.
     AudUamViolation,
+    /// Raw time arithmetic (`std::time` paths, `Duration::from_secs*`)
+    /// outside the sanctioned `SimTime`/`TimeDelta` newtypes.
+    LintTimeUnit,
+    /// A wall-clock read (`Instant::now`, `SystemTime`) in first-party
+    /// source: nondeterministic input the byte-identity pins cannot see.
+    LintWallClock,
+    /// Raw `std::thread` spawn/scope/Builder use outside the
+    /// deterministic worker pool.
+    LintThreadSpawn,
+    /// The bare keyword banned by the workspace-wide unsafe-code forbid,
+    /// in code or comments (directive comments are exempt).
+    LintUnsafeToken,
+    /// `HashMap`/`HashSet` in first-party source: iteration order is
+    /// nondeterministic and leaks into any ordered output it feeds.
+    LintHashCollection,
+    /// `partial_cmp` inside a `sort_by`-family comparator: NaN ordering
+    /// is unspecified where `total_cmp` would be deterministic.
+    LintFloatSortPartialCmp,
+    /// Entropy-seeded RNG construction (`thread_rng`, `from_entropy`,
+    /// `OsRng`, `rand::random`) outside the salted per-seed scheme.
+    LintEntropyRng,
+    /// An allocating call inside a function marked `// eua-lint: hot`.
+    LintHotPathAlloc,
+    /// An `// eua-lint: allow(...)` directive that suppressed nothing.
+    LintUnusedSuppression,
+    /// An `// eua-lint:` directive that is malformed or names a code
+    /// the linter does not recognize (or cannot suppress).
+    LintUnknownSuppression,
 }
 
 impl DiagCode {
     /// Every code, in a stable order (used by `eua-analyze codes`).
-    pub const ALL: [DiagCode; 41] = [
+    pub const ALL: [DiagCode; 51] = [
         DiagCode::NoTasks,
         DiagCode::DuplicateTaskName,
         DiagCode::TufNonPositiveUmax,
@@ -215,6 +243,16 @@ impl DiagCode {
         DiagCode::AudDvsOutOfBound,
         DiagCode::AudEnergyMismatch,
         DiagCode::AudUamViolation,
+        DiagCode::LintTimeUnit,
+        DiagCode::LintWallClock,
+        DiagCode::LintThreadSpawn,
+        DiagCode::LintUnsafeToken,
+        DiagCode::LintHashCollection,
+        DiagCode::LintFloatSortPartialCmp,
+        DiagCode::LintEntropyRng,
+        DiagCode::LintHotPathAlloc,
+        DiagCode::LintUnusedSuppression,
+        DiagCode::LintUnknownSuppression,
     ];
 
     /// The stable kebab-case identifier.
@@ -262,6 +300,16 @@ impl DiagCode {
             DiagCode::AudDvsOutOfBound => "aud-dvs-out-of-bound",
             DiagCode::AudEnergyMismatch => "aud-energy-mismatch",
             DiagCode::AudUamViolation => "aud-uam-violation",
+            DiagCode::LintTimeUnit => "lint-time-unit",
+            DiagCode::LintWallClock => "lint-wall-clock",
+            DiagCode::LintThreadSpawn => "lint-thread-spawn",
+            DiagCode::LintUnsafeToken => "lint-unsafe-token",
+            DiagCode::LintHashCollection => "lint-hash-collection",
+            DiagCode::LintFloatSortPartialCmp => "lint-float-sort-partial-cmp",
+            DiagCode::LintEntropyRng => "lint-entropy-rng",
+            DiagCode::LintHotPathAlloc => "lint-hot-path-alloc",
+            DiagCode::LintUnusedSuppression => "lint-unused-suppression",
+            DiagCode::LintUnknownSuppression => "lint-unknown-suppression",
         }
     }
 
@@ -297,7 +345,17 @@ impl DiagCode {
             | DiagCode::AudAbortIllegal
             | DiagCode::AudDvsOutOfBound
             | DiagCode::AudEnergyMismatch
-            | DiagCode::AudUamViolation => Severity::Error,
+            | DiagCode::AudUamViolation
+            | DiagCode::LintTimeUnit
+            | DiagCode::LintWallClock
+            | DiagCode::LintThreadSpawn
+            | DiagCode::LintUnsafeToken
+            | DiagCode::LintHashCollection
+            | DiagCode::LintFloatSortPartialCmp
+            | DiagCode::LintEntropyRng
+            | DiagCode::LintHotPathAlloc
+            | DiagCode::LintUnusedSuppression
+            | DiagCode::LintUnknownSuppression => Severity::Error,
             DiagCode::DuplicateTaskName
             | DiagCode::UamWindowOverflow
             | DiagCode::DominatedFrequency
@@ -390,6 +448,16 @@ impl DiagCode {
                 "charged energy disagrees with Martin's model or the total"
             }
             DiagCode::AudUamViolation => "certified arrivals exceed a UAM <a, P> bound",
+            DiagCode::LintTimeUnit => "raw time arithmetic outside the SimTime/TimeDelta newtypes",
+            DiagCode::LintWallClock => "wall-clock read in deterministic first-party code",
+            DiagCode::LintThreadSpawn => "raw std::thread use outside the worker pool",
+            DiagCode::LintUnsafeToken => "bare keyword banned by the unsafe-code forbid",
+            DiagCode::LintHashCollection => "HashMap/HashSet iteration order is nondeterministic",
+            DiagCode::LintFloatSortPartialCmp => "partial_cmp in a sort comparator; use total_cmp",
+            DiagCode::LintEntropyRng => "entropy-seeded RNG outside the per-seed scheme",
+            DiagCode::LintHotPathAlloc => "allocation inside a marked hot path",
+            DiagCode::LintUnusedSuppression => "allow directive that suppressed nothing",
+            DiagCode::LintUnknownSuppression => "malformed or unknown eua-lint directive",
         }
     }
 }
@@ -679,6 +747,37 @@ mod tests {
             assert!(json.contains(code), "json renderer must show {code}");
         }
         assert!(r.has_errors(), "fault codes default to error severity");
+    }
+
+    #[test]
+    fn lint_codes_render_in_text_and_json() {
+        let mut r = Report::new("lints");
+        r.push(Diagnostic::for_entity(
+            DiagCode::LintWallClock,
+            "Instant::now",
+            "12:9: wall-clock read",
+        ));
+        r.push(Diagnostic::for_entity(
+            DiagCode::LintFloatSortPartialCmp,
+            "partial_cmp",
+            "40:21: NaN ordering unspecified",
+        ));
+        r.push(
+            Diagnostic::new(DiagCode::LintUnusedSuppression, "1:1: suppressed nothing")
+                .with_suggestion("delete the directive"),
+        );
+        r.sort();
+        let text = r.render_text();
+        let json = r.render_json();
+        for code in [
+            "lint-wall-clock",
+            "lint-float-sort-partial-cmp",
+            "lint-unused-suppression",
+        ] {
+            assert!(text.contains(code), "text renderer must show {code}");
+            assert!(json.contains(code), "json renderer must show {code}");
+        }
+        assert!(r.has_errors(), "lint codes default to error severity");
     }
 
     #[test]

@@ -18,7 +18,7 @@
 use crate::diagnostic::{DiagCode, Report, Severity};
 use crate::fix::is_fixable;
 use crate::json::{self, Json};
-use crate::spans::SourceMap;
+use crate::spans::{SourceMap, Span};
 
 /// The schema URI pinned into every document this writer emits.
 pub const SCHEMA_URI: &str = "https://json.schemastore.org/sarif-2.1.0.json";
@@ -60,6 +60,39 @@ pub fn render_sarif_with_spans(
     uris: &[Option<String>],
     maps: &[Option<SourceMap>],
 ) -> String {
+    // Resolve each diagnostic's entity against its file's token map,
+    // then delegate to the explicit-region core.
+    let regions: Vec<Vec<Option<Span>>> = reports
+        .iter()
+        .enumerate()
+        .map(|(i, report)| {
+            let map = maps.get(i).and_then(Option::as_ref);
+            report
+                .diagnostics
+                .iter()
+                .map(|d| map.and_then(|m| m.resolve(d.entity.as_deref())))
+                .collect()
+        })
+        .collect();
+    render_sarif_with_regions("eua-analyze", reports, uris, &regions)
+}
+
+/// Renders reports as one SARIF 2.1.0 document (a single run) with
+/// explicit per-diagnostic regions.
+///
+/// This is the core the other entry points delegate to: `driver` names
+/// the emitting tool (`eua-analyze`, `eua-lint`), and `regions[i][j]`
+/// pairs report `i`'s diagnostic `j` with the token extent it concerns
+/// (`None` omits the region). A region is only emitted when the report
+/// also has a backing `uris[i]` artifact, matching SARIF's expectation
+/// that regions live inside a `physicalLocation`.
+#[must_use]
+pub fn render_sarif_with_regions(
+    driver: &str,
+    reports: &[Report],
+    uris: &[Option<String>],
+    regions: &[Vec<Option<Span>>],
+) -> String {
     // Rules: the union of codes that actually fired, in ALL order, so
     // ruleIndex is stable regardless of diagnostic ordering.
     let fired: Vec<DiagCode> = DiagCode::ALL
@@ -91,7 +124,7 @@ pub fn render_sarif_with_spans(
     let mut results = Vec::new();
     for (i, report) in reports.iter().enumerate() {
         let uri = uris.get(i).and_then(Option::as_deref);
-        for d in &report.diagnostics {
+        for (j, d) in report.diagnostics.iter().enumerate() {
             let mut logical = vec![(
                 "fullyQualifiedName".into(),
                 Json::Str(match &d.entity {
@@ -108,10 +141,7 @@ pub fn render_sarif_with_spans(
                     "artifactLocation".into(),
                     Json::Obj(vec![("uri".into(), Json::Str(uri.into()))]),
                 )];
-                let span = maps
-                    .get(i)
-                    .and_then(Option::as_ref)
-                    .and_then(|m| m.resolve(d.entity.as_deref()));
+                let span = regions.get(i).and_then(|r| r.get(j)).copied().flatten();
                 if let Some(s) = span {
                     physical.push((
                         "region".into(),
@@ -167,7 +197,7 @@ pub fn render_sarif_with_spans(
                     Json::Obj(vec![(
                         "driver".into(),
                         Json::Obj(vec![
-                            ("name".into(), Json::Str("eua-analyze".into())),
+                            ("name".into(), Json::Str(driver.into())),
                             ("rules".into(), rules),
                         ]),
                     )]),

@@ -99,6 +99,7 @@ impl SchedulerPolicy for BudgetedEua {
         "eua-budget"
     }
 
+    // eua-lint: hot
     fn decide(&mut self, ctx: &SchedContext<'_>) -> Decision {
         let (aborts, analysis) = self.inner.plan(ctx);
         let f_m = ctx.platform.f_max();

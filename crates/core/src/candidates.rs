@@ -196,6 +196,7 @@ impl ScheduleBuilder {
     /// *identical* to EDF's, not merely tie-equivalent. Key priority
     /// still decides which jobs survive when an insertion turns the
     /// schedule infeasible.
+    // eua-lint: hot
     pub fn rebuild(
         &mut self,
         now: SimTime,

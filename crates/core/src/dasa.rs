@@ -41,6 +41,7 @@ impl SchedulerPolicy for Dasa {
         "dasa"
     }
 
+    // eua-lint: hot
     fn decide(&mut self, ctx: &SchedContext<'_>) -> Decision {
         let f_m = ctx.platform.f_max();
         let mut aborts = Vec::new();

@@ -129,6 +129,7 @@ impl SchedulerPolicy for EdfPolicy {
         &self.name
     }
 
+    // eua-lint: hot
     fn decide(&mut self, ctx: &SchedContext<'_>) -> Decision {
         let f_m = ctx.platform.f_max();
         // Keep the look-ahead window anchors fresh at every event.

@@ -60,6 +60,17 @@ pub struct LookAheadDvs {
     /// Per-task start of the current arrival window (the first arrival at
     /// or after the previous window's end).
     anchors: Vec<Option<SimTime>>,
+    /// Scratch for the deferral walk, reused across calls so the
+    /// steady-state analysis performs no per-event heap allocation.
+    entries: Vec<Entry>,
+}
+
+/// One task's contribution to the deferral walk (scratch state).
+#[derive(Debug, Clone)]
+struct Entry {
+    critical: SimTime,
+    remaining: f64,
+    static_rate: f64,
 }
 
 impl LookAheadDvs {
@@ -72,6 +83,7 @@ impl LookAheadDvs {
     /// Clears all window anchors (for policy reuse across runs).
     pub fn reset(&mut self) {
         self.anchors.clear();
+        self.entries.clear();
     }
 
     /// Observes the context's arrivals and runs the Algorithm 2 demand
@@ -80,18 +92,15 @@ impl LookAheadDvs {
     /// Returns `required_speed = 0` when no window is active. When the
     /// earliest critical time is already due (`D_a_n ≤ now`), the full
     /// `f_m` is required.
+    // eua-lint: hot
     pub fn analyze(&mut self, ctx: &SchedContext<'_>) -> DvsAnalysis {
         if self.anchors.len() != ctx.tasks.len() {
-            self.anchors = vec![None; ctx.tasks.len()];
+            self.anchors.clear();
+            self.anchors.resize(ctx.tasks.len(), None);
         }
         let f_m = ctx.platform.f_max().as_f64();
 
-        struct Entry {
-            critical: SimTime,
-            remaining: f64,
-            static_rate: f64,
-        }
-        let mut entries: Vec<Entry> = Vec::new();
+        self.entries.clear();
         // Aggregate worst-case utilization over ALL tasks (line 2). Tasks
         // without an active window keep their reservation: under UAM they
         // may release a full window of work at any instant.
@@ -143,14 +152,14 @@ impl LookAheadDvs {
                 (None, Some(w)) => (w, 0.0),
                 (None, None) => continue,
             };
-            entries.push(Entry {
+            self.entries.push(Entry {
                 critical,
                 remaining,
                 static_rate: task.demand_rate(),
             });
         }
 
-        let Some(earliest_critical) = entries.iter().map(|e| e.critical).min() else {
+        let Some(earliest_critical) = self.entries.iter().map(|e| e.critical).min() else {
             return DvsAnalysis {
                 required_speed: 0.0,
                 earliest_critical: None,
@@ -159,10 +168,10 @@ impl LookAheadDvs {
         };
 
         // Reverse EDF order: latest critical time first (line 4).
-        entries.sort_by_key(|e| std::cmp::Reverse(e.critical));
+        self.entries.sort_by_key(|e| std::cmp::Reverse(e.critical));
 
         let mut s = 0.0f64;
-        for e in &entries {
+        for e in &self.entries {
             util -= e.static_rate;
             let gap = e.critical.saturating_since(earliest_critical).as_micros() as f64;
             // Minimum cycles that must run before D_a_n so the task can

@@ -175,6 +175,7 @@ impl Eua {
     /// across events, so a steady-state `plan` call performs no heap
     /// allocation (aborting events hand their — rare — abort list to the
     /// engine by value).
+    // eua-lint: hot
     pub(crate) fn plan(
         &mut self,
         ctx: &SchedContext<'_>,
@@ -266,6 +267,7 @@ impl SchedulerPolicy for Eua {
         &self.name
     }
 
+    // eua-lint: hot
     fn decide(&mut self, ctx: &SchedContext<'_>) -> Decision {
         let (aborts, analysis) = self.plan(ctx);
         let f_m = ctx.platform.f_max();

@@ -39,6 +39,7 @@ impl SchedulerPolicy for Llf {
         "llf"
     }
 
+    // eua-lint: hot
     fn decide(&mut self, ctx: &SchedContext<'_>) -> Decision {
         let f_m = ctx.platform.f_max();
         let mut aborts = Vec::new();

@@ -1,0 +1,561 @@
+//! `eua-lint` — first-party determinism and hot-path static analyzer
+//! over the workspace's Rust sources.
+//!
+//! The engine-throughput overhaul and the sharded sweep fabric both
+//! stand on one property: *nothing nondeterministic ever leaks into the
+//! engine*. Certificate byte-identity pins, bit-identical parallel
+//! sweeps, and remote-worker audits all assume it. This crate guards
+//! that property at the source level, before a refactor can break it:
+//! a token-aware scan (no rustc/syn — the same first-party philosophy
+//! as the `.scn` source maps and JSON parsers) over every first-party
+//! `.rs` file, reporting hazards as [`Diagnostic`]s with stable
+//! `lint-*` codes from the shared `eua-analyze` registry.
+//!
+//! | Module | What it holds |
+//! |--------|---------------|
+//! | [`lexer`] | the lightweight Rust lexer (tokens with exact spans) |
+//! | [`rules`] | the eight hazard rules ([`rules::HAZARD_CODES`]) |
+//! | this | directives, suppression accounting, the file walker |
+//!
+//! # Directives
+//!
+//! Two line-comment directives steer the scan (plain `//` comments
+//! only, exact `eua-lint:` prefix):
+//!
+//! * an allow directive — `eua-lint:` followed by `allow(code, …)` —
+//!   suppresses the named hazards on its own line (when trailing) or
+//!   on the next line holding any token (when alone on a line). An
+//!   allow that suppresses nothing is itself a finding
+//!   (`lint-unused-suppression`), so stale exemptions cannot linger.
+//! * a hot marker — `eua-lint:` followed by `hot` — marks the next
+//!   function; allocating calls inside its body become
+//!   `lint-hot-path-alloc` findings.
+//!
+//! Malformed directives, unknown codes, and markers that precede no
+//! function body are `lint-unknown-suppression` findings: a typo in an
+//! exemption must fail loudly, not silently stop suppressing.
+
+#![forbid(unsafe_code)]
+
+pub mod lexer;
+pub mod rules;
+
+use std::collections::BTreeSet;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use eua_analyze::{DiagCode, Diagnostic, Report, Span};
+
+use lexer::{lex, Tok, TokKind};
+pub use rules::{Finding, HAZARD_CODES, LINT_CODES};
+
+/// Whether a comment token is an `eua-lint:` directive (and therefore
+/// exempt from the banned-keyword comment scan).
+#[must_use]
+pub fn is_directive_comment(text: &str) -> bool {
+    text.strip_prefix("//")
+        .is_some_and(|rest| rest.trim_start().starts_with("eua-lint:"))
+}
+
+/// Resolves a kebab-case name to a lint code.
+#[must_use]
+pub fn code_from_str(name: &str) -> Option<DiagCode> {
+    LINT_CODES.iter().copied().find(|c| c.as_str() == name)
+}
+
+/// One lint result for one file: the report plus the token extent of
+/// each diagnostic, index-aligned, for SARIF regions.
+#[derive(Debug, Clone)]
+pub struct FileLint {
+    /// The scanned file's path as given.
+    pub path: String,
+    /// Findings for this file (empty when clean).
+    pub report: Report,
+    /// `spans[i]` is the extent of `report.diagnostics[i]`.
+    pub spans: Vec<Option<Span>>,
+}
+
+/// A parsed `eua-lint:` directive.
+#[derive(Debug)]
+enum DirectiveKind {
+    /// `hot`: the next function is a marked hot path.
+    Hot,
+    /// `allow(...)`: suppress the named codes (unknown names kept as
+    /// strings for the error message).
+    Allow(Vec<Result<DiagCode, String>>),
+    /// Anything else after the `eua-lint:` prefix.
+    Malformed,
+}
+
+#[derive(Debug)]
+struct Directive {
+    kind: DirectiveKind,
+    span: Span,
+    /// Whether the directive is alone on its line (it then covers the
+    /// next token-holding line instead of its own).
+    standalone: bool,
+}
+
+/// Parses the directive grammar after the `eua-lint:` prefix.
+fn parse_directive(rest: &str, span: Span, standalone: bool) -> Directive {
+    let rest = rest.trim();
+    let kind = if rest == "hot" {
+        DirectiveKind::Hot
+    } else if let Some(inner) = rest
+        .strip_prefix("allow(")
+        .and_then(|r| r.strip_suffix(')'))
+    {
+        let codes: Vec<Result<DiagCode, String>> = inner
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(|name| {
+                HAZARD_CODES
+                    .iter()
+                    .copied()
+                    .find(|c| c.as_str() == name)
+                    .ok_or_else(|| name.to_string())
+            })
+            .collect();
+        if codes.is_empty() {
+            DirectiveKind::Malformed
+        } else {
+            DirectiveKind::Allow(codes)
+        }
+    } else {
+        DirectiveKind::Malformed
+    };
+    Directive {
+        kind,
+        span,
+        standalone,
+    }
+}
+
+/// Extracts directives from the token stream. `standalone` is computed
+/// against code tokens: a directive with code before it on its line is
+/// trailing.
+fn directives(toks: &[Tok<'_>]) -> Vec<Directive> {
+    let mut out = Vec::new();
+    for t in toks {
+        if !matches!(t.kind, TokKind::Comment { line: true }) || !is_directive_comment(t.text) {
+            continue;
+        }
+        let rest = t
+            .text
+            .strip_prefix("//")
+            .map(str::trim_start)
+            .and_then(|r| r.strip_prefix("eua-lint:"))
+            .unwrap_or("");
+        let standalone = !toks.iter().any(|o| {
+            !matches!(o.kind, TokKind::Comment { .. }) && o.line == t.line && o.col < t.col
+        });
+        let span = Span {
+            start_line: t.line,
+            start_col: t.col,
+            end_line: t.end_line,
+            end_col: t.end_col,
+        };
+        out.push(parse_directive(rest, span, standalone));
+    }
+    out
+}
+
+/// The line a standalone directive covers: the first later line that
+/// holds any non-directive token (code or prose comment). Directives
+/// stack — another directive line is skipped, so several allows can sit
+/// above one offending line.
+fn covered_line(toks: &[Tok<'_>], directive_line: u32) -> Option<u32> {
+    toks.iter()
+        .filter(|t| {
+            t.line > directive_line
+                && !(matches!(t.kind, TokKind::Comment { line: true })
+                    && is_directive_comment(t.text))
+        })
+        .map(|t| t.line)
+        .min()
+}
+
+/// Resolves a hot marker to the body token range of the next `fn`.
+///
+/// Returns `Err` with a description when no function body follows (the
+/// marker would otherwise silently guard nothing).
+fn hot_body_range(code: &[&Tok<'_>], after: Span) -> Result<(usize, usize), &'static str> {
+    let fn_idx = code
+        .iter()
+        .position(|t| t.is_ident("fn") && (t.line, t.col) > (after.start_line, after.start_col))
+        .ok_or("no `fn` follows the marker")?;
+    // The body is the first brace group after the `fn` keyword; a `;`
+    // first means a bodyless declaration.
+    let mut open_idx = None;
+    for (k, t) in code.iter().enumerate().skip(fn_idx) {
+        if t.text == "{" {
+            open_idx = Some(k);
+            break;
+        }
+        if t.text == ";" {
+            return Err("the marked function has no body");
+        }
+    }
+    let open_idx = open_idx.ok_or("the marked function has no body")?;
+    let mut depth = 0usize;
+    for (k, t) in code.iter().enumerate().skip(open_idx) {
+        match t.text {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Ok((open_idx + 1, k));
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok((open_idx + 1, code.len()))
+}
+
+/// Lints one file's text. `selected` restricts which codes run (pass
+/// [`LINT_CODES`] for the full set); suppression accounting only
+/// considers directives whose codes are selected, so a partial run
+/// never misreports an exemption as unused.
+#[must_use]
+pub fn lint_source(path: &str, text: &str, selected: &BTreeSet<DiagCode>) -> FileLint {
+    let on = |c: DiagCode| selected.contains(&c);
+    let toks = lex(text);
+    let code_toks: Vec<&Tok<'_>> = toks
+        .iter()
+        .filter(|t| !matches!(t.kind, TokKind::Comment { .. }))
+        .collect();
+    let dirs = directives(&toks);
+
+    // Resolve directives: hot bodies, malformed/unknown findings.
+    let mut meta: Vec<Finding> = Vec::new();
+    let mut hot_bodies: Vec<(usize, usize)> = Vec::new();
+    for d in &dirs {
+        match &d.kind {
+            DirectiveKind::Hot => match hot_body_range(&code_toks, d.span) {
+                Ok(range) => hot_bodies.push(range),
+                Err(why) => meta.push(Finding {
+                    code: DiagCode::LintUnknownSuppression,
+                    span: d.span,
+                    entity: "hot".into(),
+                    message: format!("dangling hot marker: {why}"),
+                }),
+            },
+            DirectiveKind::Allow(codes) => {
+                for unknown in codes.iter().filter_map(|c| c.as_ref().err()) {
+                    meta.push(Finding {
+                        code: DiagCode::LintUnknownSuppression,
+                        span: d.span,
+                        entity: unknown.clone(),
+                        message: format!(
+                            "allow() names `{unknown}`, which is not a suppressible \
+                             lint code (see `eua-lint codes`)"
+                        ),
+                    });
+                }
+            }
+            DirectiveKind::Malformed => meta.push(Finding {
+                code: DiagCode::LintUnknownSuppression,
+                span: d.span,
+                entity: "eua-lint:".into(),
+                message: "malformed directive: expected `eua-lint: hot` or \
+                          `eua-lint: allow(code, ...)`"
+                    .into(),
+            }),
+        }
+    }
+
+    let hazards = rules::run_hazards(&toks, &code_toks, &hot_bodies, &on);
+
+    // Suppression: each allow directive covers one line; a finding on
+    // that line with a named code is dropped and the (directive, code)
+    // pair marked used.
+    struct Cover {
+        code: DiagCode,
+        line: u32,
+        span: Span,
+        used: bool,
+    }
+    let mut covers: Vec<Cover> = Vec::new();
+    for d in &dirs {
+        if let DirectiveKind::Allow(codes) = &d.kind {
+            let line = if d.standalone {
+                covered_line(&toks, d.span.start_line)
+            } else {
+                Some(d.span.start_line)
+            };
+            let Some(line) = line else { continue };
+            for code in codes.iter().filter_map(|c| c.as_ref().ok()) {
+                covers.push(Cover {
+                    code: *code,
+                    line,
+                    span: d.span,
+                    used: false,
+                });
+            }
+        }
+    }
+    let mut kept: Vec<Finding> = Vec::new();
+    for f in hazards {
+        let suppressed = covers
+            .iter_mut()
+            .find(|c| c.code == f.code && c.line == f.span.start_line);
+        match suppressed {
+            Some(c) => c.used = true,
+            None => kept.push(f),
+        }
+    }
+    if on(DiagCode::LintUnusedSuppression) {
+        for c in covers.iter().filter(|c| !c.used && on(c.code)) {
+            kept.push(Finding {
+                code: DiagCode::LintUnusedSuppression,
+                span: c.span,
+                entity: c.code.as_str().into(),
+                message: format!(
+                    "allow({}) suppressed nothing on line {}; delete the stale directive",
+                    c.code.as_str(),
+                    c.line
+                ),
+            });
+        }
+    }
+    if on(DiagCode::LintUnknownSuppression) {
+        kept.extend(meta);
+    }
+
+    kept.sort_by(|a, b| {
+        (a.span.start_line, a.span.start_col, a.code.as_str()).cmp(&(
+            b.span.start_line,
+            b.span.start_col,
+            b.code.as_str(),
+        ))
+    });
+
+    let mut report = Report::new(path);
+    let mut spans = Vec::with_capacity(kept.len());
+    for f in kept {
+        report.push(Diagnostic::for_entity(
+            f.code,
+            f.entity,
+            format!("{}:{}: {}", f.span.start_line, f.span.start_col, f.message),
+        ));
+        spans.push(Some(f.span));
+    }
+    FileLint {
+        path: path.to_string(),
+        report,
+        spans,
+    }
+}
+
+/// Directory names the walker never descends into: vendored shims stand
+/// in for external crates, build output is generated, fixture corpora
+/// are deliberately hazardous, and hidden directories are not source.
+const SKIPPED_DIRS: [&str; 3] = ["vendor", "target", "fixtures"];
+
+/// Recursively collects `.rs` files under `root` in a deterministic
+/// (sorted) order.
+///
+/// # Errors
+///
+/// Any I/O failure reading a directory, with the failing path embedded
+/// in the error message via [`io::Error::other`].
+pub fn collect_sources(root: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let label = |e: io::Error, p: &Path| io::Error::other(format!("{}: {e}", p.display()));
+    let meta = std::fs::metadata(root).map_err(|e| label(e, root))?;
+    if meta.is_file() {
+        if root.extension().is_some_and(|x| x == "rs") {
+            out.push(root.to_path_buf());
+        }
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(root)
+        .map_err(|e| label(e, root))?
+        .collect::<Result<Vec<_>, _>>()
+        .map_err(|e| label(e, root))?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default();
+        if path.is_dir() {
+            if SKIPPED_DIRS.contains(&name) || name.starts_with('.') {
+                continue;
+            }
+            collect_sources(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// The default scan roots, relative to a workspace checkout: the same
+/// set the repository's CI gate greps covered.
+pub const DEFAULT_ROOTS: [&str; 4] = ["src", "crates", "tests", "examples"];
+
+/// Lints every `.rs` file under the given roots (files or directories).
+///
+/// # Errors
+///
+/// The first I/O failure (unreadable root, file, or directory).
+pub fn lint_roots(roots: &[PathBuf], selected: &BTreeSet<DiagCode>) -> io::Result<Vec<FileLint>> {
+    let mut files = Vec::new();
+    for root in roots {
+        collect_sources(root, &mut files)?;
+    }
+    let mut out = Vec::with_capacity(files.len());
+    for file in files {
+        let text = std::fs::read_to_string(&file)
+            .map_err(|e| io::Error::other(format!("{}: {e}", file.display())))?;
+        out.push(lint_source(&file.display().to_string(), &text, selected));
+    }
+    Ok(out)
+}
+
+/// The full code set, as a selection.
+#[must_use]
+pub fn all_codes() -> BTreeSet<DiagCode> {
+    LINT_CODES.iter().copied().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+    use super::*;
+
+    fn codes_of(lint: &FileLint) -> Vec<&'static str> {
+        lint.report
+            .diagnostics
+            .iter()
+            .map(|d| d.code.as_str())
+            .collect()
+    }
+
+    #[test]
+    fn clean_source_yields_empty_report() {
+        let lint = lint_source("x.rs", "fn main() { let a = 1 + 2; }", &all_codes());
+        assert!(lint.report.diagnostics.is_empty());
+        assert!(!lint.report.has_errors());
+    }
+
+    #[test]
+    fn trailing_allow_suppresses_same_line() {
+        let src = "let t = Instant::now(); // eua-lint: allow(lint-wall-clock)\n";
+        let lint = lint_source("x.rs", src, &all_codes());
+        assert!(codes_of(&lint).is_empty(), "{:?}", lint.report);
+    }
+
+    #[test]
+    fn standalone_allow_suppresses_next_line() {
+        let src = "// eua-lint: allow(lint-wall-clock)\nlet t = Instant::now();\n";
+        let lint = lint_source("x.rs", src, &all_codes());
+        assert!(codes_of(&lint).is_empty(), "{:?}", lint.report);
+    }
+
+    #[test]
+    fn stacked_standalone_allows_cover_one_line() {
+        let src = "// eua-lint: allow(lint-wall-clock)\n\
+                   // eua-lint: allow(lint-hash-collection)\n\
+                   let t: HashMap<u8, u8> = index(Instant::now());\n";
+        let lint = lint_source("x.rs", src, &all_codes());
+        assert!(codes_of(&lint).is_empty(), "{:?}", lint.report);
+    }
+
+    #[test]
+    fn unused_allow_is_reported_at_the_directive() {
+        let src = "// eua-lint: allow(lint-thread-spawn)\nlet a = 1;\n";
+        let lint = lint_source("x.rs", src, &all_codes());
+        assert_eq!(codes_of(&lint), ["lint-unused-suppression"]);
+        assert_eq!(lint.spans[0].unwrap().start_line, 1);
+    }
+
+    #[test]
+    fn unknown_code_in_allow_is_reported() {
+        let src = "// eua-lint: allow(lint-imaginary)\nlet a = 1;\n";
+        let lint = lint_source("x.rs", src, &all_codes());
+        assert_eq!(codes_of(&lint), ["lint-unknown-suppression"]);
+    }
+
+    #[test]
+    fn meta_codes_cannot_be_suppressed() {
+        let src = "// eua-lint: allow(lint-unused-suppression)\nlet a = 1;\n";
+        let lint = lint_source("x.rs", src, &all_codes());
+        assert_eq!(codes_of(&lint), ["lint-unknown-suppression"]);
+    }
+
+    #[test]
+    fn malformed_directive_is_reported() {
+        let src = "// eua-lint: alow(lint-wall-clock)\nlet a = 1;\n";
+        let lint = lint_source("x.rs", src, &all_codes());
+        assert_eq!(codes_of(&lint), ["lint-unknown-suppression"]);
+    }
+
+    #[test]
+    fn dangling_hot_marker_is_reported() {
+        let src = "// eua-lint: hot\nconst X: u32 = 1;\n";
+        let lint = lint_source("x.rs", src, &all_codes());
+        assert_eq!(codes_of(&lint), ["lint-unknown-suppression"]);
+    }
+
+    #[test]
+    fn hot_marker_binds_to_next_fn_past_docs_and_attrs() {
+        let src = "// eua-lint: hot\n\
+                   /// Docs between marker and fn.\n\
+                   #[must_use]\n\
+                   pub fn decide(xs: &[u64]) -> Vec<u64> {\n\
+                   \x20   xs.to_vec()\n\
+                   }\n";
+        let lint = lint_source("x.rs", src, &all_codes());
+        assert_eq!(codes_of(&lint), ["lint-hot-path-alloc"]);
+        assert_eq!(lint.spans[0].unwrap().start_line, 5);
+    }
+
+    #[test]
+    fn hot_fn_alloc_can_be_allowed_inline() {
+        let src = "// eua-lint: hot\n\
+                   fn decide(xs: &[u64]) -> Vec<u64> {\n\
+                   \x20   xs.to_vec() // eua-lint: allow(lint-hot-path-alloc)\n\
+                   }\n";
+        let lint = lint_source("x.rs", src, &all_codes());
+        assert!(codes_of(&lint).is_empty(), "{:?}", lint.report);
+    }
+
+    #[test]
+    fn selection_skips_unused_accounting_for_unselected_codes() {
+        let src = "// eua-lint: allow(lint-thread-spawn)\nlet a = 1;\n";
+        let only: BTreeSet<DiagCode> = [DiagCode::LintWallClock, DiagCode::LintUnusedSuppression]
+            .into_iter()
+            .collect();
+        let lint = lint_source("x.rs", src, &only);
+        assert!(
+            codes_of(&lint).is_empty(),
+            "an allow for an unselected rule is not 'unused': {:?}",
+            lint.report
+        );
+    }
+
+    #[test]
+    fn findings_sort_by_position() {
+        let src = "let s = SystemTime::now();\nlet m: HashSet<u8> = make();\n";
+        let lint = lint_source("x.rs", src, &all_codes());
+        assert_eq!(codes_of(&lint), ["lint-wall-clock", "lint-hash-collection"]);
+        let lines: Vec<u32> = lint.spans.iter().map(|s| s.unwrap().start_line).collect();
+        assert_eq!(lines, [1, 2]);
+    }
+
+    #[test]
+    fn messages_carry_line_and_column() {
+        let lint = lint_source("x.rs", "let t = Instant::now();\n", &all_codes());
+        assert!(lint.report.diagnostics[0].message.starts_with("1:9: "));
+        assert_eq!(
+            lint.report.diagnostics[0].entity.as_deref(),
+            Some("Instant::now")
+        );
+    }
+}

@@ -1,0 +1,575 @@
+//! The hazard rules: token-sequence matchers over the lexed stream.
+//!
+//! Each rule looks for one class of determinism or hot-path hazard and
+//! reports token-exact [`Span`]s. Rules only examine *code* tokens —
+//! string literals never trip a rule (a hazard name inside a string is
+//! data), and comments are only scanned by the banned-keyword rule,
+//! whose job is precisely to keep one token out of comments too.
+
+use eua_analyze::{DiagCode, Span};
+
+use crate::lexer::{Tok, TokKind};
+
+/// One raw rule hit, before suppression accounting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// The lint code.
+    pub code: DiagCode,
+    /// The offending token extent.
+    pub span: Span,
+    /// The offending token text (the diagnostic's entity).
+    pub entity: String,
+    /// Why this is a hazard, with the remedy inline where obvious.
+    pub message: String,
+}
+
+/// The eight hazard codes (everything except the two suppression
+/// meta-codes), in registry order. Only these may appear in an
+/// `allow(...)` directive.
+pub const HAZARD_CODES: [DiagCode; 8] = [
+    DiagCode::LintTimeUnit,
+    DiagCode::LintWallClock,
+    DiagCode::LintThreadSpawn,
+    DiagCode::LintUnsafeToken,
+    DiagCode::LintHashCollection,
+    DiagCode::LintFloatSortPartialCmp,
+    DiagCode::LintEntropyRng,
+    DiagCode::LintHotPathAlloc,
+];
+
+/// All ten lint codes, in registry order (`eua-lint codes` order).
+pub const LINT_CODES: [DiagCode; 10] = [
+    DiagCode::LintTimeUnit,
+    DiagCode::LintWallClock,
+    DiagCode::LintThreadSpawn,
+    DiagCode::LintUnsafeToken,
+    DiagCode::LintHashCollection,
+    DiagCode::LintFloatSortPartialCmp,
+    DiagCode::LintEntropyRng,
+    DiagCode::LintHotPathAlloc,
+    DiagCode::LintUnusedSuppression,
+    DiagCode::LintUnknownSuppression,
+];
+
+/// The span of one token.
+fn span_of(t: &Tok<'_>) -> Span {
+    Span {
+        start_line: t.line,
+        start_col: t.col,
+        end_line: t.end_line,
+        end_col: t.end_col,
+    }
+}
+
+/// The span from the first byte of `a` to the last byte of `b`.
+fn span_between(a: &Tok<'_>, b: &Tok<'_>) -> Span {
+    Span {
+        start_line: a.line,
+        start_col: a.col,
+        end_line: b.end_line,
+        end_col: b.end_col,
+    }
+}
+
+/// Whether code token `i` starts the path-like sequence `names[0] ::
+/// names[1] :: …` (every hop through a `PathSep`). Returns the index
+/// one past the final segment on a match.
+fn match_path(code: &[&Tok<'_>], i: usize, names: &[&str]) -> Option<usize> {
+    let mut at = i;
+    for (k, name) in names.iter().enumerate() {
+        if k > 0 {
+            if code.get(at).map(|t| t.kind) != Some(TokKind::PathSep) {
+                return None;
+            }
+            at += 1;
+        }
+        if !code.get(at).is_some_and(|t| t.is_ident(name)) {
+            return None;
+        }
+        at += 1;
+    }
+    Some(at)
+}
+
+/// `lint-time-unit`: `std::time` paths and `Duration::from_secs*`
+/// constructors outside the sanctioned newtypes.
+fn time_unit(code: &[&Tok<'_>], out: &mut Vec<Finding>) {
+    for i in 0..code.len() {
+        if let Some(end) = match_path(code, i, &["std", "time"]) {
+            out.push(Finding {
+                code: DiagCode::LintTimeUnit,
+                span: span_between(code[i], code[end - 1]),
+                entity: "std::time".into(),
+                message: "raw std::time type: all time quantities are integer microseconds \
+                          (SimTime/TimeDelta in crates/platform/src/units.rs)"
+                    .into(),
+            });
+        }
+        if code.get(i).is_some_and(|t| t.is_ident("Duration"))
+            && code.get(i + 1).map(|t| t.kind) == Some(TokKind::PathSep)
+            && code
+                .get(i + 2)
+                .is_some_and(|t| t.kind == TokKind::Ident && t.text.starts_with("from_secs"))
+        {
+            out.push(Finding {
+                code: DiagCode::LintTimeUnit,
+                span: span_between(code[i], code[i + 2]),
+                entity: format!("Duration::{}", code[i + 2].text),
+                message: "float/second Duration constructor: construct TimeDelta micros \
+                          instead (crates/platform/src/units.rs)"
+                    .into(),
+            });
+        }
+    }
+}
+
+/// `lint-wall-clock`: `Instant::now` and any `SystemTime` use. The
+/// engine's clock is the simulated `SimTime`; a wall-clock read is
+/// nondeterministic input that byte-identity pins cannot see.
+fn wall_clock(code: &[&Tok<'_>], out: &mut Vec<Finding>) {
+    for i in 0..code.len() {
+        if match_path(code, i, &["Instant", "now"]).is_some() {
+            out.push(Finding {
+                code: DiagCode::LintWallClock,
+                span: span_between(code[i], code[i + 2]),
+                entity: "Instant::now".into(),
+                message: "wall-clock read: certificates and parallel sweeps must be \
+                          byte-identical across runs; derive timing from SimTime"
+                    .into(),
+            });
+        }
+        if code[i].is_ident("SystemTime") {
+            out.push(Finding {
+                code: DiagCode::LintWallClock,
+                span: span_of(code[i]),
+                entity: "SystemTime".into(),
+                message: "wall-clock type: nondeterministic input to a deterministic \
+                          engine; derive timing from SimTime"
+                    .into(),
+            });
+        }
+    }
+}
+
+/// `lint-thread-spawn`: `thread::spawn`/`scope`/`Builder` outside the
+/// worker pool (which carries an inline allow).
+fn thread_spawn(code: &[&Tok<'_>], out: &mut Vec<Finding>) {
+    for i in 0..code.len() {
+        for tail in ["spawn", "scope", "Builder"] {
+            if match_path(code, i, &["thread", tail]).is_some() {
+                out.push(Finding {
+                    code: DiagCode::LintThreadSpawn,
+                    span: span_between(code[i], code[i + 2]),
+                    entity: format!("thread::{tail}"),
+                    message: "raw std::thread use: all first-party parallelism goes \
+                              through crates/sim/src/pool.rs (deterministic ordering, \
+                              panic containment, --jobs resolution)"
+                        .into(),
+                });
+            }
+        }
+    }
+}
+
+/// The keyword the workspace-wide forbid bans, assembled so this file's
+/// own code tokens never contain it.
+const BANNED_KEYWORD: &str = "unsafe";
+
+/// `lint-unsafe-token`: the banned keyword as a code token, and as a
+/// word inside any non-directive comment (so the forbid can never be
+/// weakened quietly, not even in prose). Word boundaries exclude `-`
+/// and `_`, so `lint-unsafe-token` and the `unsafe_code` lint name are
+/// both mentionable.
+fn unsafe_token(toks: &[Tok<'_>], out: &mut Vec<Finding>) {
+    for t in toks {
+        match t.kind {
+            TokKind::Ident if t.text == BANNED_KEYWORD => out.push(Finding {
+                code: DiagCode::LintUnsafeToken,
+                span: span_of(t),
+                entity: BANNED_KEYWORD.into(),
+                message: "banned keyword in first-party source: every crate carries the \
+                          workspace forbid, and the token stays out of comments too"
+                    .into(),
+            }),
+            TokKind::Comment { .. } if !crate::is_directive_comment(t.text) => {
+                comment_word_hits(t, BANNED_KEYWORD, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Reports each boundary-delimited occurrence of `word` inside a
+/// comment token, with the occurrence's own line/column.
+fn comment_word_hits(t: &Tok<'_>, word: &str, out: &mut Vec<Finding>) {
+    let is_word_byte = |b: u8| b.is_ascii_alphanumeric() || b == b'_' || b == b'-';
+    let bytes = t.text.as_bytes();
+    let (mut line, mut col) = (t.line, t.col);
+    let mut i = 0usize;
+    while i < bytes.len() {
+        if bytes[i] == b'\n' {
+            line += 1;
+            col = 1;
+            i += 1;
+            continue;
+        }
+        let bounded_start = i == 0 || !is_word_byte(bytes[i - 1]);
+        // Byte-wise compare: comments hold arbitrary UTF-8 and `i` may
+        // sit mid-codepoint, where a str slice would panic.
+        if bounded_start && bytes[i..].starts_with(word.as_bytes()) {
+            let after = i + word.len();
+            if after >= bytes.len() || !is_word_byte(bytes[after]) {
+                #[allow(clippy::cast_possible_truncation)]
+                let width = word.len() as u32;
+                out.push(Finding {
+                    code: DiagCode::LintUnsafeToken,
+                    span: Span {
+                        start_line: line,
+                        start_col: col,
+                        end_line: line,
+                        end_col: col + width,
+                    },
+                    entity: word.into(),
+                    message: "banned keyword in a comment: the unsafe-code forbid also \
+                              keeps the bare token out of prose"
+                        .into(),
+                });
+                col += width;
+                i = after;
+                continue;
+            }
+        }
+        col += 1;
+        i += 1;
+    }
+}
+
+/// `lint-hash-collection`: `HashMap`/`HashSet` anywhere in first-party
+/// source. Their iteration order varies per process (randomized hasher
+/// seed), which leaks into any ordered output they feed.
+fn hash_collection(code: &[&Tok<'_>], out: &mut Vec<Finding>) {
+    for t in code {
+        if t.is_ident("HashMap") || t.is_ident("HashSet") {
+            out.push(Finding {
+                code: DiagCode::LintHashCollection,
+                span: span_of(t),
+                entity: t.text.into(),
+                message: "nondeterministic iteration order: use BTreeMap/BTreeSet or an \
+                          index-keyed Vec so ordered output is reproducible"
+                    .into(),
+            });
+        }
+    }
+}
+
+/// Comparator-taking methods whose argument must not rank floats with
+/// `partial_cmp`.
+const SORT_FAMILY: [&str; 5] = [
+    "sort_by",
+    "sort_unstable_by",
+    "binary_search_by",
+    "max_by",
+    "min_by",
+];
+
+/// `lint-float-sort-partial-cmp`: `partial_cmp` inside the argument of
+/// a `sort_by`-family call. NaN makes the comparator non-total, and the
+/// fallback branch (`unwrap_or(Equal)` and friends) makes the resulting
+/// order input-dependent; `total_cmp` is deterministic for every bit
+/// pattern.
+fn float_sort(code: &[&Tok<'_>], out: &mut Vec<Finding>) {
+    for i in 0..code.len() {
+        if !(code[i].kind == TokKind::Ident && SORT_FAMILY.contains(&code[i].text)) {
+            continue;
+        }
+        if code.get(i + 1).map(|t| t.text) != Some("(") {
+            continue;
+        }
+        let mut depth = 0usize;
+        for t in &code[i + 1..] {
+            match t.kind {
+                TokKind::Open if t.text == "(" => depth += 1,
+                TokKind::Close if t.text == ")" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                TokKind::Ident if t.text == "partial_cmp" => out.push(Finding {
+                    code: DiagCode::LintFloatSortPartialCmp,
+                    span: span_of(t),
+                    entity: "partial_cmp".into(),
+                    message: format!(
+                        "partial_cmp inside `{}`: NaN ordering is unspecified and \
+                         input-dependent; use f64::total_cmp (see the NaN regression \
+                         suite in crates/core)",
+                        code[i].text
+                    ),
+                }),
+                _ => {}
+            }
+        }
+    }
+}
+
+/// `lint-entropy-rng`: RNG construction seeded from ambient entropy.
+/// Every first-party stream is `seed_from_u64` with a salted per-seed
+/// scheme (see `FaultPlan::rng`), so sweeps replay bit-identically.
+fn entropy_rng(code: &[&Tok<'_>], out: &mut Vec<Finding>) {
+    for i in 0..code.len() {
+        let hit = if code[i].is_ident("from_entropy")
+            || code[i].is_ident("thread_rng")
+            || code[i].is_ident("OsRng")
+        {
+            Some((span_of(code[i]), code[i].text.to_string()))
+        } else {
+            match_path(code, i, &["rand", "random"])
+                .map(|end| (span_between(code[i], code[end - 1]), "rand::random".into()))
+        };
+        if let Some((span, entity)) = hit {
+            out.push(Finding {
+                code: DiagCode::LintEntropyRng,
+                span,
+                entity,
+                message: "entropy-seeded RNG: streams must come from \
+                          SmallRng::seed_from_u64 under the salted per-seed scheme so \
+                          every cell replays bit-identically"
+                    .into(),
+            });
+        }
+    }
+}
+
+/// Identifier methods that always allocate when called (matched only
+/// after a `.` or `::`, so a local function named `collect` in another
+/// position does not trip).
+const ALLOC_METHODS: [&str; 6] = [
+    "to_string",
+    "to_owned",
+    "to_vec",
+    "collect",
+    "with_capacity",
+    "clone",
+];
+
+/// `lint-hot-path-alloc`: allocating calls inside a function marked
+/// `// eua-lint: hot`. `body_ranges` are half-open code-token index
+/// ranges of marked function bodies (computed by the directive layer).
+///
+/// The banned set is lexical and deliberate: constructors that defer
+/// their first allocation (`Vec::new`, `String::new`) are allowed —
+/// the reused-buffer idiom depends on them — while tokens that always
+/// allocate on execution (`vec!`, `format!`, `Box::new`,
+/// `String::from`, `.collect()`, `.to_vec()`, `.clone()`, …) are not.
+fn hot_path_alloc(code: &[&Tok<'_>], body_ranges: &[(usize, usize)], out: &mut Vec<Finding>) {
+    for &(start, end) in body_ranges {
+        let mut i = start;
+        while i < end.min(code.len()) {
+            let t = code[i];
+            let prev_kind = i.checked_sub(1).map(|p| code[p].kind);
+            let hit = if t.kind == TokKind::Ident
+                && ALLOC_METHODS.contains(&t.text)
+                && matches!(prev_kind, Some(TokKind::Dot | TokKind::PathSep))
+            {
+                Some((span_of(t), t.text.to_string()))
+            } else if (t.is_ident("vec") || t.is_ident("format"))
+                && code.get(i + 1).map(|n| n.kind) == Some(TokKind::Bang)
+            {
+                Some((span_between(t, code[i + 1]), format!("{}!", t.text)))
+            } else if match_path(code, i, &["Box", "new"]).is_some() {
+                Some((span_between(t, code[i + 2]), "Box::new".into()))
+            } else if match_path(code, i, &["String", "from"]).is_some() {
+                Some((span_between(t, code[i + 2]), "String::from".into()))
+            } else {
+                None
+            };
+            if let Some((span, entity)) = hit {
+                out.push(Finding {
+                    code: DiagCode::LintHotPathAlloc,
+                    span,
+                    entity,
+                    message: "allocating call inside a `// eua-lint: hot` function: hoist \
+                              the buffer into the owning struct and reuse it across \
+                              events (see ScheduleBuilder)"
+                        .into(),
+                });
+            }
+            i += 1;
+        }
+    }
+}
+
+/// Runs every hazard rule whose code is in `selected` over the token
+/// stream. `code_toks` must be `toks` minus comments; `hot_bodies` are
+/// the marked function-body ranges in `code_toks` indices.
+pub fn run_hazards(
+    toks: &[Tok<'_>],
+    code_toks: &[&Tok<'_>],
+    hot_bodies: &[(usize, usize)],
+    selected: &dyn Fn(DiagCode) -> bool,
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+    if selected(DiagCode::LintTimeUnit) {
+        time_unit(code_toks, &mut out);
+    }
+    if selected(DiagCode::LintWallClock) {
+        wall_clock(code_toks, &mut out);
+    }
+    if selected(DiagCode::LintThreadSpawn) {
+        thread_spawn(code_toks, &mut out);
+    }
+    if selected(DiagCode::LintUnsafeToken) {
+        unsafe_token(toks, &mut out);
+    }
+    if selected(DiagCode::LintHashCollection) {
+        hash_collection(code_toks, &mut out);
+    }
+    if selected(DiagCode::LintFloatSortPartialCmp) {
+        float_sort(code_toks, &mut out);
+    }
+    if selected(DiagCode::LintEntropyRng) {
+        entropy_rng(code_toks, &mut out);
+    }
+    if selected(DiagCode::LintHotPathAlloc) {
+        hot_path_alloc(code_toks, hot_bodies, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run_all(src: &str) -> Vec<Finding> {
+        let toks = lex(src);
+        let code: Vec<&Tok<'_>> = toks
+            .iter()
+            .filter(|t| !matches!(t.kind, TokKind::Comment { .. }))
+            .collect();
+        run_hazards(&toks, &code, &[], &|_| true)
+    }
+
+    #[test]
+    fn time_unit_matches_paths_and_constructors() {
+        let hits = run_all("use std::time::Duration;\nlet d = Duration::from_secs_f64(0.5);");
+        assert_eq!(hits.len(), 2);
+        assert!(hits.iter().all(|f| f.code == DiagCode::LintTimeUnit));
+        assert_eq!(hits[1].entity, "Duration::from_secs_f64");
+        assert_eq!((hits[1].span.start_line, hits[1].span.start_col), (2, 9));
+    }
+
+    #[test]
+    fn wall_clock_matches_instant_and_system_time() {
+        let hits = run_all("let t = Instant::now(); let s = SystemTime::now();");
+        assert_eq!(hits.len(), 2);
+        assert!(hits.iter().all(|f| f.code == DiagCode::LintWallClock));
+    }
+
+    #[test]
+    fn thread_spawn_matches_all_three_tails() {
+        let hits = run_all("thread::spawn(f); std::thread::scope(g); thread::Builder::new()");
+        assert_eq!(hits.len(), 3);
+        assert!(hits.iter().all(|f| f.code == DiagCode::LintThreadSpawn));
+    }
+
+    #[test]
+    fn float_sort_only_fires_inside_sort_family_args() {
+        // A comparison against a constant outside a sort is legitimate
+        // (the candidates.rs positivity guard).
+        let clean = run_all("if cand.key.partial_cmp(&0.0) != Some(Ordering::Greater) {}");
+        assert!(clean.is_empty(), "{clean:?}");
+        let hits = run_all("v.sort_by(|a, b| a.partial_cmp(b).unwrap());");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].code, DiagCode::LintFloatSortPartialCmp);
+        let hits = run_all("let m = xs.iter().max_by(|a, b| a.partial_cmp(b).unwrap());");
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn total_cmp_sorts_are_clean() {
+        assert!(run_all("v.sort_by(|a, b| a.total_cmp(b));").is_empty());
+        assert!(run_all("v.sort_by_key(|d| Reverse(d.severity));").is_empty());
+    }
+
+    #[test]
+    fn entropy_rng_matches_construction_not_seeding() {
+        assert!(run_all("let mut rng = SmallRng::seed_from_u64(seed ^ SALT);").is_empty());
+        let hits =
+            run_all("let a = rand::thread_rng(); let b = SmallRng::from_entropy(); rand::random()");
+        assert_eq!(hits.len(), 3);
+        assert!(hits.iter().all(|f| f.code == DiagCode::LintEntropyRng));
+    }
+
+    #[test]
+    fn hash_collections_trip_everywhere() {
+        let hits = run_all("fn f(m: &HashMap<u32, u32>) -> HashSet<u32> { todo() }");
+        assert_eq!(hits.len(), 2);
+        assert!(hits.iter().all(|f| f.code == DiagCode::LintHashCollection));
+    }
+
+    #[test]
+    fn hazard_names_in_strings_are_data() {
+        assert!(run_all(r#"let msg = "thread::spawn HashMap Instant::now";"#).is_empty());
+    }
+
+    #[test]
+    fn hot_path_alloc_respects_body_ranges() {
+        let src = "fn cold() { let v = xs.to_vec(); } fn hot() { let v = xs.to_vec(); }";
+        let toks = lex(src);
+        let code: Vec<&Tok<'_>> = toks
+            .iter()
+            .filter(|t| !matches!(t.kind, TokKind::Comment { .. }))
+            .collect();
+        // Mark only the second fn's body: tokens after its `{`.
+        let second_open = code
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.text == "{")
+            .nth(1)
+            .unwrap()
+            .0;
+        let hits = run_hazards(&toks, &code, &[(second_open, code.len())], &|_| true);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].code, DiagCode::LintHotPathAlloc);
+        assert!(hits[0].span.start_col > 40, "the hit is in the marked fn");
+    }
+
+    #[test]
+    fn hot_path_alloc_allows_lazy_constructors() {
+        let src = "fn h() { let v: Vec<u32> = Vec::new(); let s = String::new(); }";
+        let toks = lex(src);
+        let code: Vec<&Tok<'_>> = toks
+            .iter()
+            .filter(|t| !matches!(t.kind, TokKind::Comment { .. }))
+            .collect();
+        let hits = run_hazards(&toks, &code, &[(0, code.len())], &|_| true);
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn hot_path_alloc_flags_macros_and_methods() {
+        let src = "fn h() { let a = vec![0; n]; let b = format!(\"x\"); let c = q.clone(); }";
+        let toks = lex(src);
+        let code: Vec<&Tok<'_>> = toks
+            .iter()
+            .filter(|t| !matches!(t.kind, TokKind::Comment { .. }))
+            .collect();
+        let hits = run_hazards(&toks, &code, &[(0, code.len())], &|_| true);
+        let entities: Vec<&str> = hits.iter().map(|f| f.entity.as_str()).collect();
+        assert_eq!(entities, ["vec!", "format!", "clone"]);
+    }
+
+    #[test]
+    fn selection_filters_rules() {
+        let toks = lex("let t = Instant::now(); let m: HashMap<u8, u8>;");
+        let code: Vec<&Tok<'_>> = toks
+            .iter()
+            .filter(|t| !matches!(t.kind, TokKind::Comment { .. }))
+            .collect();
+        let hits = run_hazards(&toks, &code, &[], &|c| c == DiagCode::LintWallClock);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].code, DiagCode::LintWallClock);
+    }
+}

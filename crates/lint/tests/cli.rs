@@ -1,0 +1,164 @@
+#![allow(clippy::expect_used, clippy::unwrap_used)] // test code
+
+//! Binary-level contract tests for `eua-lint`: the strict 2>1>0 exit
+//! ordering, format selection, `--only` narrowing, the `codes` listing,
+//! and a golden SARIF pin for one fixture.
+//!
+//! Regenerate the golden file with:
+//!
+//! ```text
+//! EUA_REGEN_GOLDEN=1 cargo test -p eua-lint --test cli
+//! ```
+
+use std::path::Path;
+use std::process::{Command, Output};
+
+use eua_lint::LINT_CODES;
+
+fn eua_lint(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_eua-lint"))
+        .args(args)
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("eua-lint runs")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8(out.stdout.clone()).expect("utf-8 stdout")
+}
+
+#[test]
+fn clean_file_exits_zero_with_summary() {
+    let out = eua_lint(&["check", "src/main.rs"]);
+    assert_eq!(out.status.code(), Some(0), "{}", stdout(&out));
+    assert_eq!(stdout(&out), "eua-lint: 1 file(s) scanned, 0 finding(s)\n");
+}
+
+#[test]
+fn hazard_fixture_exits_one() {
+    let out = eua_lint(&["check", "tests/fixtures/wall_clock.rs"]);
+    assert_eq!(out.status.code(), Some(1));
+    let text = stdout(&out);
+    assert!(text.contains("lint-wall-clock"), "{text}");
+    assert!(text.contains("Instant::now"), "{text}");
+}
+
+#[test]
+fn missing_path_exits_two_even_with_findings_elsewhere() {
+    let out = eua_lint(&["check", "tests/fixtures/wall_clock.rs", "no/such/file.rs"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    assert_eq!(eua_lint(&[]).status.code(), Some(2));
+    assert_eq!(
+        eua_lint(&["check", "--format", "yaml"]).status.code(),
+        Some(2)
+    );
+    assert_eq!(
+        eua_lint(&["check", "--frmat", "text"]).status.code(),
+        Some(2)
+    );
+    assert_eq!(
+        eua_lint(&["check", "--check", "src/main.rs"]).status.code(),
+        Some(2),
+        "--check without sarif is a usage error"
+    );
+    assert_eq!(
+        eua_lint(&["check", "--only", "lint-bogus", "src/main.rs"])
+            .status
+            .code(),
+        Some(2)
+    );
+}
+
+#[test]
+fn only_narrows_the_scan() {
+    // The wall-clock fixture is clean under a thread-spawn-only scan.
+    let out = eua_lint(&[
+        "check",
+        "--only",
+        "lint-thread-spawn",
+        "tests/fixtures/wall_clock.rs",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stdout(&out));
+    // And dirty when its own code is selected.
+    let out = eua_lint(&[
+        "check",
+        "--only",
+        "lint-wall-clock",
+        "tests/fixtures/wall_clock.rs",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn only_keeps_directive_meta_codes_live() {
+    // A typo'd directive must fail even under a narrowed run.
+    let out = eua_lint(&[
+        "check",
+        "--only",
+        "lint-wall-clock",
+        "tests/fixtures/unknown_suppression.rs",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stdout(&out).contains("lint-unknown-suppression"));
+}
+
+#[test]
+fn codes_lists_the_registry_in_order() {
+    let out = eua_lint(&["codes"]);
+    assert_eq!(out.status.code(), Some(0));
+    let text = stdout(&out);
+    let listed: Vec<&str> = text
+        .lines()
+        .map(|l| l.split_whitespace().next().expect("code column"))
+        .collect();
+    let expected: Vec<&str> = LINT_CODES.iter().map(|c| c.as_str()).collect();
+    assert_eq!(listed, expected);
+    assert!(text.lines().all(|l| l.contains("error")), "{text}");
+}
+
+#[test]
+fn json_format_renders_reports() {
+    let out = eua_lint(&["check", "--format", "json", "tests/fixtures/wall_clock.rs"]);
+    assert_eq!(out.status.code(), Some(1));
+    let text = stdout(&out);
+    assert!(text.starts_with('['), "{text}");
+    assert!(text.contains("\"lint-wall-clock\""), "{text}");
+}
+
+/// The SARIF output for the wall-clock fixture is byte-pinned: a drift
+/// means the SARIF writer, the rule's spans, or the message text changed
+/// — all deliberate events that must update the fixture.
+#[test]
+fn wall_clock_sarif_is_golden() {
+    let out = eua_lint(&[
+        "check",
+        "--format",
+        "sarif",
+        "--check",
+        "tests/fixtures/wall_clock.rs",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{}", stdout(&out));
+    let rendered = stdout(&out);
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/wall_clock.sarif");
+    if std::env::var("EUA_REGEN_GOLDEN").is_ok() {
+        std::fs::write(&path, &rendered).expect("golden written");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {}: {e} (regenerate with EUA_REGEN_GOLDEN=1)",
+            path.display()
+        )
+    });
+    assert_eq!(
+        rendered, golden,
+        "SARIF drifted; regenerate with EUA_REGEN_GOLDEN=1 if deliberate"
+    );
+    // The pinned document names the right driver and both findings.
+    assert!(golden.contains("\"name\": \"eua-lint\""));
+    assert_eq!(golden.matches("\"ruleId\": \"lint-wall-clock\"").count(), 2);
+}

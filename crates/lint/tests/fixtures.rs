@@ -1,0 +1,109 @@
+#![allow(clippy::expect_used, clippy::unwrap_used)] // test code
+
+//! The fixture corpus contract: one minimal bad-snippet `.rs` file per
+//! `lint-*` code, each tripping **exactly** its own code — at least one
+//! finding, and no finding of any other code. This pins both directions
+//! of every rule at once: the rule fires on its canonical hazard, and no
+//! other rule misfires on the same snippet (the cross-contamination trap
+//! that grep-based lints cannot express).
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+use eua_analyze::DiagCode;
+use eua_lint::{all_codes, lint_source, LINT_CODES};
+
+fn fixture_path(name: &str) -> PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// The fixture file for a code: `lint-time-unit` → `time_unit.rs`.
+fn fixture_name(code: DiagCode) -> String {
+    format!(
+        "{}.rs",
+        code.as_str()
+            .strip_prefix("lint-")
+            .expect("lint codes are lint-*")
+            .replace('-', "_")
+    )
+}
+
+/// Lints one fixture and returns the distinct codes plus finding count.
+fn lint_fixture(code: DiagCode) -> (BTreeSet<&'static str>, usize) {
+    let path = fixture_path(&fixture_name(code));
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()));
+    let lint = lint_source(&path.display().to_string(), &text, &all_codes());
+    let codes: BTreeSet<&'static str> = lint
+        .report
+        .diagnostics
+        .iter()
+        .map(|d| d.code.as_str())
+        .collect();
+    (codes, lint.report.diagnostics.len())
+}
+
+/// Every code has a fixture, and every fixture trips exactly its code.
+#[test]
+fn each_code_has_a_fixture_tripping_exactly_itself() {
+    for code in LINT_CODES {
+        let (codes, count) = lint_fixture(code);
+        assert!(count >= 1, "fixture for {} tripped nothing", code.as_str());
+        assert_eq!(
+            codes,
+            BTreeSet::from([code.as_str()]),
+            "fixture for {} must trip exactly that code",
+            code.as_str()
+        );
+    }
+}
+
+/// No stray files: the corpus is exactly one fixture per code, so a
+/// renamed code cannot leave an orphan behind.
+#[test]
+fn fixture_corpus_is_exactly_one_file_per_code() {
+    let dir = fixture_path("");
+    let mut on_disk: Vec<String> = std::fs::read_dir(&dir)
+        .expect("fixtures dir")
+        .map(|e| e.expect("entry").file_name().to_string_lossy().into_owned())
+        .collect();
+    on_disk.sort();
+    let mut expected: Vec<String> = LINT_CODES.iter().map(|c| fixture_name(*c)).collect();
+    expected.sort();
+    assert_eq!(on_disk, expected);
+}
+
+/// Spot-check spans and entities on the wall-clock fixture (the same
+/// fixture the golden SARIF pin renders, so a drift here points at the
+/// rule rather than the SARIF writer).
+#[test]
+fn wall_clock_fixture_has_token_exact_spans() {
+    let path = fixture_path("wall_clock.rs");
+    let text = std::fs::read_to_string(&path).expect("fixture");
+    let lint = lint_source("tests/fixtures/wall_clock.rs", &text, &all_codes());
+    let entities: Vec<&str> = lint
+        .report
+        .diagnostics
+        .iter()
+        .filter_map(|d| d.entity.as_deref())
+        .collect();
+    assert_eq!(entities, ["Instant::now", "SystemTime"]);
+    let spans: Vec<_> = lint.spans.iter().map(|s| s.expect("spanned")).collect();
+    assert_eq!((spans[0].start_line, spans[0].start_col), (5, 19));
+    assert_eq!(spans[0].end_col, spans[0].start_col + 12);
+    assert_eq!((spans[1].start_line, spans[1].start_col), (6, 17));
+}
+
+/// The hot-path fixture only fires inside the marked function.
+#[test]
+fn hot_path_fixture_spares_the_unmarked_function() {
+    let path = fixture_path("hot_path_alloc.rs");
+    let text = std::fs::read_to_string(&path).expect("fixture");
+    let lint = lint_source("hot_path_alloc.rs", &text, &all_codes());
+    assert_eq!(lint.report.diagnostics.len(), 1);
+    // The marked `decide` body starts on line 9; `cold_copy`'s identical
+    // call on line 5 must stay clean.
+    assert_eq!(lint.spans[0].expect("spanned").start_line, 10);
+}

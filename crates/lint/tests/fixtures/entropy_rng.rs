@@ -1,0 +1,8 @@
+//! Fixture: trips `lint-entropy-rng` only (entropy-seeded construction;
+//! `seed_from_u64` below is the sanctioned form and stays clean).
+
+fn fresh_stream(seed: u64) -> (SmallRng, SmallRng) {
+    let good = SmallRng::seed_from_u64(seed);
+    let bad = SmallRng::from_entropy();
+    (good, bad)
+}

@@ -1,0 +1,7 @@
+//! Fixture: trips `lint-float-sort-partial-cmp` only. The comparison
+//! against a constant outside any sort argument is deliberately clean.
+
+fn rank(xs: &mut [f64], floor: f64) -> bool {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs[0].partial_cmp(&floor) == Some(core::cmp::Ordering::Greater)
+}

@@ -1,0 +1,9 @@
+//! Fixture: trips `lint-hash-collection` only (once per named type).
+
+fn histogram(xs: &[u64]) -> HashMap<u64, u64> {
+    let mut out = HashMap::default();
+    for x in xs {
+        *out.entry(*x).or_insert(0) += 1;
+    }
+    out
+}

@@ -1,0 +1,11 @@
+//! Fixture: trips `lint-hot-path-alloc` only — the same call in the
+//! unmarked function is deliberately clean.
+
+fn cold_copy(xs: &[u64]) -> Vec<u64> {
+    xs.to_vec()
+}
+
+// eua-lint: hot
+fn decide(xs: &[u64]) -> Vec<u64> {
+    xs.to_vec()
+}

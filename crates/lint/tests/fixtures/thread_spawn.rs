@@ -1,0 +1,6 @@
+//! Fixture: trips `lint-thread-spawn` only.
+
+fn fan_out(work: fn()) {
+    let handle = std::thread::spawn(work);
+    handle.join().ok();
+}

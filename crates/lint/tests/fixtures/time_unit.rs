@@ -1,0 +1,6 @@
+//! Fixture: trips `lint-time-unit` only (raw std::time path and a
+//! seconds-based constructor). Fixtures are lexed, never compiled.
+
+fn pause(ms: u64) -> std::time::Duration {
+    Duration::from_secs_f64(ms as f64 / 1e3)
+}

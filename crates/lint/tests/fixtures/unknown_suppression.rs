@@ -1,0 +1,7 @@
+//! Fixture: trips `lint-unknown-suppression` only (the allow names a
+//! code that does not exist).
+
+// eua-lint: allow(lint-made-up)
+fn target() -> u32 {
+    7
+}

@@ -1,0 +1,7 @@
+//! Fixture: trips `lint-unsafe-token` only — once for the keyword in
+//! code, once for the bare word in the comment below.
+
+// Even prose saying unsafe is fine here would itself be flagged.
+fn read(p: *const u8) -> u8 {
+    unsafe { *p }
+}

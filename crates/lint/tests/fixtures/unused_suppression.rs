@@ -1,0 +1,7 @@
+//! Fixture: trips `lint-unused-suppression` only (the allow names a
+//! real code but the covered line is already clean).
+
+// eua-lint: allow(lint-wall-clock)
+fn already_clean() -> u32 {
+    7
+}

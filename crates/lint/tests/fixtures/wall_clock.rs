@@ -1,0 +1,8 @@
+//! Fixture: trips `lint-wall-clock` only (no std::time path appears, so
+//! the time-unit rule stays silent).
+
+fn stamp() -> bool {
+    let started = Instant::now();
+    let epoch = SystemTime::now();
+    epoch.elapsed().is_ok() && started.elapsed().as_nanos() > 0
+}

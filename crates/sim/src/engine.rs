@@ -780,6 +780,7 @@ impl EngineState<'_> {
         next_arrival.min(next_termination).min(self.horizon_end)
     }
 
+    // eua-lint: hot
     fn admit_arrivals(&mut self) -> bool {
         let mut any = false;
         while let Some(&(t, tid)) = self.arrivals.get(self.cursor) {
@@ -834,6 +835,7 @@ impl EngineState<'_> {
 
     /// Aborts every incomplete job whose termination time has been
     /// reached. Returns one of the aborted ids for event labelling.
+    // eua-lint: hot
     fn abort_overdue(&mut self) -> Option<JobId> {
         let mut witness = None;
         let mut idx = 0;

@@ -145,6 +145,7 @@ impl SchedulerPolicy for MaxSpeedEdf {
         "edf-fmax"
     }
 
+    // eua-lint: hot
     fn decide(&mut self, ctx: &SchedContext<'_>) -> Decision {
         let f = ctx.platform.f_max();
         let next = ctx

@@ -196,6 +196,9 @@ where
     let queue = Mutex::new(items.into_iter().enumerate());
     let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
     let mut panics: Vec<(usize, String, String)> = Vec::new();
+    // This is the one sanctioned raw-thread site in the workspace: the
+    // pool everything else is required to route through.
+    // eua-lint: allow(lint-thread-spawn)
     thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
