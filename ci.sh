@@ -65,6 +65,15 @@ step "schedule differential suite (invariant checks on)"
 cargo test -q -p eua-core --features eua-sim/invariant-checks \
   --test schedule_differential
 
+step "engine differential suite (both feature states)"
+# The production event loop (calendar queue, arena job state,
+# incremental score cache — DESIGN.md §14) vs the preserved
+# pre-overhaul reference loop: byte-identical certificates and equal
+# outcomes across policies, fault plans, and seeds.
+EUA_ENGINE_DIFF_CASES=8 cargo test -q -p eua-core --test engine_differential
+EUA_ENGINE_DIFF_CASES=8 cargo test -q -p eua-core \
+  --features eua-sim/invariant-checks --test engine_differential
+
 step "fault-plan fuzz suite (reduced cases, both feature states)"
 EUA_FUZZ_CASES=12 cargo test -q --test fault_fuzz
 EUA_FUZZ_CASES=12 cargo test -q --features invariant-checks --test fault_fuzz
@@ -134,6 +143,12 @@ fi
 
 step "bench smoke under --jobs 2"
 cargo run -q -p eua-bench --bin fig2 -- --quick --energy e1 --jobs 2 >/dev/null
+
+step "simulator_throughput bench smoke"
+# Reduced samples, no 256-job level: proves the end-to-end and backlog
+# throughput benches (the BENCH_engine.json harness) build and run.
+EUA_BENCH_SMOKE=1 cargo bench -q -p eua-bench \
+  --bench simulator_throughput >/dev/null
 
 step "robustness sweep smoke (--jobs 2, byte round-trip, certified)"
 # --check re-parses the emitted JSON and fails unless re-rendering it

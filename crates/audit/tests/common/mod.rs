@@ -76,6 +76,30 @@ pub fn run_certified_with_faults<P: SchedulerPolicy + ?Sized>(
     out.certificate.expect("certificate recorded")
 }
 
+/// [`run_certified`] through the preserved pre-overhaul event loop
+/// ([`Engine::run_with_faults_reference`]) instead of the production
+/// one — for pinning the two loops to byte-identical certificates.
+pub fn run_certified_reference<P: SchedulerPolicy + ?Sized>(
+    tasks: &TaskSet,
+    patterns: &[ArrivalPattern],
+    platform: &Platform,
+    policy: &mut P,
+    seed: u64,
+) -> RunCertificate {
+    let config = SimConfig::new(horizon()).with_certificate();
+    let out = Engine::run_with_faults_reference(
+        tasks,
+        patterns,
+        platform,
+        policy,
+        &config,
+        seed,
+        &FaultPlan::none(),
+    )
+    .expect("reference engine runs");
+    out.certificate.expect("certificate recorded")
+}
+
 /// Earliest-critical-time-first at one fixed frequency, with no
 /// self-explanation: exercises the auditor's engine-level degradation
 /// path at every point of the frequency table.

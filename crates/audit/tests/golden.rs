@@ -14,7 +14,7 @@
 
 mod common;
 
-use common::{bridge, run_certified};
+use common::{bridge, run_certified, run_certified_reference};
 use eua_analyze::shipped_scenarios;
 use eua_audit::audit;
 use eua_core::Eua;
@@ -75,4 +75,31 @@ fn overload_edf_certificate_is_golden() {
     let cert = run_certified(&tasks, &patterns, &platform, &mut MaxSpeedEdf::new(), 5);
     assert!(cert.events.iter().all(|e| e.explanation.is_none()));
     check_golden("overload-edf-seed5.json", &cert);
+}
+
+/// The golden fixtures are recorded by the production event loop; the
+/// preserved pre-overhaul loop must reproduce them byte-for-byte, and
+/// its certificates must audit clean through the same validator. This
+/// is the audit-layer smoke of the engine differential suite.
+#[test]
+fn reference_loop_reproduces_the_golden_certificates() {
+    let (tasks, patterns, platform) = bridge(&scenario("quickstart"));
+    let new = run_certified(&tasks, &patterns, &platform, &mut Eua::new(), 3);
+    let old = run_certified_reference(&tasks, &patterns, &platform, &mut Eua::new(), 3);
+    assert_eq!(
+        new.render(),
+        old.render(),
+        "production and reference loops diverged on the quickstart scenario"
+    );
+    let report = audit(&old);
+    assert!(!report.has_errors(), "{}", report.render_text());
+
+    let (tasks, patterns, platform) = bridge(&scenario("overload-survival-0.9"));
+    let new = run_certified(&tasks, &patterns, &platform, &mut MaxSpeedEdf::new(), 5);
+    let old = run_certified_reference(&tasks, &patterns, &platform, &mut MaxSpeedEdf::new(), 5);
+    assert_eq!(
+        new.render(),
+        old.render(),
+        "production and reference loops diverged on the overload scenario"
+    );
 }

@@ -1,18 +1,31 @@
 //! End-to-end simulator throughput: one full Figure 2 point (Table 1
-//! task set, one simulated second) per policy.
+//! task set, one simulated second) per policy, plus a backlog sweep that
+//! holds the pending-job count at a chosen level so the engine's
+//! per-event cost is visible where it actually grows.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use eua_core::make_policy;
 use eua_platform::{EnergySetting, TimeDelta};
-use eua_sim::{Engine, Platform, SimConfig};
+use eua_sim::{Engine, Platform, SimConfig, Task, TaskSet};
+use eua_tuf::Tuf;
+use eua_uam::demand::DemandModel;
+use eua_uam::generator::ArrivalPattern;
+use eua_uam::{Assurance, UamSpec};
 use eua_workload::fig2_workload;
+
+/// `EUA_BENCH_SMOKE=1` shrinks the run for CI gating: fewer samples and
+/// no 256-job backlog level. Timing output is still printed but only
+/// "it runs and terminates" is meaningful in that mode.
+fn smoke() -> bool {
+    std::env::var("EUA_BENCH_SMOKE").is_ok()
+}
 
 fn bench_run(c: &mut Criterion) {
     let platform = Platform::powernow(EnergySetting::e1());
     let workload = fig2_workload(0.6, 42, platform.f_max()).unwrap();
     let config = SimConfig::new(TimeDelta::from_secs(1));
     let mut group = c.benchmark_group("simulate_1s");
-    group.sample_size(20);
+    group.sample_size(if smoke() { 2 } else { 20 });
     for policy_name in ["eua", "edf", "ccedf", "laedf"] {
         let mut policy = make_policy(policy_name).unwrap();
         group.bench_with_input(
@@ -36,5 +49,56 @@ fn bench_run(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_run);
+/// A workload that keeps roughly `n` jobs live at every instant: `n`
+/// tasks share a window `P`, arrivals are phase-staggered across it, each
+/// job's termination is a full window away, and the aggregate load is 2.0
+/// so the backlog never drains. Every arrival therefore triggers a
+/// `decide()` over ~`n` pending jobs — the regime where per-event cost
+/// dominates end-to-end throughput.
+fn backlog_workload(n: usize) -> (TaskSet, Vec<ArrivalPattern>) {
+    let window = TimeDelta::from_millis(40);
+    // Load 2.0 at f_max = 100 MHz: n jobs per window, each 2·P/n of work.
+    let cycles = (2 * window.as_micros() * 100) as f64 / n as f64;
+    let tasks = (0..n)
+        .map(|i| {
+            Task::new(
+                format!("b{i}"),
+                Tuf::step(1.0 + (i % 7) as f64, window).unwrap(),
+                UamSpec::new(1, window).unwrap(),
+                DemandModel::deterministic(cycles).unwrap(),
+                Assurance::new(1.0, 0.5).unwrap(),
+            )
+            .unwrap()
+        })
+        .collect();
+    let patterns = (0..n)
+        .map(|i| {
+            let phase = TimeDelta::from_micros(window.as_micros() * i as u64 / n as u64);
+            ArrivalPattern::periodic_with_phase(window, phase).unwrap()
+        })
+        .collect();
+    (TaskSet::new(tasks).unwrap(), patterns)
+}
+
+fn bench_backlog(c: &mut Criterion) {
+    let platform = Platform::powernow(EnergySetting::e1());
+    let config = SimConfig::new(TimeDelta::from_millis(200));
+    let mut group = c.benchmark_group("simulate_backlog");
+    group.sample_size(if smoke() { 2 } else { 10 });
+    let levels: &[usize] = if smoke() { &[4, 16] } else { &[4, 16, 64, 256] };
+    for &n in levels {
+        let (tasks, patterns) = backlog_workload(n);
+        for policy_name in ["eua", "edf", "dasa"] {
+            let mut policy = make_policy(policy_name).unwrap();
+            group.bench_with_input(BenchmarkId::new(policy_name, n), &n, |b, _| {
+                b.iter(|| {
+                    Engine::run(&tasks, &patterns, &platform, &mut policy, &config, 9).unwrap()
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_run, bench_backlog);
 criterion_main!(benches);

@@ -164,6 +164,13 @@ struct Entry {
 pub struct ScheduleBuilder {
     entries: Vec<Entry>,
     schedule: Vec<Candidate>,
+    /// Path-selection hysteresis, never correctness: `true` after a
+    /// rebuild rejected a candidate, so the next rebuild skips the
+    /// all-feasible fast-path probe (its sort + walk are wasted work in
+    /// sustained overload). Cleared when a greedy pass accepts every
+    /// candidate again. Both paths produce identical schedules, so a
+    /// stale flag costs one misprediction, nothing else.
+    overloaded: bool,
 }
 
 impl ScheduleBuilder {
@@ -204,6 +211,41 @@ impl ScheduleBuilder {
         f_max: Frequency,
         mode: InsertionMode,
     ) -> &[Candidate] {
+        // Non-positive (and NaN) keys never enter any schedule: in the
+        // key-descending consideration order they sort last and the first
+        // one ends consideration in both insertion modes. Dropping them
+        // up front is therefore exact, and it enables the fast path.
+        candidates.retain(|c| c.key.partial_cmp(&0.0) == Some(Ordering::Greater));
+
+        // Fast path: if the WHOLE candidate set is feasible in
+        // (critical, id) order, greedy insertion cannot reject anything —
+        // every intermediate schedule is a subset of the full one in the
+        // same relative order, and removing entries from a feasible
+        // critical-ordered schedule only lowers later finish times, so
+        // each insertion's feasibility test passes. The result is then
+        // the full set in (critical, id) order, regardless of key order
+        // or insertion mode: one sort and one O(n) walk replace the
+        // O(n²) insertion loop. (The differential suites pin this
+        // equivalence against both the naive oracle and the pre-overhaul
+        // engine.) The probe is skipped while `overloaded` — in sustained
+        // overload it cannot succeed and its sort + walk are pure waste.
+        if !self.overloaded {
+            candidates.sort_by_key(|c| (c.critical, c.id));
+            let mut t = now;
+            let all_fit = candidates.iter().all(|c| {
+                t = t.saturating_add(f_max.execution_time(c.remaining));
+                t <= c.termination
+            });
+            if all_fit {
+                self.schedule.clear();
+                self.schedule.append(candidates);
+                return &self.schedule;
+            }
+            self.overloaded = true;
+        }
+
+        // Slow path (overload): full greedy insertion in key order.
+        let mut rejected = false;
         candidates.sort_by(consideration_order);
         self.entries.clear();
         for cand in candidates.drain(..) {
@@ -228,6 +270,7 @@ impl ScheduleBuilder {
             let fits = own_finish <= cand.termination
                 && (pos == self.entries.len() || exec <= self.entries[pos].slack);
             if !fits {
+                rejected = true;
                 match mode {
                     InsertionMode::BreakOnInfeasible => break,
                     InsertionMode::SkipInfeasible => continue,
@@ -277,6 +320,9 @@ impl ScheduleBuilder {
                 self.entries[i].slack = v;
             }
         }
+        // A clean greedy pass means the set was fully feasible after
+        // all — re-arm the fast-path probe for the next event.
+        self.overloaded = rejected;
         self.schedule.clear();
         self.schedule.extend(self.entries.iter().map(|e| e.cand));
         &self.schedule

@@ -6,7 +6,8 @@
 
 use eua_sim::{Decision, SchedContext, SchedulerPolicy};
 
-use crate::candidates::{job_feasible, Candidate, InsertionMode, ScheduleBuilder};
+use crate::candidates::{Candidate, InsertionMode, ScheduleBuilder};
+use crate::score::ScoreCache;
 
 /// Dependent Activity Scheduling Algorithm (independent-task form):
 /// utility-density-ordered greedy scheduling at the maximum frequency.
@@ -26,6 +27,10 @@ pub struct Dasa {
     builder: ScheduleBuilder,
     /// Reused candidate scratch, refilled every event.
     cand_buf: Vec<Candidate>,
+    /// Reused abort scratch, taken by value only on events that abort.
+    abort_buf: Vec<eua_sim::JobId>,
+    /// Event-to-event execution-time and utility cache (DESIGN.md §14).
+    cache: ScoreCache,
 }
 
 impl Dasa {
@@ -44,30 +49,37 @@ impl SchedulerPolicy for Dasa {
     // eua-lint: hot
     fn decide(&mut self, ctx: &SchedContext<'_>) -> Decision {
         let f_m = ctx.platform.f_max();
-        let mut aborts = Vec::new();
+        self.abort_buf.clear();
         self.cand_buf.clear();
+        self.cache.begin(f_m);
         for j in ctx.jobs {
-            if !job_feasible(ctx.now, j, f_m) {
-                aborts.push(j.id);
+            let (exec, utility) = self
+                .cache
+                .score(ctx.now, j, ctx.tasks.task(j.task).tuf(), f_m);
+            if ctx.now.saturating_add(exec) > j.termination {
+                self.abort_buf.push(j.id);
                 continue;
             }
-            let predicted = ctx.now.saturating_add(f_m.execution_time(j.remaining));
-            let sojourn = predicted.saturating_since(j.arrival);
-            let utility = ctx.tasks.task(j.task).tuf().utility(sojourn);
             // Utility density: expected utility per remaining cycle.
             self.cand_buf
                 .push(Candidate::from_view(j, utility / j.remaining.as_f64()));
         }
+        self.cache.commit();
         let schedule = self.builder.rebuild(
             ctx.now,
             &mut self.cand_buf,
             f_m,
             InsertionMode::SkipInfeasible,
         );
+        let aborts = std::mem::take(&mut self.abort_buf);
         match schedule.first() {
             Some(head) => Decision::run(head.id, f_m).with_aborts(aborts),
             None => Decision::idle(f_m).with_aborts(aborts),
         }
+    }
+
+    fn reset(&mut self) {
+        self.cache.clear();
     }
 }
 

@@ -63,6 +63,9 @@ pub struct LookAheadDvs {
     /// Scratch for the deferral walk, reused across calls so the
     /// steady-state analysis performs no per-event heap allocation.
     entries: Vec<Entry>,
+    /// Per-task aggregation scratch for the single job pass, reused
+    /// across calls.
+    scratch: Vec<TaskScratch>,
 }
 
 /// One task's contribution to the deferral walk (scratch state).
@@ -71,6 +74,15 @@ struct Entry {
     critical: SimTime,
     remaining: f64,
     static_rate: f64,
+}
+
+/// Per-task facts gathered in one pass over the live jobs: how many are
+/// pending, and the `(critical, id, remaining)` of the earliest-critical
+/// one.
+#[derive(Debug, Clone, Copy, Default)]
+struct TaskScratch {
+    pending: u32,
+    earliest: Option<(SimTime, eua_sim::JobId, eua_platform::Cycles)>,
 }
 
 impl LookAheadDvs {
@@ -84,6 +96,7 @@ impl LookAheadDvs {
     pub fn reset(&mut self) {
         self.anchors.clear();
         self.entries.clear();
+        self.scratch.clear();
     }
 
     /// Observes the context's arrivals and runs the Algorithm 2 demand
@@ -100,6 +113,32 @@ impl LookAheadDvs {
         }
         let f_m = ctx.platform.f_max().as_f64();
 
+        // One pass over the live jobs (they are in arrival order, so each
+        // task's subsequence is too): count pending jobs, find the
+        // earliest-critical one, and advance the window anchors from
+        // observed arrivals. This replaces the per-task `jobs_of` filter
+        // scans — O(jobs) total instead of O(tasks · jobs) — and
+        // aggregates exactly the facts the old inner loop derived.
+        self.scratch.clear();
+        self.scratch.resize(ctx.tasks.len(), TaskScratch::default());
+        for j in ctx.jobs {
+            let s = &mut self.scratch[j.task.index()];
+            s.pending += 1;
+            let anchor = &mut self.anchors[j.task.index()];
+            match *anchor {
+                None => *anchor = Some(j.arrival),
+                Some(a) if j.arrival >= a.saturating_add(ctx.tasks.task(j.task).uam().window()) => {
+                    *anchor = Some(j.arrival);
+                }
+                _ => {}
+            }
+            if s.earliest
+                .is_none_or(|(crit, id, _)| (j.critical_time, j.id) < (crit, id))
+            {
+                s.earliest = Some((j.critical_time, j.id, j.remaining));
+            }
+        }
+
         self.entries.clear();
         // Aggregate worst-case utilization over ALL tasks (line 2). Tasks
         // without an active window keep their reservation: under UAM they
@@ -108,25 +147,8 @@ impl LookAheadDvs {
         for (tid, task) in ctx.tasks.iter() {
             util += task.demand_rate();
             let window = task.uam().window();
-
-            // Update this task's window anchor from observed arrivals
-            // (views are in arrival order).
-            let anchor = &mut self.anchors[tid.index()];
-            let mut earliest: Option<&eua_sim::JobView> = None;
-            let mut pending = 0u32;
-            for j in ctx.jobs_of(tid) {
-                pending += 1;
-                match *anchor {
-                    None => *anchor = Some(j.arrival),
-                    Some(a) if j.arrival >= a.saturating_add(window) => {
-                        *anchor = Some(j.arrival);
-                    }
-                    _ => {}
-                }
-                if earliest.is_none_or(|e| (j.critical_time, j.id) < (e.critical_time, e.id)) {
-                    earliest = Some(j);
-                }
-            }
+            let anchor = self.anchors[tid.index()];
+            let TaskScratch { pending, earliest } = self.scratch[tid.index()];
 
             // The current window's critical time, while the window is
             // active and the critical time has not yet passed.
@@ -137,13 +159,13 @@ impl LookAheadDvs {
             });
 
             let (critical, remaining) = match (earliest, window_critical) {
-                (Some(first), wc) => {
+                (Some((first_critical, _, first_remaining)), wc) => {
                     let considered = pending.min(task.uam().max_arrivals());
-                    let remaining = first.remaining.as_f64()
+                    let remaining = first_remaining.as_f64()
                         + f64::from(considered.saturating_sub(1)) * task.allocation().as_f64();
                     let critical = match wc {
-                        Some(w) => w.min(first.critical_time),
-                        None => first.critical_time,
+                        Some(w) => w.min(first_critical),
+                        None => first_critical,
                     };
                     (critical, remaining)
                 }

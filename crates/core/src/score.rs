@@ -1,0 +1,263 @@
+//! Incremental per-job score maintenance for the utility-accrual
+//! policies.
+//!
+//! [`Eua`](crate::Eua) and [`Dasa`](crate::Dasa) re-derive, at every
+//! scheduling event, each pending job's predicted execution time at `f_m`
+//! and the TUF utility of its predicted completion. Both values are pure
+//! functions of slowly-changing inputs: the execution time depends only
+//! on `(remaining, f_m)`, and between two events the utility of a
+//! non-executing job can change **only** if the advancing clock pushes
+//! its predicted sojourn off a plateau of its TUF. [`ScoreCache`]
+//! exploits that: it keeps the previous event's scores keyed by job id
+//! and, per job, a *staleness bound* obtained from
+//! [`Tuf::utility_plateau`] — the sojourn range over which the cached
+//! utility is bit-identical to a fresh evaluation. Jobs whose sojourn is
+//! still inside the range (the common case: every pending job except the
+//! one that just executed) are re-admitted without touching the TUF.
+//!
+//! The cache is a merge walk, not a map: scheduling contexts present
+//! jobs in ascending id order, so one cursor over last event's entries
+//! finds each job's prior score in O(1). A miss (new job, changed
+//! remaining, expired plateau, unsorted input) falls back to the direct
+//! computation, so reuse is strictly an optimization — every value the
+//! cache returns is bit-identical to what the uncached code computed.
+//! See DESIGN.md §14 for the staleness invariants.
+
+use eua_platform::{Cycles, Frequency, SimTime, TimeDelta};
+use eua_sim::{JobId, JobView, TaskId};
+use eua_tuf::Tuf;
+
+/// One job's scores from the previous scheduling event, with the
+/// validity conditions under which they may be reused.
+#[derive(Debug, Clone, Copy)]
+struct ScoreEntry {
+    id: JobId,
+    task: TaskId,
+    /// Remaining cycles when scored; `exec` is stale if this changed.
+    remaining: Cycles,
+    /// `f_m.execution_time(remaining)` — valid while `remaining` and the
+    /// cache-wide frequency both hold.
+    exec: TimeDelta,
+    /// `tuf.utility(sojourn_from)`.
+    utility: f64,
+    /// The sojourn this utility was computed at.
+    sojourn_from: TimeDelta,
+    /// End of the TUF plateau containing `sojourn_from`: the utility is
+    /// bit-identical over `[sojourn_from, sojourn_until]`. `None` means
+    /// the value holds forever (the TUF has gone flat).
+    sojourn_until: Option<TimeDelta>,
+}
+
+/// Event-to-event score cache shared by the UER / utility-density hot
+/// loops. Usage per event: [`ScoreCache::begin`], then one
+/// [`ScoreCache::score`] per pending job in ascending id order, then
+/// [`ScoreCache::commit`].
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ScoreCache {
+    /// Last committed event's entries, ascending by id.
+    entries: Vec<ScoreEntry>,
+    /// This event's entries, built by [`ScoreCache::score`].
+    scratch: Vec<ScoreEntry>,
+    /// Merge cursor into `entries`.
+    cursor: usize,
+    /// The frequency all cached `exec` values were computed at.
+    f_m: Option<Frequency>,
+}
+
+impl ScoreCache {
+    /// Starts a new event. A changed `f_m` invalidates every cached
+    /// execution time, so the whole cache is dropped.
+    // eua-lint: hot
+    pub(crate) fn begin(&mut self, f_m: Frequency) {
+        self.scratch.clear();
+        self.cursor = 0;
+        if self.f_m != Some(f_m) {
+            self.entries.clear();
+            self.f_m = Some(f_m);
+        }
+    }
+
+    /// The job's predicted execution time at `f_m` and the utility of
+    /// its predicted completion — from the cache when provably
+    /// unchanged, recomputed otherwise. Bit-identical to
+    /// `f_m.execution_time(j.remaining)` and `tuf.utility(sojourn)`
+    /// either way.
+    // eua-lint: hot
+    pub(crate) fn score(
+        &mut self,
+        now: SimTime,
+        j: &JobView,
+        tuf: &Tuf,
+        f_m: Frequency,
+    ) -> (TimeDelta, f64) {
+        while self.cursor < self.entries.len() && self.entries[self.cursor].id < j.id {
+            self.cursor += 1;
+        }
+        let prior = self
+            .entries
+            .get(self.cursor)
+            .filter(|e| e.id == j.id && e.task == j.task && e.remaining == j.remaining)
+            .copied();
+        // Same remaining + same frequency ⇒ the division result is the
+        // same; reuse skips the 128-bit div-ceil, not just the lookup.
+        let exec = prior.map_or_else(|| f_m.execution_time(j.remaining), |e| e.exec);
+        let sojourn = now.saturating_add(exec).saturating_since(j.arrival);
+        let (utility, sojourn_until) = match prior {
+            Some(e)
+                if sojourn >= e.sojourn_from
+                    && e.sojourn_until.is_none_or(|until| sojourn <= until) =>
+            {
+                (e.utility, e.sojourn_until)
+            }
+            _ => tuf.utility_plateau(sojourn),
+        };
+        self.scratch.push(ScoreEntry {
+            id: j.id,
+            task: j.task,
+            remaining: j.remaining,
+            exec,
+            utility,
+            sojourn_from: sojourn,
+            sojourn_until,
+        });
+        (exec, utility)
+    }
+
+    /// Publishes this event's entries as the next event's cache.
+    // eua-lint: hot
+    pub(crate) fn commit(&mut self) {
+        std::mem::swap(&mut self.entries, &mut self.scratch);
+    }
+
+    /// Drops all cached state. Must be called from the policy's
+    /// `reset()`: job ids and task ids restart between runs, so entries
+    /// from a previous run could otherwise alias unrelated jobs.
+    pub(crate) fn clear(&mut self) {
+        self.entries.clear();
+        self.scratch.clear();
+        self.cursor = 0;
+        self.f_m = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eua_sim::{JobId, TaskId};
+
+    fn view(id: u64, arrival_us: u64, remaining: u64) -> JobView {
+        JobView {
+            id: JobId(id),
+            task: TaskId(0),
+            arrival: SimTime::from_micros(arrival_us),
+            critical_time: SimTime::from_micros(arrival_us + 10_000),
+            termination: SimTime::from_micros(arrival_us + 10_000),
+            remaining: Cycles::new(remaining),
+            executed: Cycles::ZERO,
+        }
+    }
+
+    fn fresh(now: SimTime, j: &JobView, tuf: &Tuf, f_m: Frequency) -> (TimeDelta, f64) {
+        let exec = f_m.execution_time(j.remaining);
+        let sojourn = now.saturating_add(exec).saturating_since(j.arrival);
+        (exec, tuf.utility(sojourn))
+    }
+
+    #[test]
+    fn cached_scores_match_direct_computation_over_a_run() {
+        let f_m = Frequency::from_mhz(100);
+        let shapes = [
+            Tuf::step(7.0, TimeDelta::from_millis(10)).unwrap(),
+            Tuf::linear(5.0, TimeDelta::from_millis(10)).unwrap(),
+            Tuf::exponential(4.0, TimeDelta::from_millis(3), TimeDelta::from_millis(10)).unwrap(),
+        ];
+        for tuf in &shapes {
+            let mut cache = ScoreCache::default();
+            let mut jobs = vec![
+                view(0, 0, 300_000),
+                view(1, 500, 200_000),
+                view(2, 900, 50_000),
+            ];
+            // March time forward; job 1 "executes" (remaining shrinks),
+            // the others idle so their cached scores must stay live.
+            for (step, now_us) in [0u64, 400, 1_000, 2_500, 9_000, 12_000].iter().enumerate() {
+                let now = SimTime::from_micros(*now_us);
+                if step == 2 {
+                    jobs[1].remaining = Cycles::new(120_000);
+                }
+                cache.begin(f_m);
+                for j in &jobs {
+                    let got = cache.score(now, j, tuf, f_m);
+                    let want = fresh(now, j, tuf, f_m);
+                    assert_eq!(got.0, want.0, "exec at t={now_us} for {:?}", j.id);
+                    assert!(
+                        got.1 == want.1,
+                        "utility at t={now_us} for {:?}: cached {} fresh {}",
+                        j.id,
+                        got.1,
+                        want.1
+                    );
+                }
+                cache.commit();
+            }
+        }
+    }
+
+    #[test]
+    fn frequency_change_invalidates_execution_times() {
+        let tuf = Tuf::step(1.0, TimeDelta::from_millis(10)).unwrap();
+        let mut cache = ScoreCache::default();
+        let j = view(0, 0, 100_000);
+        let now = SimTime::ZERO;
+        let slow = Frequency::from_mhz(50);
+        let fast = Frequency::from_mhz(100);
+        cache.begin(slow);
+        assert_eq!(
+            cache.score(now, &j, &tuf, slow).0,
+            TimeDelta::from_micros(2000)
+        );
+        cache.commit();
+        cache.begin(fast);
+        assert_eq!(
+            cache.score(now, &j, &tuf, fast).0,
+            TimeDelta::from_micros(1000)
+        );
+    }
+
+    #[test]
+    fn clear_forgets_previous_run_entries() {
+        let tuf = Tuf::step(3.0, TimeDelta::from_millis(10)).unwrap();
+        let f_m = Frequency::from_mhz(100);
+        let mut cache = ScoreCache::default();
+        let j = view(0, 0, 100_000);
+        cache.begin(f_m);
+        cache.score(SimTime::ZERO, &j, &tuf, f_m);
+        cache.commit();
+        cache.clear();
+        assert!(cache.entries.is_empty());
+        assert_eq!(cache.f_m, None);
+    }
+
+    #[test]
+    fn departed_jobs_drop_out_of_the_walk() {
+        let tuf = Tuf::step(2.0, TimeDelta::from_millis(10)).unwrap();
+        let f_m = Frequency::from_mhz(100);
+        let mut cache = ScoreCache::default();
+        let jobs = [view(0, 0, 10_000), view(1, 0, 20_000), view(2, 0, 30_000)];
+        cache.begin(f_m);
+        for j in &jobs {
+            cache.score(SimTime::ZERO, j, &tuf, f_m);
+        }
+        cache.commit();
+        // Job 1 completed; the cursor must still line up entries for 0
+        // and 2 and produce exact values.
+        let now = SimTime::from_micros(300);
+        cache.begin(f_m);
+        for j in [&jobs[0], &jobs[2]] {
+            let got = cache.score(now, j, &tuf, f_m);
+            assert_eq!(got, fresh(now, j, &tuf, f_m));
+        }
+        cache.commit();
+        assert_eq!(cache.entries.len(), 2);
+    }
+}

@@ -1,0 +1,236 @@
+#![allow(clippy::expect_used, clippy::unwrap_used)] // test code: panicking on bad setup is the point
+
+//! Differential suite for the engine-throughput overhaul: the production
+//! event loop (calendar event queue, arena job state, incremental policy
+//! views — DESIGN.md §14) must be **byte-identical** to the preserved
+//! pre-overhaul loop (`Engine::run_*_reference`) on arbitrary workloads,
+//! across every policy family, with and without fault injection.
+//!
+//! "Byte-identical" is checked at full strength: the two outcomes must
+//! compare equal (metrics, per-job records, traces, fault stats) and the
+//! rendered `eua-certificate/1` documents must be equal as strings.
+//!
+//! The proptest case count defaults to 24 and can be overridden through
+//! the `EUA_ENGINE_DIFF_CASES` environment variable (ci.sh runs this
+//! suite in both invariant-check feature states on a reduced budget).
+
+use eua_core::make_policy;
+use eua_platform::{EnergySetting, TimeDelta};
+use eua_sim::{Engine, FaultPlan, Platform, SimConfig, Task, TaskSet};
+use eua_tuf::Tuf;
+use eua_uam::demand::DemandModel;
+use eua_uam::generator::ArrivalPattern;
+use eua_uam::{Assurance, UamSpec};
+use proptest::prelude::*;
+
+fn diff_cases() -> u32 {
+    std::env::var("EUA_ENGINE_DIFF_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(24)
+}
+
+fn ms(v: u64) -> TimeDelta {
+    TimeDelta::from_millis(v)
+}
+
+/// The policy families under differential test: the UER scheduler with
+/// its incremental score cache, the density baseline sharing that cache,
+/// and the two deadline/laxity baselines with per-event state of their
+/// own.
+const POLICIES: [&str; 4] = ["eua", "dasa", "edf", "llf"];
+
+/// One task with a proptest-chosen TUF shape, window and demand model.
+fn build_task(name: &str, shape: u8, p_ms: u64, a: u32, kilocycles: u64) -> Task {
+    let p = ms(p_ms);
+    let cycles = kilocycles as f64 * 1_000.0;
+    let tuf = match shape % 3 {
+        0 => Tuf::step(10.0, p).unwrap(),
+        1 => Tuf::linear(8.0, p).unwrap(),
+        _ => Tuf::exponential(6.0, ms(p_ms / 2 + 1), p).unwrap(),
+    };
+    let demand = if shape.is_multiple_of(2) {
+        DemandModel::deterministic(cycles).unwrap()
+    } else {
+        DemandModel::normal(cycles, cycles / 2.0).unwrap()
+    };
+    // ν = 1 is only meaningful for the step shape (the paper restricts
+    // it so); decaying shapes get a mid-curve critical time.
+    let nu = if shape.is_multiple_of(3) { 1.0 } else { 0.5 };
+    Task::new(
+        name,
+        tuf,
+        UamSpec::new(a, p).unwrap(),
+        demand,
+        Assurance::new(nu, 0.5).unwrap(),
+    )
+    .unwrap()
+}
+
+#[derive(Debug, Clone)]
+struct WorkloadParams {
+    tasks: Vec<(u8, u64, u32, u64)>,
+}
+
+/// 1–4 tasks spanning underload through heavy overload, window bursts
+/// included (the interesting regimes for abort waves and calendar
+/// churn).
+fn arb_workload() -> impl Strategy<Value = WorkloadParams> {
+    proptest::collection::vec(
+        (
+            0u8..6,       // shape / demand-model selector
+            4u64..40,     // window, ms
+            1u32..4,      // UAM arrivals per window
+            20u64..3_000, // kilocycles per job (up to ~3 windows of work)
+        ),
+        1..4,
+    )
+    .prop_map(|tasks| WorkloadParams { tasks })
+}
+
+fn raise(params: &WorkloadParams) -> (TaskSet, Vec<ArrivalPattern>) {
+    let tasks: Vec<Task> = params
+        .tasks
+        .iter()
+        .enumerate()
+        .map(|(i, &(shape, p_ms, a, kc))| build_task(&format!("t{i}"), shape, p_ms, a, kc))
+        .collect();
+    let patterns = tasks
+        .iter()
+        .map(|t| {
+            if t.uam().max_arrivals() > 1 {
+                ArrivalPattern::window_burst(*t.uam()).unwrap()
+            } else {
+                ArrivalPattern::periodic(t.uam().window()).unwrap()
+            }
+        })
+        .collect();
+    (TaskSet::new(tasks).unwrap(), patterns)
+}
+
+/// Fault plans the differential must hold under: the zero plan (pins
+/// that faulted plumbing stays out of the unfaulted path), and an
+/// everything-on plan (jitter, bursts, demand spread, switch latency,
+/// degraded table, costly aborts — the last one drives the mid-wave
+/// clock advances that stress batched abort processing).
+fn plan_for(intensity: u8) -> FaultPlan {
+    let mut plan = FaultPlan::none();
+    if intensity == 0 {
+        return plan;
+    }
+    plan.uam.extra_per_window = 2;
+    plan.uam.every_n_windows = 2;
+    plan.demand.mean_factor = 1.6;
+    plan.demand.spread = 0.4;
+    plan.dvs.switch_latency_cycles = 5_000;
+    plan.dvs.degraded_mhz = Some(vec![36, 64, 100]);
+    plan.timing.abort_cost = TimeDelta::from_micros(150);
+    plan.timing.arrival_jitter = TimeDelta::from_micros(700);
+    plan
+}
+
+/// Runs one (workload, policy, plan, seed) cell through both loops and
+/// asserts full-outcome equality plus certificate byte-identity.
+fn assert_differential(
+    tasks: &TaskSet,
+    patterns: &[ArrivalPattern],
+    policy_name: &str,
+    plan: &FaultPlan,
+    seed: u64,
+    horizon_ms: u64,
+) {
+    let platform = Platform::powernow(EnergySetting::e1());
+    let config = SimConfig::new(ms(horizon_ms))
+        .with_certificate()
+        .with_job_records()
+        .with_trace();
+
+    let mut policy = make_policy(policy_name).expect("registry policy");
+    let new = Engine::run_with_faults(tasks, patterns, &platform, &mut policy, &config, seed, plan)
+        .expect("production engine runs");
+    let mut policy = make_policy(policy_name).expect("registry policy");
+    let old = Engine::run_with_faults_reference(
+        tasks,
+        patterns,
+        &platform,
+        &mut policy,
+        &config,
+        seed,
+        plan,
+    )
+    .expect("reference engine runs");
+
+    let new_cert = new
+        .certificate
+        .as_ref()
+        .expect("certificate recorded")
+        .render();
+    let old_cert = old
+        .certificate
+        .as_ref()
+        .expect("certificate recorded")
+        .render();
+    assert_eq!(
+        new_cert, old_cert,
+        "policy {policy_name}, seed {seed}: certificates diverged"
+    );
+    assert_eq!(
+        new, old,
+        "policy {policy_name}, seed {seed}: outcomes diverged"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(diff_cases()))]
+
+    #[test]
+    fn production_loop_matches_reference_loop(
+        params in arb_workload(),
+        policy_pick in 0usize..POLICIES.len(),
+        intensity in 0u8..2,
+        seed in 0u64..10_000,
+    ) {
+        let (tasks, patterns) = raise(&params);
+        assert_differential(
+            &tasks,
+            &patterns,
+            POLICIES[policy_pick],
+            &plan_for(intensity),
+            seed,
+            150,
+        );
+    }
+}
+
+/// Deterministic pin: every registry policy family, both fault
+/// intensities, on a fixed mixed workload. Catches divergence even when
+/// the proptest budget is reduced to almost nothing.
+#[test]
+fn all_policies_match_reference_on_the_fixed_workload() {
+    let params = WorkloadParams {
+        tasks: vec![(0, 10, 2, 700), (1, 15, 1, 400), (4, 25, 3, 1_800)],
+    };
+    let (tasks, patterns) = raise(&params);
+    for name in POLICIES {
+        for intensity in 0..2 {
+            assert_differential(&tasks, &patterns, name, &plan_for(intensity), 42, 200);
+        }
+    }
+}
+
+/// Overload with many same-instant terminations: several jobs share each
+/// termination time, so the batched abort wave must visit and abort them
+/// in exactly the reference order for certificates to stay identical.
+#[test]
+fn termination_tie_waves_match_reference() {
+    let params = WorkloadParams {
+        tasks: vec![(0, 10, 3, 2_500), (0, 10, 3, 2_500)],
+    };
+    let (tasks, patterns) = raise(&params);
+    for name in ["eua", "eua-na", "edf-na"] {
+        // Costly aborts advance the clock mid-wave — the regime where a
+        // naive wave implementation diverges first.
+        assert_differential(&tasks, &patterns, name, &plan_for(1), 7, 150);
+        assert_differential(&tasks, &patterns, name, &FaultPlan::none(), 7, 150);
+    }
+}

@@ -1,0 +1,224 @@
+//! Arena job storage: generational slots with a struct-of-arrays layout.
+//!
+//! The engine's event loop touches a small set of per-job fields on every
+//! event (termination for the overdue sweep, remaining cycles for the
+//! execute step); the rest (id, owning task, arrival, critical time) is
+//! read only at admission, decision recording, and job end. The arena
+//! splits the two: hot fields live in parallel columns indexed by slot so
+//! a sweep over the live set streams contiguously, cold metadata sits in
+//! its own column, and freed slots are recycled through a free list.
+//!
+//! Handles are generational: a [`JobRef`] pairs the slot index with the
+//! generation the slot had when the job was admitted, and every accessor
+//! checks the pair in debug builds. A stale handle — one kept across the
+//! job's release — can therefore never silently alias the slot's next
+//! occupant. See DESIGN.md §14.
+
+use eua_platform::{Cycles, SimTime};
+
+use crate::ids::{JobId, TaskId};
+
+/// A generational handle to one job in a [`JobArena`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct JobRef {
+    slot: u32,
+    gen: u32,
+}
+
+impl JobRef {
+    /// The raw slot index (stable for the job's lifetime; reused after
+    /// release under a bumped generation).
+    #[inline]
+    pub(crate) fn slot(self) -> u32 {
+        self.slot
+    }
+}
+
+/// Cold per-job metadata, written once at admission.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct JobMeta {
+    pub id: JobId,
+    pub task: TaskId,
+    pub arrival: SimTime,
+    pub critical: SimTime,
+}
+
+/// Slot-indexed job storage. Columns never shrink; a released slot is
+/// recycled by the next admission.
+#[derive(Debug, Default)]
+pub(crate) struct JobArena {
+    // Hot columns: what the overdue sweep and the execute step read.
+    termination: Vec<SimTime>,
+    actual: Vec<Cycles>,
+    allocation: Vec<Cycles>,
+    executed: Vec<Cycles>,
+    // Cold columns.
+    meta: Vec<JobMeta>,
+    gen: Vec<u32>,
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl JobArena {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Admits a job, recycling a freed slot when one exists.
+    pub(crate) fn insert(
+        &mut self,
+        meta: JobMeta,
+        termination: SimTime,
+        actual: Cycles,
+        allocation: Cycles,
+    ) -> JobRef {
+        self.live += 1;
+        if let Some(slot) = self.free.pop() {
+            let i = slot as usize;
+            self.termination[i] = termination;
+            self.actual[i] = actual;
+            self.allocation[i] = allocation;
+            self.executed[i] = Cycles::ZERO;
+            self.meta[i] = meta;
+            JobRef {
+                slot,
+                gen: self.gen[i],
+            }
+        } else {
+            #[allow(clippy::expect_used)] // 2^32 slots would exhaust memory first
+            let slot = u32::try_from(self.meta.len()).expect("arena slot count fits u32");
+            self.termination.push(termination);
+            self.actual.push(actual);
+            self.allocation.push(allocation);
+            self.executed.push(Cycles::ZERO);
+            self.meta.push(meta);
+            self.gen.push(0);
+            JobRef { slot, gen: 0 }
+        }
+    }
+
+    /// Releases a job: bumps the slot's generation (invalidating every
+    /// outstanding [`JobRef`] to it) and recycles the slot.
+    pub(crate) fn release(&mut self, r: JobRef) {
+        debug_assert!(self.is_live(r), "release of a dead job handle");
+        let i = r.slot as usize;
+        self.gen[i] = self.gen[i].wrapping_add(1);
+        self.free.push(r.slot);
+        self.live -= 1;
+    }
+
+    /// Whether `r` still names a live job (its slot has not been
+    /// released since the handle was issued).
+    #[inline]
+    pub(crate) fn is_live(&self, r: JobRef) -> bool {
+        self.gen.get(r.slot as usize) == Some(&r.gen)
+    }
+
+    #[inline]
+    fn check(&self, r: JobRef) -> usize {
+        debug_assert!(self.is_live(r), "access through a dead job handle");
+        r.slot as usize
+    }
+
+    #[inline]
+    pub(crate) fn termination(&self, r: JobRef) -> SimTime {
+        self.termination[self.check(r)]
+    }
+
+    #[inline]
+    pub(crate) fn executed(&self, r: JobRef) -> Cycles {
+        self.executed[self.check(r)]
+    }
+
+    #[inline]
+    pub(crate) fn actual(&self, r: JobRef) -> Cycles {
+        self.actual[self.check(r)]
+    }
+
+    /// Actual cycles still needed; zero means complete.
+    #[inline]
+    pub(crate) fn actual_remaining(&self, r: JobRef) -> Cycles {
+        let i = self.check(r);
+        self.actual[i].saturating_sub(self.executed[i])
+    }
+
+    /// What the scheduler believes remains: allocation minus executed,
+    /// floored at one cycle (mirrors `LiveJob::believed_remaining`).
+    #[inline]
+    pub(crate) fn believed_remaining(&self, r: JobRef) -> Cycles {
+        let i = self.check(r);
+        let believed = self.allocation[i].saturating_sub(self.executed[i]);
+        if believed.is_zero() {
+            Cycles::new(1)
+        } else {
+            believed
+        }
+    }
+
+    #[inline]
+    pub(crate) fn add_executed(&mut self, r: JobRef, cycles: Cycles) {
+        let i = self.check(r);
+        self.executed[i] += cycles;
+    }
+
+    #[inline]
+    pub(crate) fn meta(&self, r: JobRef) -> JobMeta {
+        self.meta[self.check(r)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(id: u64) -> JobMeta {
+        JobMeta {
+            id: JobId(id),
+            task: TaskId(0),
+            arrival: SimTime::ZERO,
+            critical: SimTime::from_micros(10),
+        }
+    }
+
+    #[test]
+    fn slots_recycle_with_fresh_generations() {
+        let mut arena = JobArena::new();
+        let a = arena.insert(
+            meta(0),
+            SimTime::from_micros(20),
+            Cycles::new(100),
+            Cycles::new(120),
+        );
+        assert!(arena.is_live(a));
+        arena.release(a);
+        assert!(!arena.is_live(a));
+        let b = arena.insert(
+            meta(1),
+            SimTime::from_micros(30),
+            Cycles::new(50),
+            Cycles::new(50),
+        );
+        // Same slot, new generation: the old handle stays dead.
+        assert_eq!(a.slot(), b.slot());
+        assert!(!arena.is_live(a));
+        assert!(arena.is_live(b));
+        assert_eq!(arena.meta(b).id, JobId(1));
+    }
+
+    #[test]
+    fn remaining_mirrors_live_job_semantics() {
+        let mut arena = JobArena::new();
+        let r = arena.insert(
+            meta(0),
+            SimTime::from_micros(20),
+            Cycles::new(200),
+            Cycles::new(120),
+        );
+        arena.add_executed(r, Cycles::new(150));
+        assert_eq!(arena.actual_remaining(r).get(), 50);
+        // Allocation exhausted but the job is incomplete: floors at 1.
+        assert_eq!(arena.believed_remaining(r).get(), 1);
+        arena.add_executed(r, Cycles::new(50));
+        assert!(arena.actual_remaining(r).is_zero());
+    }
+}

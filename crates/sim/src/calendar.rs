@@ -1,0 +1,223 @@
+//! A bucketed calendar queue over absolute termination times.
+//!
+//! The engine needs exactly one query — "what is the earliest live
+//! termination?" — at every passive-event computation, and the old loop
+//! answered it with an O(live) scan. The calendar hashes each termination
+//! into one of [`BUCKETS`] ring buckets of [`WIDTH_US`] microseconds and
+//! keeps the minimum cached, so the steady-state cost is O(1) per query
+//! and O(1) per insert, with removals eager (the engine knows the exact
+//! `(time, slot)` pair when a job dies, so no lazy-deletion generation
+//! checks are needed here).
+//!
+//! When the cached minimum is removed, the next query rescans bucket
+//! windows in time order starting from the removed minimum — remaining
+//! entries can only be later than it. If a full ring span
+//! ([`BUCKETS`] × [`WIDTH_US`] ≈ 65 ms) holds nothing, the queue falls
+//! back to a direct scan of all buckets, which is never worse than the
+//! linear sweep it replaced. Ties between equal timestamps are not
+//! resolved here: the calendar yields only the instant, and the abort
+//! wave visits jobs in arrival (= id) order, which keeps same-timestamp
+//! processing deterministic. See DESIGN.md §14.
+
+use eua_platform::SimTime;
+
+const BUCKETS: usize = 64;
+const WIDTH_US: u64 = 1024;
+
+#[derive(Debug)]
+pub(crate) struct TerminationCalendar {
+    buckets: Vec<Vec<(SimTime, u32)>>,
+    len: usize,
+    /// The minimum over all entries, valid when `!dirty`.
+    cached: Option<SimTime>,
+    dirty: bool,
+    /// Lower bound for the next rescan: every remaining entry is at or
+    /// past this instant (it was the minimum when it was removed).
+    rescan_from: SimTime,
+}
+
+#[inline]
+fn bucket_of(window: u64) -> usize {
+    (window % BUCKETS as u64) as usize
+}
+
+impl TerminationCalendar {
+    pub(crate) fn new() -> Self {
+        TerminationCalendar {
+            buckets: (0..BUCKETS).map(|_| Vec::new()).collect(),
+            len: 0,
+            cached: None,
+            dirty: false,
+            rescan_from: SimTime::ZERO,
+        }
+    }
+
+    // eua-lint: hot
+    pub(crate) fn insert(&mut self, t: SimTime, slot: u32) {
+        self.buckets[bucket_of(t.as_micros() / WIDTH_US)].push((t, slot));
+        self.len += 1;
+        if self.dirty {
+            // Remaining entries are all >= rescan_from, so an insert at
+            // or below it is the new minimum outright.
+            if t <= self.rescan_from {
+                self.cached = Some(t);
+                self.dirty = false;
+            }
+        } else {
+            self.cached = Some(self.cached.map_or(t, |c| c.min(t)));
+        }
+    }
+
+    /// Removes the entry `(t, slot)`. The pair must be present — the
+    /// engine removes each job exactly once, at its death, with its
+    /// termination time in hand.
+    // eua-lint: hot
+    pub(crate) fn remove(&mut self, t: SimTime, slot: u32) {
+        let bucket = &mut self.buckets[bucket_of(t.as_micros() / WIDTH_US)];
+        #[allow(clippy::expect_used)] // the engine inserts each job exactly once
+        let idx = bucket
+            .iter()
+            .position(|&e| e == (t, slot))
+            .expect("calendar remove of an absent entry");
+        bucket.swap_remove(idx);
+        self.len -= 1;
+        if self.len == 0 {
+            self.cached = None;
+            self.dirty = false;
+        } else if !self.dirty && self.cached == Some(t) {
+            self.dirty = true;
+            self.rescan_from = t;
+        }
+    }
+
+    /// The earliest live termination, or `None` when empty. Amortized
+    /// O(1): a rescan runs only after the minimum itself was removed.
+    // eua-lint: hot
+    pub(crate) fn earliest(&mut self) -> Option<SimTime> {
+        if self.len == 0 {
+            return None;
+        }
+        if self.dirty {
+            self.rescan();
+        }
+        self.cached
+    }
+
+    // eua-lint: hot
+    fn rescan(&mut self) {
+        debug_assert!(self.len > 0);
+        // Walk bucket windows in time order from the old minimum; the
+        // first non-empty window holds the new minimum.
+        let base = self.rescan_from.as_micros() / WIDTH_US;
+        for k in 0..BUCKETS as u64 {
+            let window = base.saturating_add(k);
+            let lo = window.saturating_mul(WIDTH_US);
+            let hi = lo.saturating_add(WIDTH_US);
+            let mut best: Option<SimTime> = None;
+            for &(t, _) in &self.buckets[bucket_of(window)] {
+                let us = t.as_micros();
+                if us >= lo && us < hi {
+                    best = Some(best.map_or(t, |b| b.min(t)));
+                }
+            }
+            if best.is_some() {
+                self.cached = best;
+                self.dirty = false;
+                return;
+            }
+        }
+        // Nothing within one ring span: direct scan (bounded by the
+        // linear sweep this queue replaced).
+        let mut best = SimTime::MAX;
+        for bucket in &self.buckets {
+            for &(t, _) in bucket {
+                best = best.min(t);
+            }
+        }
+        self.cached = Some(best);
+        self.dirty = false;
+    }
+
+    #[cfg(test)]
+    fn assert_consistent(&mut self) {
+        let direct = self.buckets.iter().flatten().map(|&(t, _)| t).min();
+        assert_eq!(self.earliest(), direct);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(t: u64) -> SimTime {
+        SimTime::from_micros(t)
+    }
+
+    #[test]
+    fn tracks_minimum_through_inserts_and_removals() {
+        let mut cal = TerminationCalendar::new();
+        assert_eq!(cal.earliest(), None);
+        cal.insert(us(5000), 0);
+        cal.insert(us(120), 1);
+        cal.insert(us(70_000), 2); // different ring window than 120
+        cal.assert_consistent();
+        cal.remove(us(120), 1);
+        cal.assert_consistent();
+        assert_eq!(cal.earliest(), Some(us(5000)));
+        cal.remove(us(5000), 0);
+        assert_eq!(cal.earliest(), Some(us(70_000)));
+        cal.remove(us(70_000), 2);
+        assert_eq!(cal.earliest(), None);
+    }
+
+    #[test]
+    fn far_future_entries_use_the_fallback_scan() {
+        let mut cal = TerminationCalendar::new();
+        cal.insert(us(10), 0);
+        // Far beyond one ring span (64 × 1024 µs) — and aliasing the
+        // same bucket as an earlier window.
+        cal.insert(us(10 + 64 * 1024 * 3), 1);
+        cal.insert(us(1_000_000_000), 2);
+        cal.remove(us(10), 0);
+        cal.assert_consistent();
+        cal.remove(us(10 + 64 * 1024 * 3), 1);
+        cal.assert_consistent();
+    }
+
+    #[test]
+    fn duplicate_timestamps_are_distinct_entries() {
+        let mut cal = TerminationCalendar::new();
+        cal.insert(us(500), 0);
+        cal.insert(us(500), 1);
+        cal.remove(us(500), 0);
+        // The twin at the same instant keeps the minimum alive.
+        assert_eq!(cal.earliest(), Some(us(500)));
+        cal.remove(us(500), 1);
+        assert_eq!(cal.earliest(), None);
+    }
+
+    #[test]
+    fn insert_below_rescan_floor_repairs_the_cache() {
+        let mut cal = TerminationCalendar::new();
+        cal.insert(us(100), 0);
+        cal.insert(us(9000), 1);
+        cal.remove(us(100), 0); // cache dirty, floor = 100
+        cal.insert(us(50), 2); // below the floor: new minimum outright
+        assert_eq!(cal.earliest(), Some(us(50)));
+        cal.assert_consistent();
+    }
+
+    #[test]
+    fn bucket_aliasing_within_one_window_is_exact() {
+        let mut cal = TerminationCalendar::new();
+        // Same bucket (window differs by exactly BUCKETS): the window
+        // filter must not confuse them.
+        let a = 2 * 1024 + 7;
+        let b = a + (BUCKETS as u64) * 1024;
+        cal.insert(us(b), 0);
+        cal.insert(us(a), 1);
+        assert_eq!(cal.earliest(), Some(us(a)));
+        cal.remove(us(a), 1);
+        assert_eq!(cal.earliest(), Some(us(b)));
+    }
+}

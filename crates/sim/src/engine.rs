@@ -6,6 +6,8 @@ use eua_uam::ArrivalTrace;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
+use crate::arena::{JobArena, JobMeta, JobRef};
+use crate::calendar::TerminationCalendar;
 use crate::certificate::{
     ChargeKind, ChargeRecord, EventRecord, JobSnapshot, RunCertificate, TaskDecl,
 };
@@ -14,7 +16,7 @@ use crate::error::SimError;
 use crate::faults::{map_to_degraded, FaultPlan, FaultStats};
 use crate::ids::{JobId, TaskId};
 use crate::invariants::InvariantChecker;
-use crate::job::{JobOutcome, JobRecord, LiveJob};
+use crate::job::{JobOutcome, JobRecord};
 use crate::metrics::Metrics;
 use crate::platform_view::Platform;
 use crate::policy::SchedulerPolicy;
@@ -328,6 +330,12 @@ impl Engine {
         )
     }
 
+    /// The production event loop: calendar event queue, arena job state,
+    /// and an incrementally maintained policy view (DESIGN.md §14). The
+    /// pre-overhaul loop is preserved in [`crate::reference`] and runs
+    /// over the same [`PreparedRun`]; the `engine_differential` suite
+    /// pins the two to byte-identical certificates.
+    // eua-lint: hot
     #[allow(clippy::too_many_arguments)]
     fn run_core<P: SchedulerPolicy + ?Sized>(
         tasks: &TaskSet,
@@ -339,120 +347,8 @@ impl Engine {
         seed: u64,
         plan: &FaultPlan,
     ) -> Result<Outcome, SimError> {
-        if config.horizon.is_zero() {
-            return Err(SimError::ZeroHorizon);
-        }
-        plan.validate()?;
-        let horizon_end = SimTime::ZERO + config.horizon;
-
-        // Fault randomness lives in its own seed-derived stream so an
-        // active plan never re-deals the legal workload (and an inactive
-        // one draws nothing at all).
-        let mut fault_rng = FaultPlan::rng(seed);
-        let mut stats = FaultStats::default();
-        let perturbed;
-        let traces: &[ArrivalTrace] = if plan.arrivals_faulted() {
-            let before: u64 = traces.iter().map(|t| t.iter().count() as u64).sum();
-            perturbed = plan.apply_to_traces(traces, tasks, horizon_end, &mut fault_rng);
-            let after: u64 = perturbed.iter().map(|t| t.iter().count() as u64).sum();
-            stats.injected_arrivals = after.saturating_sub(before);
-            &perturbed
-        } else {
-            traces
-        };
-
-        // The degraded frequency view, when the plan restricts the table:
-        // policies see (and the engine dispatches onto) only the surviving
-        // frequencies, while energy is still billed by the true platform
-        // model.
-        let degraded = plan.degraded_table(platform.table())?;
-        let policy_platform = match &degraded {
-            Some(kept) => Some(Platform::new(
-                eua_platform::FrequencyTable::new(kept.iter().map(|f| f.as_mhz())).map_err(
-                    |e| SimError::InvalidFaultPlan {
-                        reason: format!("degraded frequency set is unusable: {e}"),
-                    },
-                )?,
-                *platform.setting(),
-            )),
-            None => None,
-        };
-
-        // Merge all arrivals into one time-ordered stream (stable in task
-        // order at equal instants) and pre-sample actual demands in that
-        // order so results are reproducible per seed.
-        let mut arrivals: Vec<(SimTime, TaskId)> = Vec::new();
-        for (i, trace) in traces.iter().enumerate() {
-            for t in trace.iter().filter(|&t| t < horizon_end) {
-                arrivals.push((t, TaskId(i)));
-            }
-        }
-        arrivals.sort_by_key(|&(t, tid)| (t, tid));
-        let demand_faulted = plan.demand_faulted();
-        let demands: Vec<Cycles> = arrivals
-            .iter()
-            .map(|&(_, tid)| {
-                let sampled = tasks.task(tid).demand().sample(rng);
-                plan.perturb_demand(sampled, &mut fault_rng)
-            })
-            .collect();
-        if demand_faulted {
-            stats.perturbed_demands = demands.len() as u64;
-        }
-
-        policy.reset();
-        // Told unconditionally so a policy reused across runs drops any
-        // stale certification state when recording is off.
-        policy.certify(config.record_certificate);
-        let cert = config.record_certificate.then(|| RunCertificate {
-            policy: policy.name().to_string(),
-            seed,
-            horizon: config.horizon,
-            frequencies_mhz: platform.table().iter().map(|f| f.as_mhz()).collect(),
-            policy_frequencies_mhz: policy_platform
-                .as_ref()
-                .unwrap_or(platform)
-                .table()
-                .iter()
-                .map(|f| f.as_mhz())
-                .collect(),
-            energy_name: platform.setting().name().to_string(),
-            energy_rel: platform.setting().relative_coefficients(),
-            idle_power: config.idle_power,
-            tasks: tasks.iter().map(|(_, t)| TaskDecl::from_task(t)).collect(),
-            arrivals: arrivals.iter().map(|&(t, tid)| (t, tid.index())).collect(),
-            events: Vec::new(),
-            charges: Vec::new(),
-            final_energy: 0.0,
-        });
-        let mut state = EngineState {
-            tasks,
-            platform,
-            config,
-            plan,
-            horizon_end,
-            arrivals,
-            demands,
-            cursor: 0,
-            next_job_id: 0,
-            now: SimTime::ZERO,
-            live: Vec::new(),
-            running: None,
-            last_freq: None,
-            degraded,
-            policy_platform,
-            stuck_at: plan
-                .dvs
-                .stuck_after
-                .map(|after| SimTime::ZERO.saturating_add(after)),
-            stuck_freq: None,
-            stats,
-            metrics: Metrics::new(config.horizon, tasks.len()),
-            trace: config.record_trace.then(ExecutionTrace::new),
-            records: config.record_jobs.then(Vec::new),
-            cert,
-            invariants: InvariantChecker::new(tasks.len()),
-        };
+        let prep = prepare_run(tasks, traces, platform, policy, config, rng, seed, plan)?;
+        let mut state = EngineState::new(tasks, platform, config, plan, prep);
         state.run_loop(policy)?;
         state.invariants.finish(state.metrics.energy);
         if let Some(cert) = state.cert.as_mut() {
@@ -468,6 +364,132 @@ impl Engine {
     }
 }
 
+/// Everything both event loops consume, computed once: the validated
+/// plan's perturbed arrival stream, pre-sampled demands, the degraded
+/// platform view, and the certificate skeleton. Sharing this preamble is
+/// what makes `run_core` and `run_core_reference` byte-comparable — they
+/// cannot drift in setup, only in the loop itself.
+pub(crate) struct PreparedRun {
+    pub(crate) horizon_end: SimTime,
+    pub(crate) arrivals: Vec<(SimTime, TaskId)>,
+    pub(crate) demands: Vec<Cycles>,
+    /// The surviving frequency set under a DVS degradation fault.
+    pub(crate) degraded: Option<Vec<Frequency>>,
+    /// The platform view handed to policies when `degraded` is set.
+    pub(crate) policy_platform: Option<Platform>,
+    pub(crate) stats: FaultStats,
+    /// The decision certificate skeleton, when recording.
+    pub(crate) cert: Option<RunCertificate>,
+}
+
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn prepare_run<P: SchedulerPolicy + ?Sized>(
+    tasks: &TaskSet,
+    traces: &[ArrivalTrace],
+    platform: &Platform,
+    policy: &mut P,
+    config: &SimConfig,
+    rng: &mut SmallRng,
+    seed: u64,
+    plan: &FaultPlan,
+) -> Result<PreparedRun, SimError> {
+    if config.horizon.is_zero() {
+        return Err(SimError::ZeroHorizon);
+    }
+    plan.validate()?;
+    let horizon_end = SimTime::ZERO + config.horizon;
+
+    // Fault randomness lives in its own seed-derived stream so an
+    // active plan never re-deals the legal workload (and an inactive
+    // one draws nothing at all).
+    let mut fault_rng = FaultPlan::rng(seed);
+    let mut stats = FaultStats::default();
+    let perturbed;
+    let traces: &[ArrivalTrace] = if plan.arrivals_faulted() {
+        let before: u64 = traces.iter().map(|t| t.iter().count() as u64).sum();
+        perturbed = plan.apply_to_traces(traces, tasks, horizon_end, &mut fault_rng);
+        let after: u64 = perturbed.iter().map(|t| t.iter().count() as u64).sum();
+        stats.injected_arrivals = after.saturating_sub(before);
+        &perturbed
+    } else {
+        traces
+    };
+
+    // The degraded frequency view, when the plan restricts the table:
+    // policies see (and the engine dispatches onto) only the surviving
+    // frequencies, while energy is still billed by the true platform
+    // model.
+    let degraded = plan.degraded_table(platform.table())?;
+    let policy_platform = match &degraded {
+        Some(kept) => Some(Platform::new(
+            eua_platform::FrequencyTable::new(kept.iter().map(|f| f.as_mhz())).map_err(|e| {
+                SimError::InvalidFaultPlan {
+                    reason: format!("degraded frequency set is unusable: {e}"),
+                }
+            })?,
+            *platform.setting(),
+        )),
+        None => None,
+    };
+
+    // Merge all arrivals into one time-ordered stream (stable in task
+    // order at equal instants) and pre-sample actual demands in that
+    // order so results are reproducible per seed.
+    let mut arrivals: Vec<(SimTime, TaskId)> = Vec::new();
+    for (i, trace) in traces.iter().enumerate() {
+        for t in trace.iter().filter(|&t| t < horizon_end) {
+            arrivals.push((t, TaskId(i)));
+        }
+    }
+    arrivals.sort_by_key(|&(t, tid)| (t, tid));
+    let demand_faulted = plan.demand_faulted();
+    let demands: Vec<Cycles> = arrivals
+        .iter()
+        .map(|&(_, tid)| {
+            let sampled = tasks.task(tid).demand().sample(rng);
+            plan.perturb_demand(sampled, &mut fault_rng)
+        })
+        .collect();
+    if demand_faulted {
+        stats.perturbed_demands = demands.len() as u64;
+    }
+
+    policy.reset();
+    // Told unconditionally so a policy reused across runs drops any
+    // stale certification state when recording is off.
+    policy.certify(config.record_certificate);
+    let cert = config.record_certificate.then(|| RunCertificate {
+        policy: policy.name().to_string(),
+        seed,
+        horizon: config.horizon,
+        frequencies_mhz: platform.table().iter().map(|f| f.as_mhz()).collect(),
+        policy_frequencies_mhz: policy_platform
+            .as_ref()
+            .unwrap_or(platform)
+            .table()
+            .iter()
+            .map(|f| f.as_mhz())
+            .collect(),
+        energy_name: platform.setting().name().to_string(),
+        energy_rel: platform.setting().relative_coefficients(),
+        idle_power: config.idle_power,
+        tasks: tasks.iter().map(|(_, t)| TaskDecl::from_task(t)).collect(),
+        arrivals: arrivals.iter().map(|&(t, tid)| (t, tid.index())).collect(),
+        events: Vec::new(),
+        charges: Vec::new(),
+        final_energy: 0.0,
+    });
+    Ok(PreparedRun {
+        horizon_end,
+        arrivals,
+        demands,
+        degraded,
+        policy_platform,
+        stats,
+        cert,
+    })
+}
+
 struct EngineState<'a> {
     tasks: &'a TaskSet,
     platform: &'a Platform,
@@ -479,7 +501,19 @@ struct EngineState<'a> {
     cursor: usize,
     next_job_id: u64,
     now: SimTime,
-    live: Vec<LiveJob>,
+    /// Slot storage for every live job's fields.
+    arena: JobArena,
+    /// Live jobs in arrival (= id) order; lockstep with `views`.
+    order: Vec<JobRef>,
+    /// The policy-facing projection of `order`, maintained incrementally:
+    /// only a dispatched job's `remaining`/`executed` ever change, so the
+    /// old per-event collect is replaced by one in-place update.
+    views: Vec<JobView>,
+    /// Tombstones in `order`/`views` awaiting `compact` (an abort wave
+    /// marks in place and compacts once).
+    dead: usize,
+    /// Live termination times, for O(1) earliest-event queries.
+    calendar: TerminationCalendar,
     running: Option<JobId>,
     last_freq: Option<Frequency>,
     /// The surviving frequency set under a DVS degradation fault.
@@ -499,7 +533,49 @@ struct EngineState<'a> {
     invariants: InvariantChecker,
 }
 
-impl EngineState<'_> {
+impl<'a> EngineState<'a> {
+    fn new(
+        tasks: &'a TaskSet,
+        platform: &'a Platform,
+        config: &'a SimConfig,
+        plan: &'a FaultPlan,
+        prep: PreparedRun,
+    ) -> Self {
+        EngineState {
+            tasks,
+            platform,
+            config,
+            plan,
+            horizon_end: prep.horizon_end,
+            arrivals: prep.arrivals,
+            demands: prep.demands,
+            cursor: 0,
+            next_job_id: 0,
+            now: SimTime::ZERO,
+            arena: JobArena::new(),
+            order: Vec::new(),
+            views: Vec::new(),
+            dead: 0,
+            calendar: TerminationCalendar::new(),
+            running: None,
+            last_freq: None,
+            degraded: prep.degraded,
+            policy_platform: prep.policy_platform,
+            stuck_at: plan
+                .dvs
+                .stuck_after
+                .map(|after| SimTime::ZERO.saturating_add(after)),
+            stuck_freq: None,
+            stats: prep.stats,
+            metrics: Metrics::new(config.horizon, tasks.len()),
+            trace: config.record_trace.then(ExecutionTrace::new),
+            records: config.record_jobs.then(Vec::new),
+            cert: prep.cert,
+            invariants: InvariantChecker::new(tasks.len()),
+        }
+    }
+
+    // eua-lint: hot
     fn run_loop<P: SchedulerPolicy + ?Sized>(&mut self, policy: &mut P) -> Result<(), SimError> {
         let mut event = SchedEvent::Start;
         loop {
@@ -526,10 +602,11 @@ impl EngineState<'_> {
                 break;
             }
             // 4. Fast-forward through idle gaps.
-            if self.live.is_empty() {
+            if self.order.is_empty() {
                 match self.arrivals.get(self.cursor) {
                     Some(&(t, _)) => {
-                        self.advance_idle(t.min(self.horizon_end));
+                        let stop = t.min(self.horizon_end);
+                        self.advance_idle(stop);
                         continue;
                     }
                     None => {
@@ -538,15 +615,15 @@ impl EngineState<'_> {
                     }
                 }
             }
-            // 5. Ask the policy. Under a degraded-frequency fault the
-            // policy sees (and budgets against) only the surviving
-            // frequencies.
-            let views: Vec<JobView> = self.live.iter().map(job_view).collect();
+            // 5. Ask the policy. `views` is maintained incrementally, so
+            // no per-event collect happens here. Under a degraded-
+            // frequency fault the policy sees (and budgets against) only
+            // the surviving frequencies.
             let decision = {
                 let ctx = SchedContext {
                     now: self.now,
                     event,
-                    jobs: &views,
+                    jobs: &self.views,
                     tasks: self.tasks,
                     platform: self.policy_platform.as_ref().unwrap_or(self.platform),
                     running: self.running,
@@ -554,20 +631,7 @@ impl EngineState<'_> {
                 };
                 policy.decide(&ctx)
             };
-            // Certificate: every decision is recorded at its instant —
-            // including ones later discarded by a costly-abort clock jump,
-            // which were still valid when taken.
-            if let Some(cert) = self.cert.as_mut() {
-                cert.events.push(EventRecord {
-                    at: self.now,
-                    trigger: event,
-                    ready: views.iter().map(JobSnapshot::from_view).collect(),
-                    run: decision.run,
-                    frequency: decision.frequency,
-                    aborts: decision.abort.clone(),
-                    explanation: policy.explain(),
-                });
-            }
+            self.record_decision(event, &decision, policy);
             event = SchedEvent::Start; // consumed; will be overwritten below
             if let Some(aborted) = self.apply_policy_aborts(&decision)? {
                 if !self.plan.timing.abort_cost.is_zero() {
@@ -581,7 +645,8 @@ impl EngineState<'_> {
             let Some(run_id) = decision.run else {
                 // Idle until something happens.
                 self.running = None;
-                self.advance_idle(self.next_passive_event());
+                let stop = self.next_passive_event();
+                self.advance_idle(stop);
                 continue;
             };
             if !self
@@ -594,7 +659,7 @@ impl EngineState<'_> {
                     mhz: decision.frequency.as_mhz(),
                 });
             }
-            let Some(job_idx) = self.live.iter().position(|j| j.id == run_id) else {
+            let Some(job_idx) = self.find_live(run_id) else {
                 return Err(SimError::UnknownJob { job: run_id });
             };
             let mut freq = decision.frequency;
@@ -624,7 +689,7 @@ impl EngineState<'_> {
             if let Some(old) = self.running {
                 if switching_job {
                     self.metrics.context_switches += 1;
-                    if self.live.iter().any(|j| j.id == old) {
+                    if self.find_live(old).is_some() {
                         self.metrics.preemptions += 1;
                     }
                 }
@@ -672,29 +737,31 @@ impl EngineState<'_> {
             self.running = Some(run_id);
 
             // 7. Execute until the next event.
-            let completion_at = {
-                let job = &self.live[job_idx];
-                self.now
-                    .saturating_add(freq.execution_time(job.actual_remaining()))
-            };
+            let r = self.order[job_idx];
+            let completion_at = self
+                .now
+                .saturating_add(freq.execution_time(self.arena.actual_remaining(r)));
             self.invariants.executing(run_id);
             let next = self.next_passive_event().min(completion_at).max(self.now);
             let delta = next - self.now;
-            let job = &mut self.live[job_idx];
-            let cycles = freq.cycles_in(delta).min(job.actual_remaining());
-            job.executed += cycles;
+            let cycles = freq.cycles_in(delta).min(self.arena.actual_remaining(r));
+            self.arena.add_executed(r, cycles);
+            // The dispatched job is the only live job whose view fields
+            // can change between events.
+            self.views[job_idx].remaining = self.arena.believed_remaining(r);
+            self.views[job_idx].executed = self.arena.executed(r);
             let charge = self.platform.energy().energy_for(cycles, freq);
             self.invariants.energy_charge(charge);
             self.metrics.energy += charge;
             self.metrics.busy_time += delta;
             self.metrics.add_residency(freq.as_mhz(), delta);
-            let completed = job.actual_remaining().is_zero();
-            let (job_id, task_id) = (job.id, job.task);
+            let completed = self.arena.actual_remaining(r).is_zero();
+            let m = self.arena.meta(r);
             self.record_charge(ChargeKind::Execute, freq.as_mhz(), cycles, delta, charge);
             if let Some(trace) = self.trace.as_mut() {
                 trace.push_segment(Segment {
-                    job: job_id,
-                    task: task_id,
+                    job: m.id,
+                    task: m.task,
                     start: self.now,
                     end: next,
                     frequency: freq,
@@ -703,19 +770,20 @@ impl EngineState<'_> {
             self.invariants.clock_advance(self.now, next);
             self.now = next;
             if completed {
-                self.complete(job_idx);
-                event = SchedEvent::Completion(job_id);
+                self.complete_at(job_idx);
+                event = SchedEvent::Completion(m.id);
             }
         }
         // Anything still live at the horizon is unfinished.
         if let Some(records) = self.records.as_mut() {
-            for job in &self.live {
+            for &r in &self.order {
+                let m = self.arena.meta(r);
                 records.push(JobRecord {
-                    id: job.id,
-                    task: job.task,
-                    arrival: job.arrival,
-                    actual_demand: job.actual,
-                    executed: job.executed,
+                    id: m.id,
+                    task: m.task,
+                    arrival: m.arrival,
+                    actual_demand: self.arena.actual(r),
+                    executed: self.arena.executed(r),
                     outcome: JobOutcome::Unfinished,
                 });
             }
@@ -764,20 +832,76 @@ impl EngineState<'_> {
         });
     }
 
+    /// Certificate: every decision is recorded at its instant — including
+    /// ones later discarded by a costly-abort clock jump, which were
+    /// still valid when taken. Cold by construction: recording allocates,
+    /// so it lives outside the `// eua-lint: hot` loop body.
+    fn record_decision<P: SchedulerPolicy + ?Sized>(
+        &mut self,
+        event: SchedEvent,
+        decision: &crate::policy::Decision,
+        policy: &mut P,
+    ) {
+        let Some(cert) = self.cert.as_mut() else {
+            return;
+        };
+        cert.events.push(EventRecord {
+            at: self.now,
+            trigger: event,
+            ready: self.views.iter().map(JobSnapshot::from_view).collect(),
+            run: decision.run,
+            frequency: decision.frequency,
+            aborts: decision.abort.clone(),
+            explanation: policy.explain(),
+        });
+    }
+
     /// The earliest upcoming event the engine controls: an arrival, a
-    /// termination expiry, or the horizon itself.
-    fn next_passive_event(&self) -> SimTime {
+    /// termination expiry, or the horizon itself. O(1): the arrival
+    /// stream is cursor-ordered and the calendar caches its minimum.
+    // eua-lint: hot
+    fn next_passive_event(&mut self) -> SimTime {
         let next_arrival = self
             .arrivals
             .get(self.cursor)
             .map_or(SimTime::MAX, |&(t, _)| t);
-        let next_termination = self
-            .live
-            .iter()
-            .map(|j| j.termination)
-            .min()
-            .unwrap_or(SimTime::MAX);
+        let next_termination = self.calendar.earliest().unwrap_or(SimTime::MAX);
         next_arrival.min(next_termination).min(self.horizon_end)
+    }
+
+    /// The position of `id` in `views`/`order`, dead or alive: ids are
+    /// assigned in arrival order and `views` preserves it, so this is a
+    /// binary search.
+    #[inline]
+    fn find_index(&self, id: JobId) -> Option<usize> {
+        self.views.binary_search_by(|v| v.id.cmp(&id)).ok()
+    }
+
+    /// As [`EngineState::find_index`], but only for live jobs.
+    #[inline]
+    fn find_live(&self, id: JobId) -> Option<usize> {
+        let idx = self.find_index(id)?;
+        self.arena.is_live(self.order[idx]).then_some(idx)
+    }
+
+    /// Drops every tombstoned entry from `order`/`views` in one pass,
+    /// preserving arrival order.
+    fn compact(&mut self) {
+        if self.dead == 0 {
+            return;
+        }
+        let mut w = 0;
+        for i in 0..self.order.len() {
+            let r = self.order[i];
+            if self.arena.is_live(r) {
+                self.order[w] = r;
+                self.views[w] = self.views[i];
+                w += 1;
+            }
+        }
+        self.order.truncate(w);
+        self.views.truncate(w);
+        self.dead = 0;
     }
 
     // eua-lint: hot
@@ -802,57 +926,85 @@ impl EngineState<'_> {
                     .relaxed_uam_bound(task.uam().max_arrivals(), task.uam().window()),
                 task.uam().window(),
             );
-            let job = LiveJob {
-                id: JobId(self.next_job_id),
+            let id = JobId(self.next_job_id);
+            self.next_job_id += 1;
+            let critical = t.saturating_add(task.critical_offset());
+            let termination = t.saturating_add(task.termination_offset());
+            let r = self.arena.insert(
+                JobMeta {
+                    id,
+                    task: tid,
+                    arrival: t,
+                    critical,
+                },
+                termination,
+                actual,
+                task.allocation(),
+            );
+            self.calendar.insert(termination, r.slot());
+            self.order.push(r);
+            self.views.push(JobView {
+                id,
                 task: tid,
                 arrival: t,
-                critical: t.saturating_add(task.critical_offset()),
-                termination: t.saturating_add(task.termination_offset()),
-                actual,
-                allocation: task.allocation(),
+                critical_time: critical,
+                termination,
+                remaining: self.arena.believed_remaining(r),
                 executed: Cycles::ZERO,
-            };
-            self.next_job_id += 1;
+            });
             let tm = &mut self.metrics.per_task[tid.index()];
             tm.arrived += 1;
             // Utility accounting is restricted to *observable* jobs —
             // those whose termination time falls within the horizon — so
             // slow-but-legal policies are not penalized for jobs still in
             // flight at the cutoff.
-            if job.termination <= self.horizon_end {
+            if termination <= self.horizon_end {
                 tm.observable += 1;
                 tm.max_utility += task.tuf().max_utility();
                 self.metrics.max_possible_utility += task.tuf().max_utility();
             }
             if let Some(trace) = self.trace.as_mut() {
-                trace.push_event(TraceEvent::Arrival { at: t, job: job.id });
+                trace.push_event(TraceEvent::Arrival { at: t, job: id });
             }
-            self.live.push(job);
             any = true;
         }
         any
     }
 
     /// Aborts every incomplete job whose termination time has been
-    /// reached. Returns one of the aborted ids for event labelling.
+    /// reached, as one batched wave: jobs are tombstoned in place and the
+    /// live set compacts once at the end, so a termination wave costs one
+    /// pass (and triggers one re-decide) instead of one removal each.
+    /// Returns one of the aborted ids for event labelling.
     // eua-lint: hot
     fn abort_overdue(&mut self) -> Option<JobId> {
+        // O(1) fast path: nothing is overdue unless the earliest live
+        // termination has been reached.
+        match self.calendar.earliest() {
+            Some(t) if t <= self.now => {}
+            _ => return None,
+        }
         let mut witness = None;
-        let mut idx = 0;
-        while idx < self.live.len() {
-            if self.live[idx].termination <= self.now {
-                let id = self.live[idx].id;
-                self.finish_abort(idx, false);
+        for idx in 0..self.order.len() {
+            let r = self.order[idx];
+            // A costly abort advances the clock mid-wave, so each job is
+            // checked against the `now` in force when the wave reaches it
+            // — exactly the reference loop's traversal. Jobs the jump
+            // strands behind the wavefront are caught by the caller's
+            // fixpoint.
+            if self.arena.termination(r) <= self.now {
+                let id = self.arena.meta(r).id;
+                self.finish_abort_at(idx, false);
                 witness = Some(id);
-            } else {
-                idx += 1;
             }
         }
+        self.compact();
         witness
     }
 
-    /// Applies `decision.abort`, returning the last aborted id (so the
-    /// caller can re-decide after a costly-abort clock jump).
+    /// Applies `decision.abort` as one batched wave, returning the last
+    /// aborted id (so the caller can re-decide after a costly-abort
+    /// clock jump).
     fn apply_policy_aborts(
         &mut self,
         decision: &crate::policy::Decision,
@@ -862,20 +1014,35 @@ impl EngineState<'_> {
             if decision.run == Some(id) {
                 return Err(SimError::RunAbortConflict { job: id });
             }
-            let Some(idx) = self.live.iter().position(|j| j.id == id) else {
-                return Err(SimError::UnknownJob { job: id });
+            // Tombstones keep `views` id-sorted mid-wave, so the lookup
+            // stays a binary search; a duplicate abort id finds a dead
+            // slot and fails like the unknown id it now is.
+            let idx = match self.find_index(id) {
+                Some(idx) if self.arena.is_live(self.order[idx]) => idx,
+                _ => return Err(SimError::UnknownJob { job: id }),
             };
-            self.finish_abort(idx, true);
+            self.finish_abort_at(idx, true);
             last = Some(id);
         }
+        self.compact();
         Ok(last)
     }
 
-    fn finish_abort(&mut self, idx: usize, by_policy: bool) {
-        let job = self.live.remove(idx);
-        self.invariants.job_aborted(job.id);
-        let task = self.tasks.task(job.task);
-        let tm = &mut self.metrics.per_task[job.task.index()];
+    /// Tombstones the job at `idx` — releases its arena slot and
+    /// calendar entry — and does the full end-of-life accounting. The
+    /// caller owns the wave's final `compact`.
+    fn finish_abort_at(&mut self, idx: usize, by_policy: bool) {
+        let r = self.order[idx];
+        let m = self.arena.meta(r);
+        let actual = self.arena.actual(r);
+        let executed = self.arena.executed(r);
+        let termination = self.arena.termination(r);
+        self.calendar.remove(termination, r.slot());
+        self.arena.release(r);
+        self.dead += 1;
+        self.invariants.job_aborted(m.id);
+        let task = self.tasks.task(m.task);
+        let tm = &mut self.metrics.per_task[m.task.index()];
         if by_policy {
             tm.aborted_by_policy += 1;
         } else {
@@ -885,34 +1052,34 @@ impl EngineState<'_> {
         // is on, in which case it earns its executed fraction of the
         // current utility. Either way it can still satisfy its `ν`.
         let mut accrued = 0.0;
-        if self.config.progress_accrual && !job.actual.is_zero() {
-            let progress = (job.executed.as_f64() / job.actual.as_f64()).clamp(0.0, 1.0);
-            accrued = progress * task.tuf().utility(self.now.saturating_since(job.arrival));
+        if self.config.progress_accrual && !actual.is_zero() {
+            let progress = (executed.as_f64() / actual.as_f64()).clamp(0.0, 1.0);
+            accrued = progress * task.tuf().utility(self.now.saturating_since(m.arrival));
         }
-        if job.termination <= self.horizon_end {
+        if termination <= self.horizon_end {
             tm.utility += accrued;
             self.metrics.total_utility += accrued;
             if accrued + 1e-9 >= task.assurance().nu() * task.tuf().max_utility() {
                 tm.assured += 1;
             }
         }
-        if self.running == Some(job.id) {
+        if self.running == Some(m.id) {
             self.running = None;
         }
         if let Some(trace) = self.trace.as_mut() {
             trace.push_event(TraceEvent::Abort {
                 at: self.now,
-                job: job.id,
+                job: m.id,
                 by_policy,
             });
         }
         if let Some(records) = self.records.as_mut() {
             records.push(JobRecord {
-                id: job.id,
-                task: job.task,
-                arrival: job.arrival,
-                actual_demand: job.actual,
-                executed: job.executed,
+                id: m.id,
+                task: m.task,
+                arrival: m.arrival,
+                actual_demand: actual,
+                executed,
                 outcome: JobOutcome::Aborted {
                     at: self.now,
                     by_policy,
@@ -947,14 +1114,22 @@ impl EngineState<'_> {
         }
     }
 
-    fn complete(&mut self, idx: usize) {
-        let job = self.live.remove(idx);
-        let task = self.tasks.task(job.task);
-        let sojourn = self.now - job.arrival;
+    fn complete_at(&mut self, idx: usize) {
+        let r = self.order[idx];
+        let m = self.arena.meta(r);
+        let actual = self.arena.actual(r);
+        let executed = self.arena.executed(r);
+        let termination = self.arena.termination(r);
+        self.calendar.remove(termination, r.slot());
+        self.arena.release(r);
+        self.dead += 1;
+        self.compact();
+        let task = self.tasks.task(m.task);
+        let sojourn = self.now - m.arrival;
         let utility = task.tuf().utility(sojourn);
-        let tm = &mut self.metrics.per_task[job.task.index()];
+        let tm = &mut self.metrics.per_task[m.task.index()];
         tm.completed += 1;
-        if job.termination <= self.horizon_end {
+        if termination <= self.horizon_end {
             tm.utility += utility;
             self.metrics.total_utility += utility;
             let needed = task.assurance().nu() * task.tuf().max_utility();
@@ -962,50 +1137,38 @@ impl EngineState<'_> {
                 tm.assured += 1;
             }
         }
-        if self.now <= job.critical {
+        if self.now <= m.critical {
             tm.critical_met += 1;
         }
-        let lateness = self.now.as_micros() as i64 - job.critical.as_micros() as i64;
+        let lateness = self.now.as_micros() as i64 - m.critical.as_micros() as i64;
         tm.max_lateness_us = tm.max_lateness_us.max(lateness);
         if tm.completed == 1 {
             // First completion defines the initial lateness rather than the
             // i64 default of 0 (which would hide early completions).
             tm.max_lateness_us = lateness;
         }
-        if self.running == Some(job.id) {
+        if self.running == Some(m.id) {
             self.running = None;
         }
         if let Some(trace) = self.trace.as_mut() {
             trace.push_event(TraceEvent::Completion {
                 at: self.now,
-                job: job.id,
+                job: m.id,
             });
         }
         if let Some(records) = self.records.as_mut() {
             records.push(JobRecord {
-                id: job.id,
-                task: job.task,
-                arrival: job.arrival,
-                actual_demand: job.actual,
-                executed: job.executed,
+                id: m.id,
+                task: m.task,
+                arrival: m.arrival,
+                actual_demand: actual,
+                executed,
                 outcome: JobOutcome::Completed {
                     at: self.now,
                     utility,
                 },
             });
         }
-    }
-}
-
-fn job_view(job: &LiveJob) -> JobView {
-    JobView {
-        id: job.id,
-        task: job.task,
-        arrival: job.arrival,
-        critical_time: job.critical,
-        termination: job.termination,
-        remaining: job.believed_remaining(),
-        executed: job.executed,
     }
 }
 

@@ -59,6 +59,8 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+mod arena;
+mod calendar;
 pub mod certificate;
 mod context;
 mod engine;
@@ -72,6 +74,7 @@ mod metrics;
 mod platform_view;
 pub mod policy;
 pub mod pool;
+mod reference;
 mod runner;
 mod task;
 mod trace;
