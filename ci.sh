@@ -164,6 +164,37 @@ cargo run -q -p eua-bench --bin robustness -- \
 cargo run -q -p eua-audit -- check \
   target/ci-robustness-certs/*-i0-*.json >/dev/null
 
+step "chaos campaign smoke (halt + resume == uninterrupted, --jobs 2)"
+# A fixed-seed 32-cell campaign run twice: once uninterrupted, once
+# killed after 10 cells (--halt-after, the deterministic stand-in for a
+# mid-flight kill) and resumed. Journal and report must be
+# byte-identical — every cell is a pure function of (seed, index), so
+# resume replays nothing and appends exactly the missing cells.
+rm -rf target/ci-chaos
+cargo run -q -p eua-bench --bin eua-chaos -- \
+  --quick --seed 7 --cells 32 --jobs 2 \
+  --journal target/ci-chaos/full.jsonl --out target/ci-chaos/full.json \
+  2>/dev/null
+cargo run -q -p eua-bench --bin eua-chaos -- \
+  --quick --seed 7 --cells 32 --jobs 2 --halt-after 10 \
+  --journal target/ci-chaos/twophase.jsonl --out target/ci-chaos/twophase.json \
+  2>/dev/null
+cargo run -q -p eua-bench --bin eua-chaos -- \
+  --quick --seed 7 --cells 32 --jobs 2 --resume \
+  --journal target/ci-chaos/twophase.jsonl --out target/ci-chaos/twophase.json \
+  2>/dev/null
+cmp target/ci-chaos/full.jsonl target/ci-chaos/twophase.jsonl
+cmp target/ci-chaos/full.json target/ci-chaos/twophase.json
+
+step "regression corpus replay (both feature states)"
+# The shrunk chaos repros in tests/regression_corpus/ must still
+# reproduce their recorded failure (graded + audited), with and without
+# the engine's runtime invariant checks compiled in. The default-state
+# run is also part of `cargo test --workspace` above; this pins the
+# invariant-checks state explicitly.
+cargo test -q --test regression_corpus
+cargo test -q --features invariant-checks --test regression_corpus
+
 if [[ "$QUICK" == 0 ]]; then
   step "cargo build --release"
   cargo build --release -q

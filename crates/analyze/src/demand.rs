@@ -200,6 +200,7 @@ mod tests {
                 nu: 1.0,
                 rho: 0.5,
                 declared_allocation: None,
+                arrival: None,
             }],
             faults: None,
         }
@@ -276,6 +277,7 @@ mod tests {
             nu: 1.0,
             rho: 0.5,
             declared_allocation: None,
+            arrival: None,
         });
         let ir = lower(&s).unwrap();
         let v = frequency_verdicts(&ir);

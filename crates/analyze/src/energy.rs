@@ -147,6 +147,7 @@ mod tests {
                 nu: 1.0,
                 rho: 0.5,
                 declared_allocation: None,
+                arrival: None,
             }],
             faults: None,
         }

@@ -233,6 +233,7 @@ mod tests {
                 nu: 1.5,
                 rho: 1.2,
                 declared_allocation: Some(1.0),
+                arrival: None,
             }],
             faults: None,
         }

@@ -214,6 +214,7 @@ mod tests {
                 nu: 1.0,
                 rho: 0.96,
                 declared_allocation: None,
+                arrival: None,
             }],
             faults: None,
         }

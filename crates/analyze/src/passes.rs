@@ -1034,6 +1034,7 @@ mod tests {
             nu: 1.0,
             rho: 0.96,
             declared_allocation: None,
+            arrival: None,
         }
     }
 

@@ -19,10 +19,12 @@ use std::error::Error;
 use std::fmt;
 
 use eua_platform::{FrequencyTable, TimeDelta};
-use eua_sim::{Task, TaskSet};
+use eua_sim::{FaultPlan, Task, TaskSet};
 use eua_tuf::Tuf;
 use eua_uam::demand::DemandModel;
+use eua_uam::generator::ArrivalPattern;
 use eua_uam::{Assurance, UamSpec};
+use eua_workload::Workload;
 
 /// Raw description of a time/utility function shape.
 ///
@@ -284,6 +286,86 @@ impl DemandSpec {
     }
 }
 
+/// Raw description of a task's arrival-pattern generator (the optional
+/// `arrival` line; simulation bridges default to the maximal
+/// window-burst adversary when it is absent).
+///
+/// Only the deterministic-parameter patterns are representable — the
+/// universe generator and the chaos shrinker restrict themselves to
+/// these so every generated scenario stays fully `.scn`-expressible.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalSpec {
+    /// Strictly periodic arrivals at the window boundary (`⟨1, P⟩`).
+    Periodic,
+    /// `a` simultaneous arrivals at every window boundary — the maximal
+    /// UAM adversary (the default when no `arrival` line is present).
+    Burst,
+    /// Poisson arrivals throttled to the UAM bound.
+    Poisson {
+        /// Mean arrivals per window before throttling.
+        rate_per_window: f64,
+    },
+    /// Alternating phases of maximal bursts and silence.
+    OnOff {
+        /// Consecutive bursty windows per active phase.
+        on_windows: u32,
+        /// Consecutive silent windows per idle phase.
+        off_windows: u32,
+    },
+}
+
+impl ArrivalSpec {
+    /// Lowers a validated [`ArrivalPattern`] into its raw spec.
+    ///
+    /// Returns `None` for patterns the `.scn` format cannot express
+    /// (phased periodic, sporadic, random-size bursts).
+    #[must_use]
+    pub fn from_pattern(pattern: &ArrivalPattern) -> Option<Self> {
+        match pattern {
+            ArrivalPattern::Periodic { phase, .. } if phase.is_zero() => {
+                Some(ArrivalSpec::Periodic)
+            }
+            ArrivalPattern::WindowBurst { .. } => Some(ArrivalSpec::Burst),
+            ArrivalPattern::ConstrainedPoisson {
+                rate_per_window, ..
+            } => Some(ArrivalSpec::Poisson {
+                rate_per_window: *rate_per_window,
+            }),
+            ArrivalPattern::OnOff {
+                on_windows,
+                off_windows,
+                ..
+            } => Some(ArrivalSpec::OnOff {
+                on_windows: *on_windows,
+                off_windows: *off_windows,
+            }),
+            _ => None,
+        }
+    }
+
+    /// Raises the spec into a validated [`ArrivalPattern`] driven by the
+    /// task's `⟨a, P⟩` descriptor (`Periodic` uses only the window).
+    ///
+    /// # Errors
+    ///
+    /// Returns the library's constructor error message for invalid
+    /// parameters (zero phase counts, non-positive Poisson rates).
+    pub fn to_pattern(&self, uam: UamSpec) -> Result<ArrivalPattern, String> {
+        match *self {
+            ArrivalSpec::Periodic => ArrivalPattern::periodic(uam.window()),
+            ArrivalSpec::Burst => ArrivalPattern::window_burst(uam),
+            ArrivalSpec::Poisson { rate_per_window } => {
+                ArrivalPattern::constrained_poisson(uam, rate_per_window)
+            }
+            ArrivalSpec::OnOff {
+                on_windows,
+                off_windows,
+            } => ArrivalPattern::on_off(uam, on_windows, off_windows),
+        }
+        .map_err(|e| e.to_string())
+    }
+}
+
 /// Raw description of one task: TUF, UAM arrival spec, demand model, and
 /// assurance requirement.
 #[derive(Debug, Clone, PartialEq)]
@@ -310,6 +392,9 @@ pub struct TaskSpec {
     /// (`sem-chebyshev-allocation-mismatch`); the simulator bridge
     /// always derives its own allocation.
     pub declared_allocation: Option<f64>,
+    /// The arrival-pattern generator (the optional `arrival` line);
+    /// `None` means the bridges pick the window-burst default.
+    pub arrival: Option<ArrivalSpec>,
 }
 
 impl TaskSpec {
@@ -325,6 +410,7 @@ impl TaskSpec {
             nu: task.assurance().nu(),
             rho: task.assurance().rho(),
             declared_allocation: None,
+            arrival: None,
         }
     }
 
@@ -523,6 +609,47 @@ impl Default for FaultSpec {
     }
 }
 
+impl FaultSpec {
+    /// Raises the spec into the simulator's [`FaultPlan`] (the
+    /// `stuck_after` fault has no `.scn` surface and stays disabled).
+    #[must_use]
+    pub fn to_plan(&self) -> FaultPlan {
+        let mut plan = FaultPlan::none();
+        plan.uam.extra_per_window = self.burst_extra;
+        plan.uam.every_n_windows = self.burst_every;
+        plan.demand.mean_factor = self.demand_mean_factor;
+        plan.demand.spread = self.demand_spread;
+        plan.dvs.switch_latency_cycles = self.switch_latency_cycles;
+        plan.dvs.degraded_mhz = self.degraded_mhz.clone();
+        plan.timing.abort_cost = TimeDelta::from_micros(self.abort_cost_us);
+        plan.timing.arrival_jitter = TimeDelta::from_micros(self.arrival_jitter_us);
+        plan
+    }
+
+    /// Lowers a simulator [`FaultPlan`] into its raw spec.
+    ///
+    /// Returns `None` when the plan uses a fault the `.scn` format
+    /// cannot express (currently only `dvs.stuck_after`); the chaos
+    /// runner samples plans from the expressible subset so its repros
+    /// always lower.
+    #[must_use]
+    pub fn from_plan(plan: &FaultPlan) -> Option<Self> {
+        if plan.dvs.stuck_after.is_some() {
+            return None;
+        }
+        Some(FaultSpec {
+            demand_mean_factor: plan.demand.mean_factor,
+            demand_spread: plan.demand.spread,
+            switch_latency_cycles: plan.dvs.switch_latency_cycles,
+            degraded_mhz: plan.dvs.degraded_mhz.clone(),
+            burst_extra: plan.uam.extra_per_window,
+            burst_every: plan.uam.every_n_windows,
+            abort_cost_us: plan.timing.abort_cost.as_micros(),
+            arrival_jitter_us: plan.timing.arrival_jitter.as_micros(),
+        })
+    }
+}
+
 /// A complete raw scenario: platform frequencies, energy model, and
 /// tasks.
 #[derive(Debug, Clone, PartialEq)]
@@ -556,6 +683,54 @@ impl ScenarioSpec {
             tasks: tasks.iter().map(|(_, t)| TaskSpec::from_task(t)).collect(),
             faults: None,
         }
+    }
+
+    /// Lowers a full [`Workload`] (tasks *and* arrival patterns) into a
+    /// spec, so generated universes are renderable as `.scn` files.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first task whose arrival pattern the `.scn` format
+    /// cannot express (see [`ArrivalSpec::from_pattern`]); the universe
+    /// generator only emits expressible patterns.
+    pub fn from_workload(
+        name: impl Into<String>,
+        workload: &Workload,
+        table: &FrequencyTable,
+        energy: EnergySpec,
+    ) -> Result<Self, String> {
+        let mut spec = Self::from_task_set(name, &workload.tasks, table, energy);
+        for (task_spec, pattern) in spec.tasks.iter_mut().zip(&workload.patterns) {
+            task_spec.arrival = Some(ArrivalSpec::from_pattern(pattern).ok_or_else(|| {
+                format!(
+                    "task `{}`: arrival pattern {pattern:?} is not expressible in .scn",
+                    task_spec.name
+                )
+            })?);
+        }
+        Ok(spec)
+    }
+
+    /// Raises the spec into a validated simulator [`Workload`]; tasks
+    /// without an `arrival` line get the maximal window-burst adversary.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first constructor error message; callers run the
+    /// validation passes first when the text is untrusted.
+    pub fn to_workload(&self) -> Result<Workload, String> {
+        let mut tasks = Vec::with_capacity(self.tasks.len());
+        let mut patterns = Vec::with_capacity(self.tasks.len());
+        for t in &self.tasks {
+            let task = t.to_task()?;
+            let arrival = t.arrival.unwrap_or(ArrivalSpec::Burst);
+            patterns.push(arrival.to_pattern(*task.uam())?);
+            tasks.push(task);
+        }
+        Ok(Workload {
+            tasks: TaskSet::new(tasks).map_err(|e| e.to_string())?,
+            patterns,
+        })
     }
 
     /// The table's maximum frequency in MHz, ignoring ordering problems
@@ -621,6 +796,20 @@ impl ScenarioSpec {
                 }
             }
             out.push_str(&format!("  uam {:?} {}\n", t.max_arrivals, t.window_us));
+            match &t.arrival {
+                None => {}
+                Some(ArrivalSpec::Periodic) => out.push_str("  arrival periodic\n"),
+                Some(ArrivalSpec::Burst) => out.push_str("  arrival burst\n"),
+                Some(ArrivalSpec::Poisson { rate_per_window }) => {
+                    out.push_str(&format!("  arrival poisson {rate_per_window:?}\n"));
+                }
+                Some(ArrivalSpec::OnOff {
+                    on_windows,
+                    off_windows,
+                }) => {
+                    out.push_str(&format!("  arrival onoff {on_windows} {off_windows}\n"));
+                }
+            }
             match &t.demand {
                 DemandSpec::Deterministic { cycles } => {
                     out.push_str(&format!("  demand det {cycles:?}\n"));
@@ -782,7 +971,11 @@ impl<'a> Parser<'a> {
                     if rest.is_empty() {
                         return Err(Self::err(line, "`scenario` needs a name"));
                     }
-                    name = Some(rest.join(" "));
+                    // Keep the raw remainder: joining the split words
+                    // would collapse interior runs of whitespace, so a
+                    // doubly-spaced name would not survive a
+                    // parse → render round trip.
+                    name = Some(raw_rest(body, keyword));
                 }
                 "frequencies" => {
                     if rest.is_empty() {
@@ -799,7 +992,8 @@ impl<'a> Parser<'a> {
                     if rest.is_empty() {
                         return Err(Self::err(line, "`task` needs a name"));
                     }
-                    tasks.push(self.parse_task(line, rest.join(" "))?);
+                    let name = raw_rest(body, keyword);
+                    tasks.push(self.parse_task(line, name)?);
                 }
                 "faults" => {
                     if faults.is_some() {
@@ -910,6 +1104,7 @@ impl<'a> Parser<'a> {
         let mut demand: Option<DemandSpec> = None;
         let mut assurance: Option<(f64, f64)> = None;
         let mut allocation: Option<f64> = None;
+        let mut arrival: Option<ArrivalSpec> = None;
 
         loop {
             let Some(&(line, body)) = self.lines.get(self.pos) else {
@@ -943,6 +1138,7 @@ impl<'a> Parser<'a> {
                     [cycles] => allocation = Some(parse_f64(line, "allocation", cycles)?),
                     _ => return Err(Self::err(line, "expected `allocation <cycles>`")),
                 },
+                "arrival" => arrival = Some(Self::parse_arrival(line, &rest)?),
                 other => {
                     return Err(Self::err(line, format!("unknown task keyword `{other}`")));
                 }
@@ -967,7 +1163,26 @@ impl<'a> Parser<'a> {
             nu,
             rho,
             declared_allocation: allocation,
+            arrival,
         })
+    }
+
+    fn parse_arrival(line: usize, rest: &[&str]) -> Result<ArrivalSpec, ParseError> {
+        match rest {
+            ["periodic"] => Ok(ArrivalSpec::Periodic),
+            ["burst"] => Ok(ArrivalSpec::Burst),
+            ["poisson", rate] => Ok(ArrivalSpec::Poisson {
+                rate_per_window: parse_f64(line, "rate", rate)?,
+            }),
+            ["onoff", on, off] => Ok(ArrivalSpec::OnOff {
+                on_windows: parse_u64(line, "on windows", on)? as u32,
+                off_windows: parse_u64(line, "off windows", off)? as u32,
+            }),
+            _ => Err(Self::err(
+                line,
+                "expected `arrival periodic` | `arrival burst` | `arrival poisson r` | `arrival onoff on off`",
+            )),
+        }
     }
 
     fn parse_tuf(line: usize, rest: &[&str]) -> Result<TufSpec, ParseError> {
@@ -1029,6 +1244,13 @@ impl<'a> Parser<'a> {
     }
 }
 
+/// The raw text after `keyword` on an already-trimmed line body, with
+/// interior whitespace preserved (re-joining split words would collapse
+/// it and break the parse → render byte round trip).
+fn raw_rest(body: &str, keyword: &str) -> String {
+    body[keyword.len()..].trim_start().to_string()
+}
+
 fn parse_f64(line: usize, what: &str, word: &str) -> Result<f64, ParseError> {
     word.parse()
         .map_err(|_| Parser::err(line, format!("{what} `{word}` is not a number")))
@@ -1065,6 +1287,137 @@ task decay
   assurance 0.4 0.9
 end
 ";
+
+    #[test]
+    fn arrival_lines_parse_and_round_trip() {
+        let text = "\
+scenario arrivals
+frequencies 100
+energy E1
+task p
+  tuf step 1.0 10000
+  uam 1.0 10000
+  arrival periodic
+  demand det 1000.0
+  assurance 1.0 0.5
+end
+task b
+  tuf step 1.0 10000
+  uam 2.0 10000
+  arrival burst
+  demand det 1000.0
+  assurance 1.0 0.5
+end
+task q
+  tuf step 1.0 10000
+  uam 3.0 10000
+  arrival poisson 2.5
+  demand det 1000.0
+  assurance 1.0 0.5
+end
+task o
+  tuf step 1.0 10000
+  uam 2.0 10000
+  arrival onoff 3 5
+  demand det 1000.0
+  assurance 1.0 0.5
+end
+";
+        let s = ScenarioSpec::parse(text).expect("parses");
+        assert_eq!(s.tasks[0].arrival, Some(ArrivalSpec::Periodic));
+        assert_eq!(s.tasks[1].arrival, Some(ArrivalSpec::Burst));
+        assert_eq!(
+            s.tasks[2].arrival,
+            Some(ArrivalSpec::Poisson {
+                rate_per_window: 2.5
+            })
+        );
+        assert_eq!(
+            s.tasks[3].arrival,
+            Some(ArrivalSpec::OnOff {
+                on_windows: 3,
+                off_windows: 5
+            })
+        );
+        let rendered = s.render();
+        let back = ScenarioSpec::parse(&rendered).expect("canonical text parses");
+        assert_eq!(back, s);
+        assert_eq!(back.render(), rendered);
+    }
+
+    #[test]
+    fn names_with_interior_whitespace_round_trip() {
+        // `rest.join(" ")` used to collapse the double space, so the
+        // rendered text drifted from the parsed spec on the second pass.
+        let text = "scenario two  spaces\ntask a  b\n  tuf step 1.0 1000\n  uam 1.0 1000\n  demand det 10.0\n  assurance 1.0 0.5\nend\n";
+        let s = ScenarioSpec::parse(text).expect("parses");
+        assert_eq!(s.name, "two  spaces");
+        assert_eq!(s.tasks[0].name, "a  b");
+        let rendered = s.render();
+        let back = ScenarioSpec::parse(&rendered).expect("reparses");
+        assert_eq!(back, s);
+        assert_eq!(back.render(), rendered);
+    }
+
+    #[test]
+    fn fault_spec_bridges_to_and_from_plan() {
+        let spec = FaultSpec {
+            demand_mean_factor: 1.5,
+            demand_spread: 0.2,
+            switch_latency_cycles: 20_000,
+            degraded_mhz: Some(vec![36, 55]),
+            burst_extra: 2,
+            burst_every: 3,
+            abort_cost_us: 300,
+            arrival_jitter_us: 2_000,
+        };
+        let plan = spec.to_plan();
+        assert_eq!(plan.uam.extra_per_window, 2);
+        assert_eq!(plan.uam.every_n_windows, 3);
+        assert_eq!(plan.timing.abort_cost.as_micros(), 300);
+        plan.validate().expect("valid plan");
+        assert_eq!(FaultSpec::from_plan(&plan), Some(spec));
+        // The default spec lowers to an inactive plan.
+        assert!(FaultSpec::default().to_plan().is_none());
+        // stuck_after has no .scn surface.
+        let mut stuck = FaultPlan::none();
+        stuck.dvs.stuck_after = Some(TimeDelta::from_micros(1));
+        assert_eq!(FaultSpec::from_plan(&stuck), None);
+    }
+
+    #[test]
+    fn workload_round_trips_through_scn_text() {
+        let f_max = eua_platform::Frequency::from_mhz(100);
+        let workload = eua_workload::UniverseFamily::MixedCriticality
+            .generate(0, 9, f_max)
+            .expect("generates")
+            .workload;
+        let table = FrequencyTable::new([100]).expect("table");
+        let spec = ScenarioSpec::from_workload("mix", &workload, &table, EnergySpec::e1())
+            .expect("expressible");
+        let rendered = spec.render();
+        let back = ScenarioSpec::parse(&rendered).expect("reparses");
+        assert_eq!(back, spec);
+        assert_eq!(back.render(), rendered, "canonical text is a fixpoint");
+        let raised = back.to_workload().expect("raises");
+        assert_eq!(raised.patterns, workload.patterns);
+        assert_eq!(raised.tasks.len(), workload.tasks.len());
+        for ((_, a), (_, b)) in raised.tasks.iter().zip(workload.tasks.iter()) {
+            assert_eq!(a.name(), b.name());
+            assert_eq!(a.allocation(), b.allocation());
+            assert_eq!(a.critical_offset(), b.critical_offset());
+        }
+    }
+
+    #[test]
+    fn tasks_without_arrival_lines_default_to_window_burst() {
+        let s = ScenarioSpec::parse(VALID).expect("parses");
+        let w = s.to_workload().expect("raises");
+        assert!(matches!(
+            w.patterns[0],
+            ArrivalPattern::WindowBurst { spec } if spec.max_arrivals() == 2
+        ));
+    }
 
     #[test]
     fn parses_a_valid_scenario() {
@@ -1175,6 +1528,7 @@ end
             nu: 1.0,
             rho: 0.96,
             declared_allocation: None,
+            arrival: None,
         };
         let c = spec.chebyshev_allocation().expect("finite");
         let expected = 100.0 + (0.96f64 / 0.04 * 400.0).sqrt();
@@ -1201,6 +1555,7 @@ end
             nu: 1.0,
             rho: 0.9,
             declared_allocation: None,
+            arrival: None,
         };
         assert_eq!(spec.chebyshev_allocation(), None);
     }
@@ -1271,6 +1626,7 @@ end
                 nu: 1.0,
                 rho,
                 declared_allocation: None,
+                arrival: None,
             };
             assert_eq!(spec.chebyshev_allocation(), Some(123_456.0));
         }
@@ -1303,6 +1659,7 @@ end
             nu: 1.0,
             rho: 0.5,
             declared_allocation: None,
+            arrival: None,
         };
         let task = spec.to_task().expect("valid");
         assert_eq!(task.critical_offset().as_micros(), spec.window_us);

@@ -9,7 +9,11 @@
 //!   (Figure 3);
 //! * `theorems` — the §4 timeliness-property checks (Theorems 2–5);
 //! * `ablation` — design-choice ablations (UER clamp, abortion,
-//!   insertion mode, Chebyshev ρ).
+//!   insertion mode, Chebyshev ρ);
+//! * `robustness` — the fault-intensity × policy degradation sweep;
+//! * `eua-chaos` — resumable chaos campaigns over the workload
+//!   universes, with automatic shrinking of failing cells to minimal
+//!   `.scn` repros (DESIGN.md §15).
 //!
 //! The Criterion benches measure the per-event scheduling cost
 //! (the paper's polynomial-time claim) and simulator throughput.
@@ -17,12 +21,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod chart;
 pub mod experiment;
 pub mod json;
 pub mod report;
 pub mod robustness;
+pub mod shrink;
 
+pub use chaos::{
+    campaign_report, chaos_cell_seed, journal_header, plan_cell, record_is_failing, run_campaign,
+    unexpected_audit_errors, CampaignOutcome, CellPlan, ChaosConfig,
+};
 pub use chart::{render_chart, render_svg, Series};
 pub use experiment::{jobs_from_args, run_cell, run_cells, Cell, ExperimentConfig};
 pub use json::Json;
@@ -30,3 +40,4 @@ pub use report::{write_csv, Table};
 pub use robustness::{
     run_robustness, FaultFamily, RobustnessConfig, RobustnessPoint, RobustnessReport,
 };
+pub use shrink::{probe, shrink, FailureKind, ShrinkCase};

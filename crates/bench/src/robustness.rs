@@ -13,8 +13,8 @@
 use eua_core::make_policy;
 use eua_platform::TimeDelta;
 use eua_sim::{
-    classify_degradation, map_parallel_labeled, DegradationClass, Engine, FaultPlan, Metrics,
-    Platform, SimConfig, SimError, DEFAULT_COLLAPSE_FRACTION,
+    classify_degradation, map_parallel_settle, DegradationClass, Engine, FaultPlan, Metrics,
+    Platform, PoolError, SimConfig, SimError, DEFAULT_COLLAPSE_FRACTION,
 };
 use eua_workload::{fig2_workload, Workload};
 
@@ -68,14 +68,28 @@ impl FaultFamily {
     /// Panics if `intensity` is outside `[0, 1]` or non-finite.
     #[must_use]
     pub fn plan_at(self, intensity: f64) -> FaultPlan {
+        let mut plan = FaultPlan::none();
+        self.apply_at(&mut plan, intensity);
+        plan
+    }
+
+    /// Writes the family's fault shape at `intensity ∈ [0, 1]` into an
+    /// existing plan, leaving the other families' fields untouched.
+    /// This is the composable form [`plan_at`](Self::plan_at) wraps:
+    /// the chaos campaign stacks several families onto one plan, each
+    /// at its own sampled intensity. Intensity `0.0` writes nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `intensity` is outside `[0, 1]` or non-finite.
+    pub fn apply_at(self, plan: &mut FaultPlan, intensity: f64) {
         assert!(
             intensity.is_finite() && (0.0..=1.0).contains(&intensity),
             "fault intensity must be within [0, 1]"
         );
         if intensity == 0.0 {
-            return FaultPlan::none();
+            return;
         }
-        let mut plan = FaultPlan::none();
         match self {
             FaultFamily::UamBurst => {
                 // 1..=4 extra arrivals per declared window, every window.
@@ -102,7 +116,6 @@ impl FaultFamily {
                     TimeDelta::from_micros((intensity * 2_000.0).round() as u64);
             }
         }
-        plan
     }
 }
 
@@ -194,8 +207,13 @@ pub struct RobustnessPoint {
     /// Seeds that gracefully degraded (worst task below `ρ` but above
     /// the collapse threshold).
     pub degraded: usize,
-    /// Seeds whose worst task collapsed.
+    /// Seeds whose worst task collapsed — including seeds whose cell
+    /// panicked (a panic is the worst possible degradation).
     pub collapsed: usize,
+    /// Seeds whose cell panicked inside the worker pool. Panicked
+    /// seeds contribute no metrics to the means; their labels are
+    /// collected in [`RobustnessReport::panic_cells`].
+    pub panics: usize,
 }
 
 /// The whole sweep's output.
@@ -211,6 +229,12 @@ pub struct RobustnessReport {
     /// report itself ([`Self::to_json`]) never embeds them — callers
     /// write them next to the report for `eua-audit check`.
     pub certificates: Vec<(String, String)>,
+    /// Labels of grid cells that panicked, in grid order, with the
+    /// panic message appended (`"<label>: <message>"`). A panicking
+    /// cell no longer aborts the sweep — it is graded `collapsed` in
+    /// its point and surfaced here so chaos campaigns can harvest it
+    /// as a shrink candidate.
+    pub panic_cells: Vec<String>,
 }
 
 /// Runs the full sweep: every `(family, intensity, policy, seed)` cell
@@ -219,8 +243,10 @@ pub struct RobustnessReport {
 ///
 /// # Errors
 ///
-/// Propagates workload-synthesis and simulation errors; a panicking
-/// cell surfaces as [`SimError::Pool`] with the cell's label.
+/// Propagates workload-synthesis and simulation errors. A *panicking*
+/// cell does not abort the sweep: the panic settles in its pool slot
+/// (see [`map_parallel_settle`]), the seed is graded `collapsed`, and
+/// the labelled message lands in [`RobustnessReport::panic_cells`].
 pub fn run_robustness(config: &RobustnessConfig) -> Result<RobustnessReport, SimError> {
     let platform = Platform::powernow(eua_platform::EnergySetting::e1());
     let workload: Workload =
@@ -267,7 +293,8 @@ pub fn run_robustness(config: &RobustnessConfig) -> Result<RobustnessReport, Sim
         }
     }
 
-    let runs: Vec<Result<(Metrics, Option<String>), SimError>> = map_parallel_labeled(
+    type CellResult = Result<(Metrics, Option<String>), SimError>;
+    let runs: Vec<Result<CellResult, PoolError>> = map_parallel_settle(
         config.jobs,
         items,
         |_, item| {
@@ -300,34 +327,51 @@ pub fn run_robustness(config: &RobustnessConfig) -> Result<RobustnessReport, Sim
         },
     )?;
 
-    // Split certificates out in grid order so the chunked aggregation
-    // below sees plain metrics.
+    // Split certificates and settled panics out in grid order so the
+    // chunked aggregation below sees plain per-seed outcomes.
+    #[derive(Clone)]
+    enum CellRun {
+        Done(Metrics),
+        Panicked,
+    }
     let mut certificates = Vec::new();
-    let mut metric_runs: Vec<Result<Metrics, SimError>> = Vec::with_capacity(runs.len());
+    let mut panic_cells = Vec::new();
+    let mut cell_runs: Vec<Result<CellRun, SimError>> = Vec::with_capacity(runs.len());
     for (name, run) in cell_names.iter().zip(runs) {
         match run {
-            Ok((metrics, cert)) => {
+            Ok(Ok((metrics, cert))) => {
                 if let Some(text) = cert {
                     certificates.push((name.clone(), text));
                 }
-                metric_runs.push(Ok(metrics));
+                cell_runs.push(Ok(CellRun::Done(metrics)));
             }
-            Err(e) => metric_runs.push(Err(e)),
+            Ok(Err(e)) => cell_runs.push(Err(e)),
+            Err(PoolError::WorkerPanic { label, message }) => {
+                panic_cells.push(format!("{label}: {message}"));
+                cell_runs.push(Ok(CellRun::Panicked));
+            }
+            Err(other) => return Err(other.into()),
         }
     }
 
     let per_point = config.seeds.len();
     let mut points = Vec::new();
-    let mut chunks = metric_runs.chunks(per_point);
+    let mut chunks = cell_runs.chunks(per_point);
     for &family in &FaultFamily::ALL {
         for &intensity in &config.intensities {
             for policy in &config.policies {
                 let chunk = chunks.next().unwrap_or_default();
                 let mut metrics = Vec::with_capacity(per_point);
+                let mut panics = 0usize;
                 for run in chunk {
-                    metrics.push(run.clone()?);
+                    match run.clone()? {
+                        CellRun::Done(m) => metrics.push(m),
+                        CellRun::Panicked => panics += 1,
+                    }
                 }
-                points.push(aggregate(family, intensity, policy, &metrics, &workload));
+                points.push(aggregate(
+                    family, intensity, policy, &metrics, panics, &workload,
+                ));
             }
         }
     }
@@ -335,6 +379,7 @@ pub fn run_robustness(config: &RobustnessConfig) -> Result<RobustnessReport, Sim
         config: config.clone(),
         points,
         certificates,
+        panic_cells,
     })
 }
 
@@ -343,11 +388,13 @@ fn aggregate(
     intensity: f64,
     policy: &str,
     metrics: &[Metrics],
+    panics: usize,
     workload: &Workload,
 ) -> RobustnessPoint {
     let n = metrics.len().max(1) as f64;
     let mean = |f: &dyn Fn(&Metrics) -> f64| metrics.iter().map(f).sum::<f64>() / n;
-    let (mut met, mut degraded, mut collapsed) = (0, 0, 0);
+    // A panicked seed is the worst degradation a cell can exhibit.
+    let (mut met, mut degraded, mut collapsed) = (0, 0, panics);
     for m in metrics {
         match classify_degradation(m, &workload.tasks, DEFAULT_COLLAPSE_FRACTION).overall {
             DegradationClass::Met => met += 1,
@@ -372,6 +419,7 @@ fn aggregate(
         met,
         degraded,
         collapsed,
+        panics,
     }
 }
 
@@ -400,6 +448,7 @@ impl RobustnessReport {
                         ("met".into(), Json::uint(point.met as u64)),
                         ("degraded".into(), Json::uint(point.degraded as u64)),
                         ("collapsed".into(), Json::uint(point.collapsed as u64)),
+                        ("panics".into(), Json::uint(point.panics as u64)),
                     ]));
                 }
                 points_json.push(Json::Obj(vec![
@@ -413,7 +462,7 @@ impl RobustnessReport {
             ]));
         }
         Json::Obj(vec![
-            ("schema".into(), Json::Str("eua-robustness/1".into())),
+            ("schema".into(), Json::Str("eua-robustness/2".into())),
             ("load".into(), Json::num(self.config.load)),
             (
                 "horizon_us".into(),
@@ -422,6 +471,15 @@ impl RobustnessReport {
             (
                 "seeds".into(),
                 Json::Arr(self.config.seeds.iter().map(|&s| Json::uint(s)).collect()),
+            ),
+            (
+                "panic_cells".into(),
+                Json::Arr(
+                    self.panic_cells
+                        .iter()
+                        .map(|c| Json::Str(c.clone()))
+                        .collect(),
+                ),
             ),
             ("families".into(), Json::Arr(families)),
         ])
@@ -527,6 +585,40 @@ mod tests {
             plain.points, report.points,
             "certifying never perturbs metrics"
         );
+    }
+
+    #[test]
+    fn panicking_cells_settle_into_graded_points() {
+        // A policy name the registry does not know panics inside the
+        // worker (`make_policy(..).unwrap_or_else(|| panic!(..))`).
+        // The sweep must not abort: the cell settles, grades as
+        // collapsed-with-panic, and its label lands in `panic_cells`.
+        let mut config = RobustnessConfig::quick();
+        config.policies = vec!["eua".into(), "no-such-policy".into()];
+        config.intensities = vec![0.0];
+        let report = run_robustness(&config).expect("sweep must not abort on a panicking cell");
+        let expected = FaultFamily::ALL.len() * config.seeds.len();
+        assert_eq!(report.panic_cells.len(), expected);
+        assert!(report
+            .panic_cells
+            .iter()
+            .all(|c| c.contains("no-such-policy")));
+        for point in &report.points {
+            if point.policy == "no-such-policy" {
+                assert_eq!(point.panics, config.seeds.len());
+                assert_eq!(point.collapsed, config.seeds.len());
+                assert_eq!(point.met + point.degraded, 0);
+            } else {
+                assert_eq!(point.panics, 0, "healthy policy must not panic");
+            }
+        }
+        // Panic surfacing is deterministic: byte-identical across job
+        // counts, and the report still round-trips.
+        let bytes = report.to_json().render();
+        let parallel = run_robustness(&config.clone().with_jobs(4)).expect("sweep");
+        assert_eq!(parallel.to_json().render(), bytes);
+        let parsed = crate::json::parse(&bytes).expect("report must parse");
+        assert_eq!(parsed.render(), bytes);
     }
 
     #[test]

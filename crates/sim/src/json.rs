@@ -60,6 +60,48 @@ impl Json {
         out
     }
 
+    /// Renders the tree as compact single-line JSON (no whitespace, no
+    /// trailing newline) — the layout journal records use, where one
+    /// record must occupy exactly one line. As deterministic as
+    /// [`Json::render`], and parseable by the same [`parse`].
+    #[must_use]
+    pub fn render_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => out.push_str(n),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, key);
+                    out.push(':');
+                    value.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     /// Looks up a key in an object (first match); `None` elsewhere.
     #[must_use]
     pub fn get(&self, key: &str) -> Option<&Json> {
@@ -366,6 +408,29 @@ mod tests {
         let text = doc.render();
         let parsed = parse(&text).expect("render output must parse");
         assert_eq!(parsed.render(), text, "byte-exact round-trip");
+    }
+
+    #[test]
+    fn compact_render_is_one_line_and_round_trips() {
+        let doc = Json::Obj(vec![
+            ("cell".into(), Json::uint(7)),
+            ("grade".into(), Json::Str("collapsed".into())),
+            ("load".into(), Json::num(0.95)),
+            (
+                "families".into(),
+                Json::Arr(vec![Json::Str("uam".into()), Json::Null]),
+            ),
+            ("empty".into(), Json::Obj(vec![])),
+        ]);
+        let line = doc.render_compact();
+        assert!(!line.contains('\n'), "compact output must be one line");
+        assert_eq!(
+            line,
+            r#"{"cell":7,"grade":"collapsed","load":0.95,"families":["uam",null],"empty":{}}"#
+        );
+        let parsed = parse(&line).expect("compact output must parse");
+        assert_eq!(parsed.render_compact(), line, "byte-exact round-trip");
+        assert_eq!(parsed, doc);
     }
 
     #[test]

@@ -99,7 +99,10 @@ pub use job::{JobOutcome, JobRecord};
 pub use metrics::{FrequencyResidency, Metrics, TaskMetrics};
 pub use platform_view::Platform;
 pub use policy::{Decision, SchedulerPolicy};
-pub use pool::{map_parallel, map_parallel_labeled, map_parallel_with, resolve_jobs, PoolError};
+pub use pool::{
+    map_parallel, map_parallel_labeled, map_parallel_settle, map_parallel_with, resolve_jobs,
+    PoolError,
+};
 pub use runner::{
     replicate, replicate_parallel, replicate_parallel_with_faults, replicate_with_faults,
     Replication, Summary,

@@ -260,6 +260,60 @@ where
     Ok(out)
 }
 
+/// [`map_parallel_labeled`] that **settles** instead of aborting: every
+/// item produces a slot, and a panicking item's slot is
+/// `Err(PoolError::WorkerPanic)` carrying that item's label, while the
+/// surviving items' results are returned intact. Chaos/robustness
+/// sweeps use this so one crashed cell becomes a graded report entry
+/// (and a shrink candidate) rather than taking down the whole campaign.
+///
+/// Slots are in input order, and each slot depends only on its own
+/// item, so the output is deterministic across `jobs` counts. The
+/// worker's state is rebuilt through `init` after a panic (the job may
+/// have torn it mid-unwind).
+///
+/// # Errors
+///
+/// The *outer* `Result` only fails if `init` or the labeler itself
+/// panicked — item-level panics are settled into their slots.
+pub fn map_parallel_settle<S, T, R, L, I, F>(
+    jobs: usize,
+    items: Vec<T>,
+    labeler: L,
+    init: I,
+    f: F,
+) -> Result<Vec<Result<R, PoolError>>, PoolError>
+where
+    T: Send,
+    R: Send,
+    L: Fn(usize, &T) -> String + Sync,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, T) -> R + Sync,
+{
+    let labeled: Vec<(String, T)> = items
+        .into_iter()
+        .enumerate()
+        .map(|(i, t)| (labeler(i, &t), t))
+        .collect();
+    map_parallel_labeled(
+        jobs,
+        labeled,
+        |_, (label, _)| label.clone(),
+        &init,
+        |state, i, (label, t)| match catch_unwind(AssertUnwindSafe(|| f(state, i, t))) {
+            Ok(r) => Ok(r),
+            Err(payload) => {
+                // The panic may have torn the worker's state mid-unwind.
+                *state = init();
+                Err(PoolError::WorkerPanic {
+                    label,
+                    message: panic_message(payload),
+                })
+            }
+        },
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -361,6 +415,51 @@ mod tests {
             (1..=3).contains(&constructed),
             "one state per worker, got {constructed}"
         );
+    }
+
+    #[test]
+    fn settle_turns_panics_into_slots_without_losing_siblings() {
+        let items: Vec<i32> = (0..16).collect();
+        let mut expect: Vec<Result<i32, PoolError>> = items.iter().map(|&x| Ok(x * 2)).collect();
+        expect[5] = Err(PoolError::WorkerPanic {
+            label: "cell 5".to_string(),
+            message: "boom on five".to_string(),
+        });
+        for jobs in [1, 2, 4] {
+            let out = map_parallel_settle(
+                jobs,
+                items.clone(),
+                |i, _| format!("cell {i}"),
+                || (),
+                |(), _, x| {
+                    assert!(x != 5, "boom on five");
+                    x * 2
+                },
+            )
+            .unwrap();
+            assert_eq!(out, expect, "jobs = {jobs}");
+        }
+    }
+
+    #[test]
+    fn settle_rebuilds_worker_state_after_a_panic() {
+        // A panicking item must not leave its worker's accumulator torn
+        // for the items that follow it on the same worker.
+        let out = map_parallel_settle(
+            1,
+            (0..6).collect::<Vec<i32>>(),
+            |i, _| format!("cell {i}"),
+            || 0i32,
+            |acc, _, x| {
+                *acc += 1;
+                assert!(x != 2, "tear");
+                (*acc, x)
+            },
+        )
+        .unwrap();
+        // After the panic at x = 2 the state restarts from 0.
+        assert_eq!(out[3], Ok((1, 3)));
+        assert_eq!(out[4], Ok((2, 4)));
     }
 
     #[test]

@@ -36,8 +36,10 @@ mod apps;
 mod builder;
 mod error;
 mod scenario;
+pub mod universe;
 
 pub use apps::{table1, AppSpec};
 pub use builder::{ArrivalStyle, TufShape, Workload, WorkloadBuilder};
 pub use error::WorkloadError;
 pub use scenario::{fig2_workload, fig3_workload, theorem_workload};
+pub use universe::{UniverseFamily, UniverseScenario};

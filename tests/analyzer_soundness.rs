@@ -89,6 +89,7 @@ impl CaseTask {
             nu,
             rho: self.rho,
             declared_allocation: None,
+            arrival: None,
         }
     }
 
